@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Tables and figures are printed to stdout at the end of each bench
+module (use ``-s`` to see them live; they are also captured in the
+pytest summary via the trailing render benchmarks).
+"""

@@ -1,0 +1,32 @@
+"""Design-choice ablation: strong updates at interfering stores.
+
+DESIGN.md documents the one deviation knob FSAM exposes: the literal
+paper rule (strong update at every singleton-store, default) versus a
+belt-and-braces mode demoting MHP-interfering stores to weak updates.
+This bench quantifies the precision gap between the two on every
+workload: the conservative mode can only produce equal-or-larger
+points-to state.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.workloads import get_workload, workload_names
+
+SCALE = 1
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_strong_update_ablation(benchmark, name):
+    source = get_workload(name).source(SCALE)
+
+    def run_both():
+        literal = FSAM(compile_source(source, name=name),
+                       FSAMConfig(strong_updates_at_interfering_stores=True)).run()
+        demoted = FSAM(compile_source(source, name=name),
+                       FSAMConfig(strong_updates_at_interfering_stores=False)).run()
+        return literal, demoted
+
+    literal, demoted = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert demoted.points_to_entries() >= literal.points_to_entries()

@@ -1,0 +1,36 @@
+"""Extension ablation: context-sensitivity depth.
+
+The paper analyses fork/join/lock operations with full calling
+contexts (recursion collapsed). This bench quantifies what k-limited
+contexts buy and cost on the deep-call-chain program (raytrace):
+state-graph size and analysis time drop as k shrinks, while the
+points-to state can only grow (coarser MHP -> more thread edges).
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.workloads import get_workload
+
+DEPTHS = [0, 1, 2, None]
+NAME = "raytrace"
+SCALE = 2
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_context_depth(benchmark, depth):
+    source = get_workload(NAME).source(SCALE)
+
+    def run():
+        module = compile_source(source, name=NAME)
+        return FSAM(module, FSAMConfig(max_context_depth=depth)).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    states = sum(len(g.state_info)
+                 for g in result.thread_model.state_graphs.values())
+    label = "full" if depth is None else f"k={depth}"
+    print(f"\n[context depth {label}] states={states} "
+          f"entries={result.points_to_entries()} "
+          f"thread_edges={len(result.dug.thread_edges)}")
+    assert result.points_to_entries() > 0

@@ -1,0 +1,47 @@
+"""Figure 12: impact of each thread interference analysis phase.
+
+Runs FSAM with No-Interleaving (coarse PCG MHP), No-Value-Flow
+(AS(*p,*q) disregarded), and No-Lock on every program, reporting the
+slowdown of sparse points-to resolution plus the spurious-edge
+inflation each phase prevents.
+"""
+
+import pytest
+
+from repro.fsam import FSAMConfig
+from repro.harness import BENCH_SCALES, render_figure12
+from repro.harness.measure import measure_fsam
+from repro.harness.tables import ABLATIONS
+from repro.workloads import get_workload, workload_names
+
+_ROWS = {}
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_figure12_row(benchmark, name):
+    source = get_workload(name).source(BENCH_SCALES[name])
+    base_config = FSAMConfig()
+
+    def run_all():
+        row = {"benchmark": name,
+               "base": measure_fsam(name, source, base_config)}
+        for label, phase in ABLATIONS:
+            row[label] = measure_fsam(name, source, base_config.ablated(phase))
+        return row
+
+    row = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    _ROWS[name] = row
+    # Every ablated run must stay sound and complete.
+    for label, _phase in ABLATIONS:
+        assert not row[label].oot
+    # Value-flow is the paper's most impactful phase: removing it must
+    # inflate the thread-aware def-use edges.
+    assert row["No-Value-Flow"].thread_edges >= row["base"].thread_edges
+
+
+def test_zz_render_figure12(benchmark):
+    rows = [_ROWS[n] for n in workload_names() if n in _ROWS]
+    text = benchmark.pedantic(render_figure12, args=(rows,), rounds=1, iterations=1)
+    print()
+    print(text)
+    assert "No-Value-Flow" in text

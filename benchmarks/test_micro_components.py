@@ -1,0 +1,70 @@
+"""Micro-benchmarks: per-phase cost breakdown on a mid-sized program.
+
+Not a paper table; pins where FSAM's time goes (the paper's Figure 2
+pipeline) so regressions in one phase are visible in isolation.
+"""
+
+import pytest
+
+from repro.andersen import run_andersen
+from repro.cfg import ICFG
+from repro.frontend import compile_source
+from repro.fsam import FSAMConfig
+from repro.fsam.solver import SparseSolver
+from repro.memssa import build_dug
+from repro.mt import InterleavingAnalysis, LockAnalysis, ThreadModel, add_thread_aware_edges
+from repro.workloads import get_workload
+
+NAME = "radiosity"
+SCALE = 2
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    source = get_workload(NAME).source(SCALE)
+    module = compile_source(source, name=NAME)
+    andersen = run_andersen(module)
+    icfg = ICFG(module, andersen.callgraph)
+    dug, builder = build_dug(module, andersen)
+    model = ThreadModel(module, andersen, icfg)
+    mhp = InterleavingAnalysis(model)
+    locks = LockAnalysis(model, andersen, dug, builder)
+    add_thread_aware_edges(dug, builder, mhp, locks=locks)
+    return {
+        "source": source, "module": module, "andersen": andersen,
+        "icfg": icfg, "dug": dug, "builder": builder, "model": model,
+    }
+
+
+def test_bench_pre_analysis(benchmark, prepared):
+    module = compile_source(prepared["source"], name=NAME)
+    benchmark(run_andersen, module)
+
+
+def test_bench_dug_construction(benchmark, prepared):
+    module = compile_source(prepared["source"], name=NAME)
+    andersen = run_andersen(module)
+    benchmark(lambda: build_dug(module, andersen))
+
+
+def test_bench_thread_model(benchmark, prepared):
+    module = compile_source(prepared["source"], name=NAME)
+    andersen = run_andersen(module)
+    icfg = ICFG(module, andersen.callgraph)
+    benchmark(lambda: ThreadModel(module, andersen, icfg))
+
+
+def test_bench_interleaving(benchmark, prepared):
+    benchmark(lambda: InterleavingAnalysis(prepared["model"]))
+
+
+def test_bench_sparse_solve(benchmark, prepared):
+    def solve():
+        solver = SparseSolver(prepared["module"], prepared["dug"],
+                              prepared["builder"], prepared["andersen"],
+                              FSAMConfig())
+        solver.solve()
+        return solver
+
+    solver = benchmark(solve)
+    assert solver.points_to_entries() > 0

@@ -1,0 +1,52 @@
+"""Extension figure: analysis time vs program size.
+
+Not a paper artefact — it extends Table 2 into a growth curve on the
+lock-heavy program, showing the asymptotic separation that makes the
+two largest programs OOT for NONSPARSE: the baseline's per-point
+states grow superlinearly while FSAM stays near-linear.
+"""
+
+import pytest
+
+from repro.fsam.config import AnalysisTimeout
+from repro.harness.measure import measure_fsam, measure_nonsparse
+from repro.workloads import get_workload, source_loc
+
+NAME = "radiosity"
+SCALES = [1, 2, 3]
+
+_CURVE = []
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scaling_point(benchmark, scale):
+    source = get_workload(NAME).source(scale)
+
+    def run_both():
+        fsam = measure_fsam(NAME, source)
+        nonsparse = measure_nonsparse(NAME, source, budget=60)
+        return fsam, nonsparse
+
+    fsam, nonsparse = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    _CURVE.append((scale, source_loc(source), fsam, nonsparse))
+    assert not fsam.oot
+
+
+def test_zz_render_curve(benchmark):
+    def render():
+        lines = [f"\nScaling curve ({NAME}):",
+                 f"{'scale':>6} {'LOC':>6} {'FSAM t(s)':>10} {'NONSP t(s)':>11} {'ratio':>7}"]
+        for scale, loc, fsam, nonsparse in _CURVE:
+            ratio = ("-" if nonsparse.oot
+                     else f"{nonsparse.seconds / max(fsam.seconds, 1e-9):.1f}x")
+            ns = "OOT" if nonsparse.oot else f"{nonsparse.seconds:.2f}"
+            lines.append(f"{scale:>6} {loc:>6} {fsam.seconds:>10.2f} {ns:>11} {ratio:>7}")
+        return "\n".join(lines)
+
+    text = benchmark.pedantic(render, rounds=1, iterations=1)
+    print(text)
+    # The gap must widen with scale (the asymptotic separation).
+    ratios = [n.seconds / max(f.seconds, 1e-9)
+              for _s, _l, f, n in _CURVE if not n.oot]
+    if len(ratios) >= 2:
+        assert ratios[-1] > ratios[0]

@@ -1,0 +1,28 @@
+"""Table 1: program statistics.
+
+Benchmarks generation + compilation of each workload at its Table 2
+scale and prints the statistics table the paper reports.
+"""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.harness import BENCH_SCALES, render_table1, run_table1
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_compile_workload(benchmark, name):
+    """Frontend throughput per benchmark program (not in the paper,
+    but pins the compile cost excluded from Table 2)."""
+    source = get_workload(name).source(BENCH_SCALES[name])
+    module = benchmark.pedantic(compile_source, args=(source,),
+                                kwargs={"name": name}, rounds=1, iterations=1)
+    assert module.functions
+
+
+def test_zz_render_table1(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print(render_table1(rows))
+    assert len(rows) == 10

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse a small multithreaded program with FSAM.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+from repro.ir import Load
+
+SOURCE = """
+int apple; int banana;
+int *shared;          // written by both threads
+int *result;
+mutex_t mu;
+
+void *worker(void *arg) {
+    lock(&mu);
+    shared = &banana;
+    unlock(&mu);
+    return null;
+}
+
+int main() {
+    thread_t t;
+    shared = &apple;
+    fork(&t, worker, null);
+    lock(&mu);
+    result = shared;   // parallel with the worker: {apple, banana}
+    unlock(&mu);
+    join(t);
+    result = shared;   // after the join, the worker's strong update
+    return 0;          // has killed apple: {banana}
+}
+"""
+
+
+def main() -> None:
+    module = compile_source(SOURCE, name="quickstart")
+
+    # The flow-insensitive pre-analysis (Andersen) for comparison.
+    andersen = run_andersen(module)
+
+    # The full FSAM pipeline.
+    result = FSAM(module).run()
+
+    print("=== quickstart: FSAM vs the flow-insensitive pre-analysis ===\n")
+    for instr in module.all_instructions():
+        if isinstance(instr, Load) and instr.line in (19, 22):
+            sparse = sorted(o.name for o in result.pts(instr.dst))
+            coarse = sorted(o.name for o in andersen.pts(instr.dst))
+            print(f"load at line {instr.line}: {instr!r}")
+            print(f"  FSAM     pt = {sparse}")
+            print(f"  Andersen pt = {coarse}")
+
+    print("\n=== thread model ===")
+    for thread in result.thread_model.threads:
+        print(f"  {thread!r}")
+
+    print("\n=== pipeline statistics ===")
+    for key, value in result.stats().items():
+        print(f"  {key}: {value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Legacy setup shim: the environment's setuptools predates PEP 660
+editable installs, so ``pip install -e .`` goes through this file."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FSAM: sparse flow-sensitive pointer analysis for multithreaded "
+        "programs (CGO 2016 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    entry_points={
+        "console_scripts": ["fsam=repro.cli:main"],
+    },
+)

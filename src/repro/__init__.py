@@ -1,0 +1,16 @@
+"""FSAM: sparse flow-sensitive pointer analysis for multithreaded
+programs — a complete Python reproduction of Sui, Di & Xue, CGO 2016.
+
+Entry points:
+
+- :func:`repro.frontend.compile_source` — MiniC text -> partial-SSA IR.
+- :class:`repro.fsam.FSAM` / :func:`repro.fsam.analyze_source` — the
+  full analysis pipeline (pre-analysis, thread-oblivious def-use,
+  interleaving/value-flow/lock analyses, sparse solve).
+- :class:`repro.baseline.NonSparseAnalysis` — the NONSPARSE baseline.
+- :mod:`repro.clients` — race/deadlock detection, TSan instrumentation
+  reduction, escape classification.
+- ``python -m repro`` — the command-line interface.
+"""
+
+__version__ = "1.0.0"

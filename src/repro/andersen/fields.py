@@ -1,0 +1,37 @@
+"""Field derivation shared by the pre-analysis and the sparse solver.
+
+Field-sensitivity (paper Section 4.2): each struct field is a
+distinct abstract object; arrays are monolithic; field chains deeper
+than ``MAX_FIELD_DEPTH`` collapse onto their base to defuse positive
+weight cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.types import ArrayType, StructType
+from repro.ir.values import MemObject
+
+MAX_FIELD_DEPTH = 8
+
+
+def derive_field(obj: MemObject, field_index: Optional[int]) -> MemObject:
+    """The object denoted by ``gep obj, field_index``."""
+    if field_index is None:
+        return obj  # array indexing: monolithic
+    ty = obj.type
+    if isinstance(ty, ArrayType):
+        ty = ty.element
+    if not isinstance(ty, StructType):
+        return obj  # ill-typed gep: stay conservative
+    if field_index >= len(ty.fields):
+        return obj
+    depth = 0
+    walk = obj
+    while walk.base is not None:
+        depth += 1
+        walk = walk.base
+    if depth >= MAX_FIELD_DEPTH:
+        return obj  # PWC defence
+    return obj.field(field_index, ty.field_type(field_index))

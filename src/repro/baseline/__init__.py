@@ -1,0 +1,15 @@
+"""NONSPARSE: the baseline the paper compares against (Section 4.3).
+
+A traditional iterative data-flow flow-sensitive pointer analysis in
+the style of Rugina & Rinard, extended to unstructured Pthreads
+programs with parallel regions discovered by a coarse PCG-style
+procedure-level MHP. It maintains a points-to state for the
+address-taken objects at every ICFG node and propagates whole states
+along control flow — precisely the blind propagation FSAM's sparsity
+avoids.
+"""
+
+from repro.baseline.pcg import ProcedureConcurrencyGraph
+from repro.baseline.nonsparse import NonSparseAnalysis, NonSparseResult
+
+__all__ = ["ProcedureConcurrencyGraph", "NonSparseAnalysis", "NonSparseResult"]

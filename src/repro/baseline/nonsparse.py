@@ -1,0 +1,303 @@
+"""NONSPARSE: traditional data-flow flow-sensitive pointer analysis.
+
+Maintains the points-to state of every address-taken object at every
+ICFG node and iterates transfer functions to a fixpoint, propagating
+whole states from each node to its successors whether or not the
+facts are needed there — the approach whose time and memory blow-up
+motivates FSAM (paper Sections 1.1 and 4).
+
+Thread interference is handled at PCG granularity: the effects of
+every store are visible to every load in any procedure that may
+execute concurrently (by the coarse procedure-level MHP), with no
+flow-sensitive join or lock reasoning.
+
+Top-level SSA temps keep a single global points-to set (they are
+thread-local registers in partial SSA; both analyses treat them the
+same way, so the comparison isolates the address-taken machinery).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.andersen import AndersenResult, run_andersen
+from repro.andersen.fields import derive_field
+from repro.baseline.pcg import ProcedureConcurrencyGraph
+from repro.cfg.icfg import ICFG, ICFGNode, NodeKind
+from repro.fsam.config import Deadline, FSAMConfig
+from repro.ir.instructions import (
+    AddrOf, Call, Copy, Fork, Gep, Join, Load, Phi, Ret, Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, Function, MemObject, Temp, Value
+
+# A memory state: object id -> frozenset of pointed-to objects.
+MemState = Dict[int, FrozenSet[MemObject]]
+
+
+class NonSparseResult:
+    """Query interface mirroring :class:`repro.fsam.FSAMResult`."""
+
+    def __init__(self, analysis: "NonSparseAnalysis") -> None:
+        self.analysis = analysis
+        self.module = analysis.module
+
+    def pts(self, value: Value) -> Set[MemObject]:
+        return self.analysis.value_pts(value)
+
+    def pts_names(self, value: Value) -> Set[str]:
+        return {o.name for o in self.pts(value)}
+
+    def deref_pts_at_line(self, line: int) -> Set[MemObject]:
+        addr_defined: Set[int] = set()
+        for instr in self.module.all_instructions():
+            if isinstance(instr, AddrOf):
+                addr_defined.add(instr.dst.id)
+        result: Set[MemObject] = set()
+        for instr in self.module.all_instructions():
+            if isinstance(instr, Load) and instr.line == line:
+                if isinstance(instr.ptr, Temp) and instr.ptr.id in addr_defined:
+                    continue
+                result |= self.pts(instr.dst)
+        return result
+
+    def deref_pts_names_at_line(self, line: int) -> Set[str]:
+        return {o.name for o in self.deref_pts_at_line(line)}
+
+    def points_to_entries(self) -> int:
+        return self.analysis.points_to_entries()
+
+    def total_time(self) -> float:
+        return self.analysis.elapsed
+
+
+class NonSparseAnalysis:
+    """The baseline solver."""
+
+    def __init__(self, module: Module, config: Optional[FSAMConfig] = None) -> None:
+        self.module = module
+        self.config = config or FSAMConfig()
+        self.andersen: Optional[AndersenResult] = None
+        self.icfg: Optional[ICFG] = None
+        self.pcg: Optional[ProcedureConcurrencyGraph] = None
+        self.pts_top: Dict[int, Set[MemObject]] = {}
+        self.out_state: Dict[int, MemState] = {}      # node uid -> state
+        self.iterations = 0
+        self.elapsed = 0.0
+        # Per thread class: accumulated store effects (obj id -> values)
+        # visible to concurrently-running procedures.
+        self._class_effects: Dict[int, Dict[int, Set[MemObject]]] = {}
+        self._objects_by_id: Dict[int, MemObject] = {}
+
+    # -- top-level helpers ------------------------------------------------
+
+    def value_pts(self, value: Optional[Value]) -> Set[MemObject]:
+        if value is None or isinstance(value, Constant):
+            return set()
+        if isinstance(value, Function):
+            return {value.mem_object}
+        if isinstance(value, Temp):
+            return self.pts_top.get(value.id, set())
+        return set()
+
+    def _set_top(self, temp: Temp, values: Set[MemObject]) -> bool:
+        current = self.pts_top.setdefault(temp.id, set())
+        new = values - current
+        if not new:
+            return False
+        current |= new
+        return True
+
+    # -- interference ---------------------------------------------------------
+
+    def _record_store_effect(self, instr: Store) -> None:
+        targets = self.value_pts(instr.ptr)
+        values = self.value_pts(instr.value)
+        if not targets or not values:
+            return
+        for cid in self.pcg.classes_of(instr.function):
+            effects = self._class_effects.setdefault(cid, {})
+            for obj in targets:
+                effects.setdefault(obj.id, set()).update(values)
+
+    def _interference_values(self, instr, obj: MemObject) -> Set[MemObject]:
+        """Concurrent stores' contributions to reads of *obj* at a
+        statement of this procedure."""
+        result: Set[MemObject] = set()
+        for cid in self.pcg.parallel_classes(instr.function):
+            result |= self._class_effects.get(cid, {}).get(obj.id, set())
+        return result
+
+    # -- solving -----------------------------------------------------------------
+
+    def run(self) -> NonSparseResult:
+        deadline = Deadline(self.config.time_budget)
+        self.andersen = run_andersen(self.module)
+        self.icfg = ICFG(self.module, self.andersen.callgraph)
+        self.pcg = ProcedureConcurrencyGraph(self.module, self.andersen)
+        for obj in self.module.objects:
+            self._objects_by_id[obj.id] = obj
+
+        graph = self.icfg.graph
+        # Fork nodes feed the start routine's entry (thread start sees
+        # the spawner's state); joins are identity (interference covers
+        # the rest).
+        extra_edges: List[Tuple[ICFGNode, ICFGNode]] = []
+        for fn in self.module.functions.values():
+            for instr in fn.instructions():
+                if isinstance(instr, Fork):
+                    node = self.icfg.node_of(instr)
+                    for routine in self.andersen.callgraph.callees(instr):
+                        if routine in self.icfg.entries:
+                            extra_edges.append((node, self.icfg.entry_of(routine)))
+        for src, dst in extra_edges:
+            graph.add_edge(src, dst)
+
+        work: deque = deque()
+        queued: Set[int] = set()
+
+        def push(node: ICFGNode) -> None:
+            if node.uid not in queued:
+                queued.add(node.uid)
+                work.append(node)
+
+        for node in graph.nodes():
+            push(node)
+
+        while work:
+            if self.iterations % 64 == 0:
+                deadline.check()
+            self.iterations += 1
+            node = work.popleft()
+            queued.discard(node.uid)
+            in_state = self._merge_in(node)
+            out_state, top_changed, effect_stores = self._transfer(node, in_state)
+            old = self.out_state.get(node.uid)
+            if old != out_state:
+                self.out_state[node.uid] = out_state
+                for succ in graph.successors(node):
+                    push(succ)
+            if top_changed or effect_stores:
+                # Top-level growth re-enables dependent statements; the
+                # traditional analysis simply reiterates — requeue the
+                # whole graph region lazily by requeuing users.
+                for succ in graph.successors(node):
+                    push(succ)
+                if effect_stores:
+                    # New interference effects become visible to every
+                    # node of every parallel procedure: requeue them.
+                    self._requeue_parallel(node, push)
+        self.elapsed = deadline.elapsed()
+        return NonSparseResult(self)
+
+    def _requeue_parallel(self, node: ICFGNode, push) -> None:
+        parallel = self.pcg.parallel_classes(node.function)
+        for cid in parallel:
+            for fn in self.pcg.class_procs.get(cid, ()):
+                for instr in fn.instructions():
+                    if isinstance(instr, Load):
+                        push(self.icfg.node_of(instr))
+
+    def _merge_in(self, node: ICFGNode) -> MemState:
+        state: MemState = {}
+        for pred in self.icfg.graph.predecessors(node):
+            pred_out = self.out_state.get(pred.uid)
+            if not pred_out:
+                continue
+            for obj_id, values in pred_out.items():
+                existing = state.get(obj_id)
+                state[obj_id] = values if existing is None else (existing | values)
+        return state
+
+    def _transfer(self, node: ICFGNode, state: MemState):
+        """Returns (out_state, top_changed, produced_new_effects)."""
+        instr = node.instr
+        top_changed = False
+        new_effects = False
+        if node.kind in (NodeKind.ENTRY, NodeKind.EXIT, NodeKind.RETSITE):
+            return state, False, False
+        if isinstance(instr, AddrOf):
+            top_changed = self._set_top(instr.dst, {instr.obj})
+        elif isinstance(instr, Copy):
+            top_changed = self._set_top(instr.dst, self.value_pts(instr.src))
+        elif isinstance(instr, Phi):
+            merged: Set[MemObject] = set()
+            for value, _b in instr.incomings:
+                merged |= self.value_pts(value)
+            top_changed = self._set_top(instr.dst, merged)
+        elif isinstance(instr, Gep):
+            derived = {derive_field(o, instr.field_index)
+                       for o in self.value_pts(instr.base)}
+            top_changed = self._set_top(instr.dst, derived)
+        elif isinstance(instr, Load):
+            values: Set[MemObject] = set()
+            for obj in self.value_pts(instr.ptr):
+                values |= state.get(obj.id, frozenset())
+                values |= self._interference_values(instr, obj)
+            top_changed = self._set_top(instr.dst, values)
+        elif isinstance(instr, Store):
+            targets = self.value_pts(instr.ptr)
+            stored = frozenset(self.value_pts(instr.value))
+            if targets:
+                state = dict(state)
+                strong = len(targets) == 1 and next(iter(targets)).is_singleton
+                for obj in targets:
+                    if strong:
+                        state[obj.id] = stored
+                    else:
+                        state[obj.id] = state.get(obj.id, frozenset()) | stored
+                before = self._effect_sizes(instr)
+                self._record_store_effect(instr)
+                new_effects = self._effect_sizes(instr) != before
+            else:
+                # kill(s, p) = A when the pointer resolves to nothing
+                # (paper Figure 10): a store through null defines no
+                # known location and propagates nothing. Mirror the
+                # sparse analysis by killing the objects the
+                # pre-analysis says the pointer could name.
+                pre = self.andersen.pts(instr.ptr)
+                if pre:
+                    state = dict(state)
+                    for obj in pre:
+                        state[obj.id] = frozenset()
+        elif isinstance(instr, Fork):
+            # The abstract thread id lands in the handle slot.
+            if instr.handle_ptr is not None:
+                tid = self.andersen.thread_objects.get(instr.id)
+                slots = self.value_pts(instr.handle_ptr)
+                if tid is not None and slots:
+                    state = dict(state)
+                    for obj in slots:
+                        state[obj.id] = state.get(obj.id, frozenset()) | {tid}
+            for routine in self.andersen.callgraph.callees(instr):
+                if routine.blocks and instr.arg is not None and routine.params:
+                    top_changed |= self._set_top(routine.params[0],
+                                                 self.value_pts(instr.arg))
+        elif isinstance(instr, Call):
+            for callee in self.andersen.callgraph.callees(instr):
+                if callee.is_declaration or not callee.blocks:
+                    continue
+                for param, arg in zip(callee.params, instr.args):
+                    top_changed |= self._set_top(param, self.value_pts(arg))
+                if instr.dst is not None:
+                    for rv in callee.instructions():
+                        if isinstance(rv, Ret) and rv.value is not None:
+                            top_changed |= self._set_top(instr.dst,
+                                                         self.value_pts(rv.value))
+        return state, top_changed, new_effects
+
+    def _effect_sizes(self, instr: Store) -> int:
+        total = 0
+        for cid in self.pcg.classes_of(instr.function):
+            effects = self._class_effects.get(cid, {})
+            total += sum(len(v) for v in effects.values())
+        return total
+
+    # -- metrics -------------------------------------------------------------------
+
+    def points_to_entries(self) -> int:
+        total = sum(len(s) for s in self.pts_top.values())
+        for state in self.out_state.values():
+            total += sum(len(v) for v in state.values())
+        return total

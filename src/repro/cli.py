@@ -1,0 +1,281 @@
+"""Command-line interface.
+
+::
+
+    python -m repro analyze   prog.mc        # points-to summary
+    python -m repro races     prog.mc        # data race report
+    python -m repro deadlocks prog.mc        # lock-order cycles
+    python -m repro tsan      prog.mc        # instrumentation reduction
+    python -m repro escape    prog.mc        # thread-escape classes
+    python -m repro threads   prog.mc        # thread model dump
+    python -m repro ir        prog.mc        # partial-SSA IR dump
+    python -m repro dot       prog.mc --what dug > out.dot
+    python -m repro bench     --table 2      # regenerate a paper table
+    python -m repro compare   prog.mc        # FSAM vs NONSPARSE
+
+Reports can also be emitted as JSON (``--json``) for downstream
+tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from repro.baseline import NonSparseAnalysis
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.ir import Load, print_module
+from repro.ir.values import Temp
+
+
+def _load_module(path: str):
+    with open(path) as handle:
+        source = handle.read()
+    return compile_source(source, name=path)
+
+
+def _config_from(args) -> FSAMConfig:
+    return FSAMConfig(
+        interleaving=not getattr(args, "no_interleaving", False),
+        value_flow=not getattr(args, "no_value_flow", False),
+        lock_analysis=not getattr(args, "no_lock", False),
+        time_budget=getattr(args, "budget", None),
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="MiniC source file")
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    parser.add_argument("--no-interleaving", action="store_true")
+    parser.add_argument("--no-value-flow", action="store_true")
+    parser.add_argument("--no-lock", action="store_true")
+    parser.add_argument("--budget", type=float, default=None,
+                        help="time budget in seconds")
+
+
+def cmd_analyze(args) -> int:
+    module = _load_module(args.file)
+    result = FSAM(module, _config_from(args)).run()
+    if args.json:
+        payload = {
+            "stats": _jsonable(result.stats()),
+            "loads": [
+                {"line": i.line, "text": repr(i),
+                 "pts": sorted(o.name for o in result.pts(i.dst))}
+                for i in module.all_instructions() if isinstance(i, Load)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"analysed {args.file}")
+    for key, value in result.stats().items():
+        print(f"  {key}: {value}")
+    print("\npoints-to at loads:")
+    for instr in module.all_instructions():
+        if isinstance(instr, Load):
+            pts = sorted(o.name for o in result.pts(instr.dst))
+            print(f"  line {instr.line}: {instr!r} -> {pts}")
+    return 0
+
+
+def _jsonable(value):
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def cmd_races(args) -> int:
+    from repro.clients import detect_races
+    races = detect_races(_load_module(args.file), _config_from(args))
+    if args.json:
+        print(json.dumps([{"object": r.obj.name,
+                           "kind": "write-write" if r.is_write_write else "write-read",
+                           "store_line": r.store.line,
+                           "access_line": r.access.line} for r in races], indent=2))
+        return 2 if races else 0
+    print(f"{len(races)} race candidate(s)")
+    for race in races:
+        print(f"  {race.describe()}")
+    return 2 if races else 0
+
+
+def cmd_deadlocks(args) -> int:
+    from repro.clients import detect_deadlocks
+    candidates = detect_deadlocks(_load_module(args.file), _config_from(args))
+    if args.json:
+        print(json.dumps([{"first": c.first.name, "second": c.second.name,
+                           "site1_line": c.site_holding_first.line,
+                           "site2_line": c.site_holding_second.line}
+                          for c in candidates], indent=2))
+        return 2 if candidates else 0
+    print(f"{len(candidates)} potential deadlock(s)")
+    for candidate in candidates:
+        print(f"  {candidate.describe()}")
+    return 2 if candidates else 0
+
+
+def cmd_tsan(args) -> int:
+    from repro.clients import AccessClass, reduce_instrumentation
+    report = reduce_instrumentation(_load_module(args.file), _config_from(args))
+    if args.json:
+        print(json.dumps({
+            "total": report.total,
+            "racy": report.count(AccessClass.RACY),
+            "locked": report.count(AccessClass.LOCKED),
+            "local": report.count(AccessClass.LOCAL),
+            "reduction": report.reduction,
+        }, indent=2))
+        return 0
+    print(report.summary())
+    return 0
+
+
+def cmd_escape(args) -> int:
+    from repro.clients import classify_escapes
+    report = classify_escapes(_load_module(args.file))
+    if args.json:
+        print(json.dumps({report.objects[k].name: v.value
+                          for k, v in report.classes.items()}, indent=2))
+        return 0
+    print(report.summary())
+    for obj_id, cls in sorted(report.classes.items(),
+                              key=lambda kv: report.objects[kv[0]].name):
+        print(f"  {report.objects[obj_id].name}: {cls.value}")
+    return 0
+
+
+def cmd_threads(args) -> int:
+    module = _load_module(args.file)
+    result = FSAM(module, _config_from(args)).run()
+    model = result.thread_model
+    print(f"{len(model.threads)} abstract thread(s)")
+    for thread in model.threads:
+        joined = sorted(model.fully_joined.get(thread.id, ()))
+        print(f"  {thread!r} fully-joins={joined}")
+    if model.symmetric_pairs:
+        print("symmetric fork/join loops:")
+        for pair in model.symmetric_pairs.values():
+            print(f"  {pair!r}")
+    return 0
+
+
+def cmd_ir(args) -> int:
+    module = _load_module(args.file)
+    print(print_module(module))
+    return 0
+
+
+def cmd_dot(args) -> int:
+    from repro import viz
+    module = _load_module(args.file)
+    result = FSAM(module, _config_from(args)).run()
+    if args.what == "dug":
+        print(viz.dug_to_dot(result.dug))
+    elif args.what == "icfg":
+        from repro.cfg import ICFG
+        print(viz.icfg_to_dot(ICFG(module, result.andersen.callgraph)))
+    else:
+        print(viz.thread_tree_to_dot(result.thread_model))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.fsam.explain import explain_at_line
+    module = _load_module(args.file)
+    result = FSAM(module, _config_from(args)).run()
+    provenances = explain_at_line(result, args.line, args.target)
+    if not provenances:
+        print(f"no load at line {args.line} reads {args.target!r}")
+        return 1
+    for prov in provenances:
+        print(prov.describe())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    module = _load_module(args.file)
+    start = time.perf_counter()
+    fsam = FSAM(module, _config_from(args)).run()
+    fsam_time = time.perf_counter() - start
+    module2 = _load_module(args.file)
+    start = time.perf_counter()
+    baseline = NonSparseAnalysis(module2, _config_from(args)).run()
+    base_time = time.perf_counter() - start
+    print(f"FSAM:      {fsam_time:8.3f}s  {fsam.points_to_entries():10d} entries")
+    print(f"NONSPARSE: {base_time:8.3f}s  {baseline.points_to_entries():10d} entries")
+    print(f"speedup {base_time / max(fsam_time, 1e-9):.1f}x, "
+          f"state ratio {baseline.points_to_entries() / max(fsam.points_to_entries(), 1):.1f}x")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.harness import (
+        render_figure12, render_table1, render_table2, run_figure12,
+        run_table1, run_table2,
+    )
+    if args.table == 1:
+        print(render_table1(run_table1()))
+    elif args.table == 2:
+        print(render_table2(run_table2()))
+    else:
+        print(render_figure12(run_figure12()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FSAM: sparse flow-sensitive pointer analysis for "
+                    "multithreaded programs (CGO'16 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, helptext in [
+        ("analyze", cmd_analyze, "run FSAM and print points-to results"),
+        ("races", cmd_races, "detect data races"),
+        ("deadlocks", cmd_deadlocks, "detect lock-order cycles"),
+        ("tsan", cmd_tsan, "instrumentation-reduction report"),
+        ("escape", cmd_escape, "thread-escape classification"),
+        ("threads", cmd_threads, "dump the thread model"),
+        ("ir", cmd_ir, "dump the partial-SSA IR"),
+        ("compare", cmd_compare, "FSAM vs the NONSPARSE baseline"),
+    ]:
+        p = sub.add_parser(name, help=helptext)
+        _add_common(p)
+        p.set_defaults(handler=fn)
+
+    p = sub.add_parser("explain",
+                       help="provenance: why does a load read an object?")
+    _add_common(p)
+    p.add_argument("--line", type=int, required=True,
+                   help="source line of the load")
+    p.add_argument("--target", required=True,
+                   help="name of the pointed-to object to explain")
+    p.set_defaults(handler=cmd_explain)
+
+    p = sub.add_parser("dot", help="export DOT graphs")
+    _add_common(p)
+    p.add_argument("--what", choices=["dug", "icfg", "threads"], default="dug")
+    p.set_defaults(handler=cmd_dot)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument("--table", type=int, choices=[1, 2, 12], default=2,
+                   help="1 = Table 1, 2 = Table 2, 12 = Figure 12")
+    p.set_defaults(handler=cmd_bench)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""Client analyses built on FSAM.
+
+The paper motivates FSAM by the clients it enables (Section 1) and
+sketches more in its future work (Section 6). This package ships
+four of them, each consuming FSAM's points-to, MHP, and lock-span
+information:
+
+- :mod:`repro.clients.races`     — static data race detection.
+- :mod:`repro.clients.deadlocks` — lock-order-cycle (ABBA) detection.
+- :mod:`repro.clients.tsan`      — ThreadSanitizer-style
+  instrumentation reduction (classify accesses racy / locked / local).
+- :mod:`repro.clients.escape`    — thread-escape classification for
+  sequential-optimisation reuse.
+"""
+
+from repro.clients.races import DataRace, RaceDetector, detect_races
+from repro.clients.deadlocks import DeadlockCandidate, DeadlockDetector, detect_deadlocks
+from repro.clients.tsan import (
+    AccessClass, InstrumentationReducer, InstrumentationReport,
+    reduce_instrumentation,
+)
+from repro.clients.escape import (
+    EscapeAnalysis, EscapeClass, EscapeReport, classify_escapes,
+)
+
+__all__ = [
+    "DataRace", "RaceDetector", "detect_races",
+    "DeadlockCandidate", "DeadlockDetector", "detect_deadlocks",
+    "AccessClass", "InstrumentationReducer", "InstrumentationReport",
+    "reduce_instrumentation",
+    "EscapeAnalysis", "EscapeClass", "EscapeReport", "classify_escapes",
+]

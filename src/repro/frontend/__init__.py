@@ -1,0 +1,36 @@
+"""AST-to-IR lowering and SSA construction.
+
+``compile_source`` is the one-call pipeline used throughout the
+project: MiniC text -> AST -> naive IR (every local in memory) ->
+mem2reg promotion (the paper's compile setup enables LLVM's mem2reg,
+Section 4.1) -> verified partial-SSA module.
+"""
+
+from repro.frontend.lower import Lowerer, lower_program
+from repro.frontend.mem2reg import promote_to_ssa
+from repro.frontend.simplify import simplify_module
+
+from repro.ir.verify import verify_module
+from repro.minic.parser import parse
+
+
+def compile_source(source: str, name: str = "module", mem2reg: bool = True,
+                   simplify: bool = False):
+    """Compile MiniC *source* into a verified partial-SSA module.
+
+    ``simplify=True`` additionally runs the cleanup passes (copy
+    propagation, constant-branch folding, block merging, DCE); the
+    analyses are unaffected semantically but run on a smaller IR.
+    """
+    program = parse(source)
+    module = lower_program(program, name=name)
+    if mem2reg:
+        promote_to_ssa(module)
+    if simplify:
+        simplify_module(module)
+    verify_module(module)
+    return module
+
+
+__all__ = ["compile_source", "lower_program", "Lowerer", "promote_to_ssa",
+           "simplify_module"]

@@ -1,0 +1,206 @@
+"""mem2reg: promote non-escaping scalar stack slots to SSA temps.
+
+This reproduces the compile setup of the paper (Section 4.1: "the
+compiler option mem2reg is turned on to promote memory into
+registers"), and is what creates the top-level/address-taken split of
+partial SSA: a local whose address never escapes becomes a top-level
+SSA variable; everything else remains an address-taken object in A.
+
+Classic SSA construction: phi insertion at iterated dominance
+frontiers, then renaming along a dominator-tree walk.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfg.cfg import CFG
+from repro.graphs.dominance import iterated_dominance_frontier
+from repro.ir.instructions import AddrOf, Instruction, Load, Phi, Store
+from repro.ir.module import BasicBlock, Module
+from repro.ir.types import IntType, PointerType, ThreadType, Type
+from repro.ir.values import Constant, Function, MemObject, ObjectKind, Temp, Value
+
+
+def _promotable_type(ty: Type) -> bool:
+    """Scalars only: ints, pointers, thread ids. Structs, arrays, and
+    mutexes stay in memory."""
+    return isinstance(ty, (IntType, PointerType, ThreadType))
+
+
+def _undef_for(ty: Type) -> Constant:
+    """The value of a promoted variable before any store reaches it."""
+    if isinstance(ty, PointerType):
+        return Constant.null(ty)
+    return Constant(0, ty)
+
+
+def promote_to_ssa(module: Module) -> None:
+    """Run mem2reg on every function of *module* (in place)."""
+    for fn in module.functions.values():
+        if not fn.is_declaration and fn.blocks:
+            _promote_function(fn)
+
+
+def _promote_function(fn: Function) -> None:
+    cfg = CFG(fn)
+
+    # 1. Find promotable objects: stack scalars whose address temps are
+    #    used only as the pointer operand of loads and stores.
+    addr_temps: Dict[Temp, MemObject] = {}
+    candidates: Dict[MemObject, bool] = {}
+    for instr in fn.instructions():
+        if isinstance(instr, AddrOf):
+            obj = instr.obj
+            if obj.kind is ObjectKind.STACK and _promotable_type(obj.type) and not obj.is_array:
+                addr_temps[instr.dst] = obj
+                candidates.setdefault(obj, True)
+
+    for instr in fn.instructions():
+        for op in instr.operands():
+            if not isinstance(op, Temp) or op not in addr_temps:
+                continue
+            obj = addr_temps[op]
+            ok = (isinstance(instr, Load) and instr.ptr is op) or (
+                isinstance(instr, Store) and instr.ptr is op and instr.value is not op)
+            if not ok:
+                candidates[obj] = False
+
+    promoted = {obj for obj, ok in candidates.items() if ok}
+    if not promoted:
+        return
+
+    # 2. Phi insertion at iterated dominance frontiers of def blocks.
+    def_blocks: Dict[MemObject, Set[BasicBlock]] = {obj: set() for obj in promoted}
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Store) and instr.ptr in addr_temps:
+                obj = addr_temps[instr.ptr]
+                if obj in promoted:
+                    def_blocks[obj].add(block)
+
+    phi_var: Dict[Phi, MemObject] = {}
+    counters: Dict[MemObject, int] = {obj: 0 for obj in promoted}
+    for obj in promoted:
+        for block in iterated_dominance_frontier(cfg.frontiers, def_blocks[obj]):
+            counters[obj] += 1
+            phi = Phi(Temp(f"{obj.name}.phi{counters[obj]}", obj.type))
+            block.insert(0, phi)
+            phi_var[phi] = obj
+
+    # 3. Renaming along the dominator tree.
+    stacks: Dict[MemObject, List[Value]] = {obj: [] for obj in promoted}
+    replacement: Dict[Temp, Value] = {}
+    to_delete: Set[Instruction] = set()
+
+    def current(obj: MemObject) -> Value:
+        return stacks[obj][-1] if stacks[obj] else _undef_for(obj.type)
+
+    def process(block: BasicBlock) -> List[MemObject]:
+        pushed: List[MemObject] = []
+        for instr in block.instructions:
+            if isinstance(instr, Phi) and instr in phi_var:
+                obj = phi_var[instr]
+                stacks[obj].append(instr.dst)
+                pushed.append(obj)
+            elif isinstance(instr, AddrOf) and instr.dst in addr_temps:
+                if addr_temps[instr.dst] in promoted:
+                    to_delete.add(instr)
+            elif isinstance(instr, Load) and instr.ptr in addr_temps:
+                obj = addr_temps[instr.ptr]
+                if obj in promoted:
+                    replacement[instr.dst] = current(obj)
+                    to_delete.add(instr)
+            elif isinstance(instr, Store) and instr.ptr in addr_temps:
+                obj = addr_temps[instr.ptr]
+                if obj in promoted:
+                    stacks[obj].append(instr.value)
+                    pushed.append(obj)
+                    to_delete.add(instr)
+        for succ in cfg.successors(block):
+            for instr in succ.instructions:
+                if not isinstance(instr, Phi):
+                    break
+                if instr in phi_var:
+                    instr.add_incoming(current(phi_var[instr]), block)
+        return pushed
+
+    # Iterative dominator-tree walk (deep trees exceed the recursion
+    # limit on generated workloads).
+    stack: List[Tuple[BasicBlock, Optional[List[MemObject]], int]] = [(cfg.entry, None, 0)]
+    while stack:
+        block, pushed, child_idx = stack.pop()
+        if pushed is None:
+            pushed = process(block)
+        children = cfg.domtree.children(block)
+        if child_idx < len(children):
+            stack.append((block, pushed, child_idx + 1))
+            stack.append((children[child_idx], None, 0))
+        else:
+            for obj in reversed(pushed):
+                stacks[obj].pop()
+
+    # 4. Resolve replacement chains (a load's value may itself be a
+    #    deleted load's dst) and rewrite every remaining operand.
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, Temp) and value in replacement:
+            if value in seen:  # pragma: no cover - cycles are impossible
+                break
+            seen.add(value)
+            value = replacement[value]
+        return value
+
+    for block in fn.blocks:
+        block.instructions = [i for i in block.instructions if i not in to_delete]
+        for instr in block.instructions:
+            _rewrite_operands(instr, resolve)
+
+
+def _rewrite_operands(instr: Instruction, resolve) -> None:
+    """Apply *resolve* to every operand slot of *instr*."""
+    from repro.ir.instructions import (
+        BarrierInit, BarrierWait, BinOp, Branch, Call, Copy, Fork, Gep, Join,
+        Load, Lock, Phi, Ret, Signal, Store, Unlock, Wait,
+    )
+
+    if isinstance(instr, Copy):
+        instr.src = resolve(instr.src)
+    elif isinstance(instr, Phi):
+        instr.incomings = [(resolve(v), b) for v, b in instr.incomings]
+    elif isinstance(instr, Load):
+        instr.ptr = resolve(instr.ptr)
+    elif isinstance(instr, Store):
+        instr.ptr = resolve(instr.ptr)
+        instr.value = resolve(instr.value)
+    elif isinstance(instr, Gep):
+        instr.base = resolve(instr.base)
+    elif isinstance(instr, Call):
+        instr.callee = resolve(instr.callee)
+        instr.args = [resolve(a) for a in instr.args]
+    elif isinstance(instr, Ret):
+        if instr.value is not None:
+            instr.value = resolve(instr.value)
+    elif isinstance(instr, Fork):
+        if instr.handle_ptr is not None:
+            instr.handle_ptr = resolve(instr.handle_ptr)
+        instr.routine = resolve(instr.routine)
+        if instr.arg is not None:
+            instr.arg = resolve(instr.arg)
+    elif isinstance(instr, Join):
+        instr.handle = resolve(instr.handle)
+    elif isinstance(instr, (Lock, Unlock, BarrierWait)):
+        instr.ptr = resolve(instr.ptr)
+    elif isinstance(instr, Wait):
+        instr.cond_ptr = resolve(instr.cond_ptr)
+        instr.mutex_ptr = resolve(instr.mutex_ptr)
+    elif isinstance(instr, Signal):
+        instr.cond_ptr = resolve(instr.cond_ptr)
+    elif isinstance(instr, BarrierInit):
+        instr.ptr = resolve(instr.ptr)
+        instr.count = resolve(instr.count)
+    elif isinstance(instr, Branch):
+        instr.cond = resolve(instr.cond)
+    elif isinstance(instr, BinOp):
+        instr.lhs = resolve(instr.lhs)
+        instr.rhs = resolve(instr.rhs)

@@ -1,0 +1,215 @@
+"""IR simplification passes.
+
+The paper's pipeline leans on LLVM running its standard cleanups
+before the analysis (mem2reg explicitly; instcombine/simplifycfg
+implicitly at -O levels). This module provides the equivalents our
+frontend benefits from:
+
+- **copy propagation** — SSA copies (and single-source phis) are
+  forwarded to their uses and deleted;
+- **constant branch folding** — ``br 1, a, b`` becomes ``jmp a`` and
+  unreachable blocks are pruned;
+- **block merging** — straight-line block chains collapse;
+- **dead code elimination** — pure instructions whose results are
+  unused disappear.
+
+All passes preserve the program's pointer behaviour: the test suite
+checks FSAM produces identical points-to sets with and without
+simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.cfg import CFG
+from repro.ir.instructions import (
+    AddrOf, BinOp, Branch, Call, Copy, Fork, Gep, Instruction, Jump, Load,
+    Phi, Ret, Store,
+)
+from repro.ir.module import BasicBlock, Module
+from repro.ir.values import Constant, Function, Temp, Value
+
+# Instructions that may be removed when their result is unused.
+_PURE = (AddrOf, Copy, Phi, Gep, BinOp, Load)
+
+
+def simplify_module(module: Module, max_rounds: int = 8) -> Dict[str, int]:
+    """Simplify every function; returns pass statistics."""
+    stats = {"copies_propagated": 0, "instructions_removed": 0,
+             "branches_folded": 0, "blocks_merged": 0, "blocks_removed": 0}
+    for fn in module.functions.values():
+        if fn.is_declaration or not fn.blocks:
+            continue
+        for _ in range(max_rounds):
+            changed = 0
+            changed += _propagate_copies(fn, stats)
+            changed += _fold_constant_branches(fn, stats)
+            changed += _prune_unreachable(fn, stats)
+            changed += _merge_blocks(fn, stats)
+            changed += _eliminate_dead(fn, stats)
+            if not changed:
+                break
+    return stats
+
+
+# -- copy propagation ---------------------------------------------------
+
+
+def _propagate_copies(fn: Function, stats: Dict[str, int]) -> int:
+    replacement: Dict[int, Value] = {}
+    to_delete: Set[int] = set()
+    for instr in fn.instructions():
+        if isinstance(instr, Copy):
+            replacement[instr.dst.id] = instr.src
+            to_delete.add(instr.id)
+        elif isinstance(instr, Phi):
+            sources = {(_value_key(v)) for v, _b in instr.incomings}
+            if len(sources) == 1:
+                replacement[instr.dst.id] = instr.incomings[0][0]
+                to_delete.add(instr.id)
+    if not replacement:
+        return 0
+
+    def resolve(value: Value) -> Value:
+        seen = set()
+        while isinstance(value, Temp) and value.id in replacement:
+            if value.id in seen:
+                break
+            seen.add(value.id)
+            value = replacement[value.id]
+        return value
+
+    from repro.frontend.mem2reg import _rewrite_operands
+    count = 0
+    for block in fn.blocks:
+        kept: List[Instruction] = []
+        for instr in block.instructions:
+            if instr.id in to_delete:
+                count += 1
+                continue
+            _rewrite_operands(instr, resolve)
+            kept.append(instr)
+        block.instructions = kept
+    stats["copies_propagated"] += count
+    return count
+
+
+def _value_key(value: Value):
+    if isinstance(value, Constant):
+        return ("const", value.value, value.is_null)
+    return ("id", id(value))
+
+
+# -- constant branches ---------------------------------------------------
+
+
+def _fold_constant_branches(fn: Function, stats: Dict[str, int]) -> int:
+    count = 0
+    for block in fn.blocks:
+        term = block.terminator
+        if isinstance(term, Branch) and isinstance(term.cond, Constant):
+            taken = term.then_block if (term.cond.value != 0
+                                        and not term.cond.is_null) else term.else_block
+            dropped = term.else_block if taken is term.then_block else term.then_block
+            jump = Jump(taken)
+            jump.line = term.line
+            jump.block = block
+            block.instructions[-1] = jump
+            _remove_phi_incomings(dropped, block)
+            count += 1
+    stats["branches_folded"] += count
+    return count
+
+
+def _remove_phi_incomings(block: BasicBlock, pred: BasicBlock) -> None:
+    for instr in block.instructions:
+        if isinstance(instr, Phi):
+            instr.incomings = [(v, b) for v, b in instr.incomings if b is not pred]
+        else:
+            break
+
+
+# -- unreachable blocks ----------------------------------------------------
+
+
+def _prune_unreachable(fn: Function, stats: Dict[str, int]) -> int:
+    reachable = CFG(fn).reachable_blocks()
+    dead = [b for b in fn.blocks if b not in reachable]
+    if not dead:
+        return 0
+    for dead_block in dead:
+        for live in fn.blocks:
+            if live in reachable:
+                _remove_phi_incomings(live, dead_block)
+    fn.blocks = [b for b in fn.blocks if b in reachable]
+    stats["blocks_removed"] += len(dead)
+    return len(dead)
+
+
+# -- block merging ------------------------------------------------------------
+
+
+def _merge_blocks(fn: Function, stats: Dict[str, int]) -> int:
+    count = 0
+    changed = True
+    while changed:
+        changed = False
+        cfg = CFG(fn)
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, Jump):
+                continue
+            target = term.target
+            if target is block or target is fn.entry:
+                continue
+            if len(cfg.predecessors(target)) != 1:
+                continue
+            if any(isinstance(i, Phi) for i in target.instructions):
+                # Single-pred phis were handled by copy propagation.
+                continue
+            # Splice the target into this block.
+            block.instructions.pop()  # the jump
+            for instr in target.instructions:
+                block.append(instr)
+            fn.blocks.remove(target)
+            _retarget_phis(fn, target, block)
+            count += 1
+            changed = True
+            break
+    stats["blocks_merged"] += count
+    return count
+
+
+def _retarget_phis(fn: Function, old: BasicBlock, new: BasicBlock) -> None:
+    for block in fn.blocks:
+        for instr in block.instructions:
+            if isinstance(instr, Phi):
+                instr.incomings = [(v, new if b is old else b)
+                                   for v, b in instr.incomings]
+            else:
+                break
+
+
+# -- dead code ---------------------------------------------------------------
+
+
+def _eliminate_dead(fn: Function, stats: Dict[str, int]) -> int:
+    used: Set[int] = set()
+    for instr in fn.instructions():
+        for op in instr.operands():
+            if isinstance(op, Temp):
+                used.add(op.id)
+    count = 0
+    for block in fn.blocks:
+        kept: List[Instruction] = []
+        for instr in block.instructions:
+            if isinstance(instr, _PURE):
+                dst = instr.defined_temp()
+                if dst is not None and dst.id not in used:
+                    count += 1
+                    continue
+            kept.append(instr)
+        block.instructions = kept
+    stats["instructions_removed"] += count
+    return count

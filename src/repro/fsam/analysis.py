@@ -1,0 +1,178 @@
+"""The FSAM pipeline (paper Figure 2).
+
+pre-analysis -> thread-oblivious def-use -> interleaving analysis ->
+value-flow analysis -> lock analysis -> sparse flow-sensitive solve.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Set
+
+from repro.andersen import AndersenResult, run_andersen
+from repro.cfg.icfg import ICFG
+from repro.fsam.config import Deadline, FSAMConfig
+from repro.fsam.solver import SparseSolver
+from repro.ir.instructions import Load, Store
+from repro.ir.module import Module
+from repro.ir.values import MemObject, Temp, Value
+from repro.memssa.builder import MemorySSABuilder, build_dug
+from repro.memssa.dug import DUG
+from repro.mt.locks import LockAnalysis
+from repro.mt.mhp import CoarsePCGMhp, InterleavingAnalysis, MHPOracle
+from repro.mt.threads import ThreadModel
+from repro.mt.valueflow import ValueFlowStats, add_thread_aware_edges
+
+
+class FSAMResult:
+    """The analysis output: points-to queries plus statistics."""
+
+    def __init__(self, module: Module, solver: SparseSolver,
+                 andersen: AndersenResult, dug: DUG,
+                 builder: MemorySSABuilder, model: Optional[ThreadModel],
+                 mhp: Optional[MHPOracle],
+                 vf_stats: Optional[ValueFlowStats],
+                 phase_times: Dict[str, float]) -> None:
+        self.module = module
+        self.solver = solver
+        self.andersen = andersen
+        self.dug = dug
+        self.builder = builder
+        self.thread_model = model
+        self.mhp = mhp
+        self.vf_stats = vf_stats
+        self.phase_times = phase_times
+
+    # -- points-to queries ------------------------------------------------
+
+    def pts(self, value: Value) -> Set[MemObject]:
+        """The points-to set of a top-level value."""
+        return self.solver.value_pts(value)
+
+    def pts_names(self, value: Value) -> Set[str]:
+        """Readable form: names of pointed-to objects."""
+        return {obj.name for obj in self.pts(value)}
+
+    def load_pts_at_line(self, line: int) -> Set[MemObject]:
+        """pt() of the values read by loads on source *line* — the
+        query the paper's examples pose (e.g. pt(c) for ``c = *p``)."""
+        result: Set[MemObject] = set()
+        for instr in self.module.all_instructions():
+            if isinstance(instr, Load) and instr.line == line:
+                result |= self.pts(instr.dst)
+        return result
+
+    def load_pts_names_at_line(self, line: int) -> Set[str]:
+        return {obj.name for obj in self.load_pts_at_line(line)}
+
+    def deref_pts_at_line(self, line: int) -> Set[MemObject]:
+        """pt() of true dereferences on *line*: loads whose pointer is
+        itself the result of a load/phi/copy rather than a direct
+        ``&variable`` — i.e. ``*p`` in the source, not the implicit
+        load of a variable's own value."""
+        addr_defined: Set[int] = set()
+        from repro.ir.instructions import AddrOf
+        for instr in self.module.all_instructions():
+            if isinstance(instr, AddrOf):
+                addr_defined.add(instr.dst.id)
+        result: Set[MemObject] = set()
+        for instr in self.module.all_instructions():
+            if isinstance(instr, Load) and instr.line == line:
+                if isinstance(instr.ptr, Temp) and instr.ptr.id in addr_defined:
+                    continue
+                result |= self.pts(instr.dst)
+        return result
+
+    def deref_pts_names_at_line(self, line: int) -> Set[str]:
+        return {obj.name for obj in self.deref_pts_at_line(line)}
+
+    def global_pts(self, name: str) -> Set[MemObject]:
+        """Everything ever stored into global *name* over the whole
+        program (the union of its per-point states)."""
+        obj = self.module.globals[name]
+        result: Set[MemObject] = set()
+        for (_uid, obj_id), values in self.solver.mem.items():
+            if obj_id == obj.id:
+                result |= values
+        return result
+
+    def global_pts_names(self, name: str) -> Set[str]:
+        return {obj.name for obj in self.global_pts(name)}
+
+    def store_out_at_line(self, line: int, obj: MemObject) -> Set[MemObject]:
+        """The o-state immediately after stores on source *line*."""
+        result: Set[MemObject] = set()
+        for instr in self.module.all_instructions():
+            if isinstance(instr, Store) and instr.line == line:
+                node = self.dug.stmt_node(instr)
+                result |= self.solver.mem_state(node, obj)
+        return result
+
+    # -- statistics ----------------------------------------------------------
+
+    def points_to_entries(self) -> int:
+        return self.solver.points_to_entries()
+
+    def total_time(self) -> float:
+        return sum(self.phase_times.values())
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "phase_times": dict(self.phase_times),
+            "points_to_entries": self.points_to_entries(),
+            "dug_nodes": len(self.dug.nodes),
+            "dug_mem_edges": self.dug.num_mem_edges(),
+            "thread_aware_edges": len(self.dug.thread_edges),
+            "threads": len(self.thread_model.threads) if self.thread_model else 1,
+            "solver_iterations": self.solver.iterations,
+        }
+
+
+class FSAM:
+    """Runs the full pipeline on a module."""
+
+    def __init__(self, module: Module, config: Optional[FSAMConfig] = None) -> None:
+        self.module = module
+        self.config = config or FSAMConfig()
+
+    def run(self) -> FSAMResult:
+        deadline = Deadline(self.config.time_budget)
+        times: Dict[str, float] = {}
+
+        def timed(name: str, thunk):
+            start = time.perf_counter()
+            value = thunk()
+            times[name] = time.perf_counter() - start
+            deadline.check()
+            return value
+
+        andersen = timed("pre_analysis", lambda: run_andersen(self.module))
+        icfg = timed("icfg", lambda: ICFG(self.module, andersen.callgraph))
+        dug, builder = timed("thread_oblivious_dug",
+                             lambda: build_dug(self.module, andersen))
+        model = timed("thread_model", lambda: ThreadModel(
+            self.module, andersen, icfg,
+            max_context_depth=self.config.max_context_depth))
+        if self.config.interleaving:
+            mhp: MHPOracle = timed("interleaving", lambda: InterleavingAnalysis(model))
+        else:
+            mhp = timed("interleaving", lambda: CoarsePCGMhp(model))
+        locks: Optional[LockAnalysis] = None
+        if self.config.lock_analysis:
+            locks = timed("lock_analysis",
+                          lambda: LockAnalysis(model, andersen, dug, builder))
+        vf_stats = timed("value_flow", lambda: add_thread_aware_edges(
+            dug, builder, mhp, locks=locks,
+            alias_filtering=self.config.value_flow))
+        solver = SparseSolver(self.module, dug, builder, andersen,
+                              config=self.config, deadline=deadline)
+        timed("sparse_solve", solver.solve)
+        return FSAMResult(self.module, solver, andersen, dug, builder,
+                          model, mhp, vf_stats, times)
+
+
+def analyze_source(source: str, config: Optional[FSAMConfig] = None) -> FSAMResult:
+    """Compile MiniC *source* and run FSAM on it (one-call helper)."""
+    from repro.frontend import compile_source
+    module = compile_source(source)
+    return FSAM(module, config).run()

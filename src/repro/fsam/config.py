@@ -1,0 +1,73 @@
+"""FSAM configuration and time budgeting."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class AnalysisTimeout(Exception):
+    """Raised when an analysis exceeds its time budget (the paper's
+    OOT condition in Table 2)."""
+
+
+class Deadline:
+    """A wall-clock budget checked inside solver loops."""
+
+    def __init__(self, seconds: Optional[float] = None) -> None:
+        self.seconds = seconds
+        self.start = time.perf_counter()
+
+    def check(self) -> None:
+        if self.seconds is not None and time.perf_counter() - self.start > self.seconds:
+            raise AnalysisTimeout(f"exceeded {self.seconds:.0f}s budget")
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.start
+
+
+@dataclass
+class FSAMConfig:
+    """Phase toggles and solver policy.
+
+    The three booleans mirror the paper's Figure 12 ablations:
+
+    - ``interleaving=False``    -> No-Interleaving (coarse PCG-style MHP)
+    - ``value_flow=False``      -> No-Value-Flow (AS(*p,*q) disregarded)
+    - ``lock_analysis=False``   -> No-Lock (no span filtering)
+    """
+
+    interleaving: bool = True
+    value_flow: bool = True
+    lock_analysis: bool = True
+    # Literal paper Figure 10: a strong update at any store whose
+    # pointer resolves to one singleton. Sound here because THREAD-VF
+    # adds direct def-use edges from concurrent writers to every MHP
+    # reader, and join chis merge the spawner's in-flight defs weakly.
+    # Set False for a belt-and-braces mode that demotes stores
+    # participating in MHP interference on the contested object.
+    strong_updates_at_interfering_stores: bool = True
+    # Wall-clock budget for the whole analysis (None = unbounded).
+    time_budget: Optional[float] = None
+    # Calling-context depth for the thread interference analyses.
+    # None = full context-sensitivity (the paper's setting, recursion
+    # collapsed); an integer k caps the callsite stack — coarser MHP
+    # and lock spans, but cheaper on deep call chains.
+    max_context_depth: Optional[int] = None
+
+    def ablated(self, phase: str) -> "FSAMConfig":
+        """A copy with one named phase turned off ('interleaving',
+        'value_flow', or 'lock_analysis')."""
+        kwargs = {
+            "interleaving": self.interleaving,
+            "value_flow": self.value_flow,
+            "lock_analysis": self.lock_analysis,
+            "strong_updates_at_interfering_stores": self.strong_updates_at_interfering_stores,
+            "time_budget": self.time_budget,
+            "max_context_depth": self.max_context_depth,
+        }
+        if phase not in ("interleaving", "value_flow", "lock_analysis"):
+            raise ValueError(f"unknown phase {phase!r}")
+        kwargs[phase] = False
+        return FSAMConfig(**kwargs)

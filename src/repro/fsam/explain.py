@@ -1,0 +1,136 @@
+"""Points-to provenance: *why* does this load see this object?
+
+Walks the def-use graph backwards from a load, following only edges
+whose source state actually carries the queried object, until the
+store that introduced the value. The resulting chain is the sparse
+analysis' own reasoning — for Figure 1(a), asking why ``c = *p`` sees
+``z`` yields the ``*p = r`` store; asking why it sees ``y`` yields
+the thread-aware edge from ``*p = q`` in the other thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.fsam.analysis import FSAMResult
+from repro.ir.instructions import Load, Store
+from repro.ir.values import MemObject, Temp
+from repro.memssa.dug import DUGNode, StmtNode
+
+
+@dataclass
+class ProvenanceStep:
+    node: DUGNode
+    obj: MemObject
+    thread_aware: bool
+
+    def describe(self) -> str:
+        marker = "  [thread-aware edge]" if self.thread_aware else ""
+        line = ""
+        if isinstance(self.node, StmtNode) and self.node.instr.line:
+            line = f" (line {self.node.instr.line})"
+        return f"{self.node!r}{line} defines {self.obj.name}{marker}"
+
+
+@dataclass
+class Provenance:
+    """A def-use chain from the introducing store to the querying load."""
+
+    load: Load
+    target: MemObject
+    steps: List[ProvenanceStep]
+
+    def describe(self) -> str:
+        lines = [f"why does {self.load!r} (line {self.load.line}) "
+                 f"read {self.target.name}?"]
+        for i, step in enumerate(reversed(self.steps)):
+            lines.append("  " * (i + 1) + "-> " + step.describe())
+        return "\n".join(lines)
+
+
+def explain_load(result: FSAMResult, load: Load, target: MemObject) -> Optional[Provenance]:
+    """The shortest def-use chain explaining ``target in pt(load.dst)``.
+
+    Returns None when the fact does not hold (nothing to explain).
+    """
+    if target not in result.pts(load.dst):
+        return None
+    dug = result.dug
+    solver = result.solver
+    node = dug.stmt_node(load)
+
+    # BFS backwards over o-labelled edges whose source carries the
+    # value; stop at the store whose *stored value* includes target.
+    start_edges = _carrying_in_edges(result, node, target)
+    parents: Dict[int, Tuple[DUGNode, MemObject, DUGNode]] = {}
+    queue: List[Tuple[DUGNode, MemObject]] = []
+    for obj, src in start_edges:
+        parents.setdefault(src.uid, (node, obj, src))
+        queue.append((src, obj))
+    seen: Set[int] = {node.uid} | {src.uid for _obj, src in start_edges}
+
+    introducer: Optional[DUGNode] = None
+    while queue:
+        current, obj = queue.pop(0)
+        if _introduces(result, current, obj, target):
+            introducer = current
+            break
+        for obj2, src in _carrying_in_edges(result, current, target, label=obj):
+            if src.uid in seen:
+                continue
+            seen.add(src.uid)
+            parents[src.uid] = (current, obj2, src)
+            queue.append((src, obj2))
+    if introducer is None:
+        return None
+
+    # Reconstruct the chain introducer -> ... -> load.
+    steps: List[ProvenanceStep] = []
+    walk: Optional[DUGNode] = introducer
+    while walk is not None and walk.uid in parents:
+        consumer, obj, src = parents[walk.uid]
+        steps.append(ProvenanceStep(
+            node=src, obj=obj,
+            thread_aware=dug.is_thread_edge(src, obj, consumer)))
+        walk = consumer if consumer.uid in parents else None
+        if consumer is node:
+            break
+    return Provenance(load=load, target=target, steps=steps)
+
+
+def _carrying_in_edges(result: FSAMResult, node: DUGNode, target: MemObject,
+                       label: Optional[MemObject] = None):
+    """In-edges of *node* whose source state contains *target*."""
+    edges = []
+    for obj, sources in result.dug.mem_in(node).items():
+        if label is not None and obj is not label:
+            continue
+        for src in sources:
+            if target in result.solver.mem_state(src, obj):
+                edges.append((obj, src))
+    return edges
+
+
+def _introduces(result: FSAMResult, node: DUGNode, obj: MemObject,
+                target: MemObject) -> bool:
+    """Does *node* originate the value (a store whose stored operand
+    points to target)?"""
+    if not isinstance(node, StmtNode) or not isinstance(node.instr, Store):
+        return False
+    return target in result.solver.value_pts(node.instr.value)
+
+
+def explain_at_line(result: FSAMResult, line: int,
+                    target_name: str) -> List[Provenance]:
+    """Explain every load at *line* whose pt() contains an object named
+    *target_name*."""
+    out: List[Provenance] = []
+    for instr in result.module.all_instructions():
+        if isinstance(instr, Load) and instr.line == line:
+            for obj in result.pts(instr.dst):
+                if obj.name == target_name:
+                    prov = explain_load(result, instr, obj)
+                    if prov is not None:
+                        out.append(prov)
+    return out

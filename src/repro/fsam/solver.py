@@ -1,0 +1,220 @@
+"""The sparse flow-sensitive points-to solver (paper Figure 10).
+
+Propagates points-to facts only along the DUG's pre-computed def-use
+edges:
+
+- top-level SSA variables get one global points-to set each — SSA
+  form makes this flow-sensitive by construction;
+- address-taken objects get one points-to set per defining DUG node
+  (stores, chi/phi/formal pseudo-statements), connected by the
+  o-labelled edges.
+
+Rule correspondence:
+
+- [P-ADDR]/[P-COPY]/[P-PHI] — direct top-level updates.
+- [P-LOAD]   — a load reads the o-states reaching it for each o in
+  the (sparse) points-to set of its pointer.
+- [P-STORE]  — a store writes its value's points-to set into each o
+  it may target.
+- [P-SU/WU]  — a strong update (incoming state killed) happens when
+  the pointer resolves to exactly one singleton object; otherwise the
+  old state merges in (weak). Objects the store cannot target pass
+  through unchanged; a store through a null/empty pointer kills
+  everything (kill = A).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional, Set, Tuple
+
+from repro.andersen import AndersenResult
+from repro.andersen.fields import derive_field
+from repro.fsam.config import Deadline, FSAMConfig
+from repro.ir.instructions import (
+    AddrOf, Call, Copy, Fork, Gep, Join, Load, Phi, Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Constant, Function, MemObject, Temp, Value
+from repro.memssa.builder import MemorySSABuilder
+from repro.memssa.dug import (
+    CallChiNode, CallMuNode, DUG, DUGNode, FormalInNode, FormalOutNode,
+    MemPhiNode, StmtNode,
+)
+
+
+class SparseSolver:
+    """Worklist solver over the DUG."""
+
+    def __init__(self, module: Module, dug: DUG, builder: MemorySSABuilder,
+                 andersen: AndersenResult, config: Optional[FSAMConfig] = None,
+                 deadline: Optional[Deadline] = None) -> None:
+        self.module = module
+        self.dug = dug
+        self.builder = builder
+        self.andersen = andersen
+        self.config = config or FSAMConfig()
+        self.deadline = deadline
+        self.pts_top: Dict[int, Set[MemObject]] = {}
+        self.mem: Dict[Tuple[int, int], Set[MemObject]] = {}
+        self._work: deque = deque()
+        self._queued: Set[int] = set()
+        self.iterations = 0
+
+    # -- state access ----------------------------------------------------
+
+    def top(self, temp: Temp) -> Set[MemObject]:
+        return self.pts_top.get(temp.id, set())
+
+    def value_pts(self, value: Optional[Value]) -> Set[MemObject]:
+        """Points-to set of any value operand."""
+        if value is None or isinstance(value, Constant):
+            return set()
+        if isinstance(value, Function):
+            return {value.mem_object}
+        if isinstance(value, Temp):
+            return self.pts_top.get(value.id, set())
+        return set()
+
+    def mem_state(self, node: DUGNode, obj: MemObject) -> Set[MemObject]:
+        """The o-state defined at *node*."""
+        return self.mem.get((node.uid, obj.id), set())
+
+    def _in_values(self, node: DUGNode, obj: MemObject) -> Set[MemObject]:
+        result: Set[MemObject] = set()
+        for src in self.dug.mem_defs_of(node, obj):
+            result |= self.mem.get((src.uid, obj.id), set())
+        return result
+
+    # -- state updates ------------------------------------------------------
+
+    def _push(self, node: DUGNode) -> None:
+        if node.uid not in self._queued:
+            self._queued.add(node.uid)
+            self._work.append(node)
+
+    def _set_top(self, temp: Temp, values: Set[MemObject]) -> None:
+        pending = [(temp, values)]
+        while pending:
+            target, vals = pending.pop()
+            current = self.pts_top.setdefault(target.id, set())
+            new = vals - current
+            if not new:
+                continue
+            current |= new
+            for user in self.dug.top_users(target):
+                self._push(user)
+            for src, dst in self.dug.copies_from(target):
+                pending.append((dst, self.value_pts(src)))
+
+    def _set_mem(self, node: DUGNode, obj: MemObject, values: Set[MemObject]) -> None:
+        key = (node.uid, obj.id)
+        current = self.mem.setdefault(key, set())
+        new = values - current
+        if not new:
+            return
+        current |= new
+        for out_obj, dst in self.dug.mem_out(node):
+            if out_obj is obj:
+                self._push(dst)
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self) -> None:
+        # Interprocedural top-level copies whose sources are constants
+        # or function values never re-trigger; evaluate them up front.
+        for src, dst in self.dug.top_copies:
+            self._set_top(dst, self.value_pts(src))
+        for node in self.dug.nodes:
+            self._push(node)
+        while self._work:
+            if self.deadline is not None and self.iterations % 256 == 0:
+                self.deadline.check()
+            self.iterations += 1
+            node = self._work.popleft()
+            self._queued.discard(node.uid)
+            self._eval(node)
+
+    def _eval(self, node: DUGNode) -> None:
+        if isinstance(node, StmtNode):
+            self._eval_stmt(node)
+        elif isinstance(node, (MemPhiNode, FormalInNode, FormalOutNode, CallMuNode)):
+            obj = node.obj
+            self._set_mem(node, obj, self._in_values(node, obj))
+        elif isinstance(node, CallChiNode):
+            self._eval_call_chi(node)
+
+    def _eval_call_chi(self, node: CallChiNode) -> None:
+        obj = node.obj
+        values = self._in_values(node, obj)
+        site = node.site
+        if isinstance(site, Fork) and site.handle_ptr is not None:
+            # The fork's write of the abstract thread id into the
+            # handle slot happens at this chi.
+            if obj in self.value_pts(site.handle_ptr):
+                tid = self.andersen.thread_objects.get(site.id)
+                if tid is not None:
+                    values = values | {tid}
+        self._set_mem(node, obj, values)
+
+    def _eval_stmt(self, node: StmtNode) -> None:
+        instr = node.instr
+        if isinstance(instr, AddrOf):
+            self._set_top(instr.dst, {instr.obj})
+        elif isinstance(instr, Copy):
+            self._set_top(instr.dst, self.value_pts(instr.src))
+        elif isinstance(instr, Phi):
+            merged: Set[MemObject] = set()
+            for value, _block in instr.incomings:
+                merged |= self.value_pts(value)
+            self._set_top(instr.dst, merged)
+        elif isinstance(instr, Gep):
+            derived = {derive_field(obj, instr.field_index)
+                       for obj in self.value_pts(instr.base)}
+            self._set_top(instr.dst, derived)
+        elif isinstance(instr, Load):
+            objs = self.value_pts(instr.ptr)
+            values: Set[MemObject] = set()
+            for obj in objs & self.builder.mus.get(instr.id, set()):
+                values |= self._in_values(node, obj)
+            # [THREAD-VF] edges are followed unconditionally, as the
+            # paper's sparse analysis does: a spurious edge (e.g. with
+            # the AS(*p,*q) premise disregarded in the No-Value-Flow
+            # ablation) both costs propagation work and pollutes pt()
+            # — exactly the Figure 1(e) effect.
+            for obj, src in self.dug.thread_in_edges(node):
+                values |= self.mem.get((src.uid, obj.id), set())
+            self._set_top(instr.dst, values)
+        elif isinstance(instr, Store):
+            self._eval_store(node, instr)
+        # Call / Fork / Join: top-level linking flows through
+        # dug.top_copies; memory effects flow through mu/chi nodes.
+
+    def _eval_store(self, node: StmtNode, instr: Store) -> None:
+        targets = self.value_pts(instr.ptr)
+        stored = self.value_pts(instr.value)
+        for obj in self.builder.chis.get(instr.id, set()):
+            if not targets:
+                # kill(s, p) = A for an empty pointer: the store goes
+                # nowhere known; nothing propagates (paper Figure 10).
+                continue
+            if obj not in targets:
+                # Pass-through: the store cannot touch obj.
+                self._set_mem(node, obj, self._in_values(node, obj))
+                continue
+            strong = len(targets) == 1 and obj.is_singleton
+            if strong and not self.config.strong_updates_at_interfering_stores:
+                strong = not self.dug.is_interfering(node, obj)
+            if strong:
+                self._set_mem(node, obj, stored)
+            else:
+                self._set_mem(node, obj, stored | self._in_values(node, obj))
+
+    # -- metrics ------------------------------------------------------------
+
+    def points_to_entries(self) -> int:
+        """A memory-consumption proxy: the total number of (program
+        point, variable) -> target facts the solver materialised."""
+        total = sum(len(s) for s in self.pts_top.values())
+        total += sum(len(s) for s in self.mem.values())
+        return total

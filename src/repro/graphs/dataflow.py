@@ -1,0 +1,75 @@
+"""A generic forward worklist data-flow framework.
+
+FSAM's interleaving analysis is formulated as a forward data-flow
+problem (V, meet, F) over ICFGs (paper Section 3.3.1); the NONSPARSE
+baseline is an iterative data-flow pointer analysis. Both reuse this
+engine so their fixpoint machinery is shared and separately tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Generic, Hashable, Iterable, TypeVar
+
+from repro.graphs.digraph import DiGraph
+
+Fact = TypeVar("Fact")
+
+
+class DataflowProblem(Generic[Fact]):
+    """A forward data-flow problem over a directed graph.
+
+    Subclasses (or instances configured with callables) provide the
+    lattice operations; the engine iterates to a fixpoint.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        entry_fact: Callable[[Hashable], Fact],
+        bottom: Callable[[], Fact],
+        transfer: Callable[[Hashable, Fact], Fact],
+        meet: Callable[[Fact, Fact], Fact],
+        equal: Callable[[Fact, Fact], bool],
+    ) -> None:
+        self.graph = graph
+        self.entry_fact = entry_fact
+        self.bottom = bottom
+        self.transfer = transfer
+        self.meet = meet
+        self.equal = equal
+
+
+def solve_forward(
+    problem: DataflowProblem[Fact], entries: Iterable[Hashable]
+) -> Dict[Hashable, Fact]:
+    """Solve *problem* to a fixpoint; returns the OUT fact per node.
+
+    ``entries`` seeds the worklist; the IN fact of an entry node is its
+    ``entry_fact``; every other node's IN fact is the meet of its
+    predecessors' OUT facts (bottom when it has none yet).
+    """
+    graph = problem.graph
+    out: Dict[Hashable, Fact] = {}
+    entry_set = set(entries)
+    work = deque(entry_set)
+    queued = set(entry_set)
+    while work:
+        node = work.popleft()
+        queued.discard(node)
+        if node in entry_set:
+            in_fact = problem.entry_fact(node)
+        else:
+            in_fact = problem.bottom()
+        for pred in graph.predecessors(node):
+            if pred in out:
+                in_fact = problem.meet(in_fact, out[pred])
+        new_out = problem.transfer(node, in_fact)
+        if node in out and problem.equal(out[node], new_out):
+            continue
+        out[node] = new_out
+        for succ in graph.successors(node):
+            if succ not in queued:
+                queued.add(succ)
+                work.append(succ)
+    return out

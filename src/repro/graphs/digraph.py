@@ -1,0 +1,144 @@
+"""A small directed-graph container.
+
+The analyses in this package need only adjacency iteration, edge
+insertion, and reachability; keeping the container minimal makes the
+algorithm modules (SCC, dominance, data-flow) easy to audit against
+their textbook statements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Iterator, List, Set
+
+
+class DiGraph:
+    """Directed graph over hashable node ids, with O(1) edge insertion.
+
+    Successor/predecessor sets are deduplicated; parallel edges are not
+    represented (none of the client analyses need them).
+    """
+
+    def __init__(self) -> None:
+        self._succs: Dict[Hashable, Set[Hashable]] = {}
+        self._preds: Dict[Hashable, Set[Hashable]] = {}
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Insert *node* (a no-op if already present)."""
+        if node not in self._succs:
+            self._succs[node] = set()
+            self._preds[node] = set()
+
+    def add_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Insert the edge src -> dst, inserting endpoints as needed."""
+        self.add_node(src)
+        self.add_node(dst)
+        self._succs[src].add(dst)
+        self._preds[dst].add(src)
+
+    def remove_edge(self, src: Hashable, dst: Hashable) -> None:
+        """Remove the edge src -> dst if present."""
+        self._succs.get(src, set()).discard(dst)
+        self._preds.get(dst, set()).discard(src)
+
+    # -- queries ------------------------------------------------------
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succs
+
+    def __len__(self) -> int:
+        return len(self._succs)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succs)
+
+    def nodes(self) -> Iterable[Hashable]:
+        """All nodes, in insertion order."""
+        return self._succs.keys()
+
+    def edges(self) -> Iterator[tuple]:
+        """All (src, dst) pairs."""
+        for src, succs in self._succs.items():
+            for dst in succs:
+                yield (src, dst)
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self._succs.values())
+
+    def successors(self, node: Hashable) -> Set[Hashable]:
+        return self._succs.get(node, set())
+
+    def predecessors(self, node: Hashable) -> Set[Hashable]:
+        return self._preds.get(node, set())
+
+    def has_edge(self, src: Hashable, dst: Hashable) -> bool:
+        return dst in self._succs.get(src, set())
+
+    # -- traversals ---------------------------------------------------
+
+    def reachable_from(self, start: Hashable) -> Set[Hashable]:
+        """The set of nodes reachable from *start* (including it)."""
+        if start not in self._succs:
+            return set()
+        seen = {start}
+        work = deque([start])
+        while work:
+            node = work.popleft()
+            for succ in self._succs[node]:
+                if succ not in seen:
+                    seen.add(succ)
+                    work.append(succ)
+        return seen
+
+    def reverse_reachable_from(self, start: Hashable) -> Set[Hashable]:
+        """The set of nodes that can reach *start* (including it)."""
+        if start not in self._preds:
+            return set()
+        seen = {start}
+        work = deque([start])
+        while work:
+            node = work.popleft()
+            for pred in self._preds[node]:
+                if pred not in seen:
+                    seen.add(pred)
+                    work.append(pred)
+        return seen
+
+    def postorder(self, entry: Hashable) -> List[Hashable]:
+        """Iterative DFS postorder from *entry* (reachable nodes only)."""
+        order: List[Hashable] = []
+        seen: Set[Hashable] = set()
+        if entry not in self._succs:
+            return order
+        # Stack holds (node, iterator over its successors).
+        stack = [(entry, iter(sorted(self._succs[entry], key=repr)))]
+        seen.add(entry)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, iter(sorted(self._succs[succ], key=repr))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+        return order
+
+    def reverse_postorder(self, entry: Hashable) -> List[Hashable]:
+        """Reverse postorder (a topological order on DAGs)."""
+        order = self.postorder(entry)
+        order.reverse()
+        return order
+
+    def copy(self) -> "DiGraph":
+        dup = DiGraph()
+        for node in self._succs:
+            dup.add_node(node)
+        for src, dst in self.edges():
+            dup.add_edge(src, dst)
+        return dup

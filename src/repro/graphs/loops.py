@@ -1,0 +1,59 @@
+"""Natural loop discovery.
+
+Loops matter to FSAM's static thread model: a fork site residing in a
+loop makes the spawned abstract thread *multi-forked* (paper
+Definition 1), which in turn disables strong thread-join reasoning
+unless the symmetric fork/join pattern of Figure 11 is recognised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Set
+
+from repro.graphs.digraph import DiGraph
+from repro.graphs.dominance import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: a header plus its body blocks."""
+
+    header: Hashable
+    body: Set[Hashable] = field(default_factory=set)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self.body
+
+
+def natural_loops(graph: DiGraph, entry: Hashable) -> List[Loop]:
+    """All natural loops of *graph*, one per header.
+
+    A back edge t -> h exists when h dominates t; the loop body is every
+    node that can reach t without passing through h. Loops sharing a
+    header are merged, following the usual convention.
+    """
+    domtree = DominatorTree(graph, entry)
+    loops: Dict[Hashable, Loop] = {}
+    for tail, head in graph.edges():
+        if not domtree.dominates(head, tail):
+            continue
+        loop = loops.setdefault(head, Loop(header=head, body={head}))
+        # Walk backwards from the tail, stopping at the header.
+        stack = [tail]
+        while stack:
+            node = stack.pop()
+            if node in loop.body:
+                continue
+            loop.body.add(node)
+            stack.extend(graph.predecessors(node))
+    return list(loops.values())
+
+
+def blocks_in_loops(graph: DiGraph, entry: Hashable) -> Set[Hashable]:
+    """The union of all natural-loop bodies — i.e. blocks that may
+    execute more than once per function invocation."""
+    result: Set[Hashable] = set()
+    for loop in natural_loops(graph, entry):
+        result |= loop.body
+    return result

@@ -1,0 +1,89 @@
+"""Strongly connected components.
+
+Tarjan's single-pass algorithm, implemented iteratively so that the
+deep constraint graphs produced by Andersen's analysis do not blow the
+CPython recursion limit, plus a condensation helper used both for
+call-graph SCCs (context-insensitive recursion handling, paper
+Section 3.1) and for online cycle collapsing in the pre-analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.graphs.digraph import DiGraph
+
+
+def tarjan_scc(graph: DiGraph) -> List[List[Hashable]]:
+    """Strongly connected components of *graph*.
+
+    Returns SCCs in reverse topological order (callees before callers),
+    which is the order Tarjan's algorithm emits them in.
+    """
+    index_of: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Dict[Hashable, bool] = {}
+    stack: List[Hashable] = []
+    sccs: List[List[Hashable]] = []
+    counter = [0]
+
+    for root in list(graph.nodes()):
+        if root in index_of:
+            continue
+        # Iterative Tarjan: work entries are (node, successor iterator).
+        work = [(root, iter(graph.successors(root)))]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack[root] = True
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack[succ] = True
+                    work.append((succ, iter(graph.successors(succ))))
+                    advanced = True
+                    break
+                if on_stack.get(succ):
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def condensation(graph: DiGraph):
+    """Condense *graph* into its SCC DAG.
+
+    Returns ``(dag, scc_of)`` where ``dag`` is a :class:`DiGraph` whose
+    nodes are SCC indices and ``scc_of`` maps each original node to its
+    SCC index. SCC indices follow Tarjan order (reverse topological).
+    """
+    sccs = tarjan_scc(graph)
+    scc_of: Dict[Hashable, int] = {}
+    for idx, component in enumerate(sccs):
+        for node in component:
+            scc_of[node] = idx
+    dag = DiGraph()
+    for idx in range(len(sccs)):
+        dag.add_node(idx)
+    for src, dst in graph.edges():
+        if scc_of[src] != scc_of[dst]:
+            dag.add_edge(scc_of[src], scc_of[dst])
+    return dag, scc_of

@@ -1,0 +1,24 @@
+"""Benchmark harness: measurement and table/figure rendering.
+
+Regenerates the paper's evaluation artefacts:
+
+- Table 1 — program statistics,
+- Table 2 — analysis time and memory, FSAM vs NONSPARSE (with OOT),
+- Figure 12 — slowdown of FSAM with each interference phase disabled.
+"""
+
+from repro.harness.measure import Measurement, measure_fsam, measure_nonsparse
+from repro.harness.scales import BASELINE_BUDGET, BENCH_SCALES
+from repro.harness.tables import (
+    render_figure12, render_table1, render_table2, run_figure12, run_table1,
+    run_table2,
+)
+from repro.harness.export import figure12_to_csv, table2_to_csv, table2_to_json
+
+__all__ = [
+    "Measurement", "measure_fsam", "measure_nonsparse",
+    "BENCH_SCALES", "BASELINE_BUDGET",
+    "run_table1", "run_table2", "run_figure12",
+    "render_table1", "render_table2", "render_figure12",
+    "table2_to_csv", "table2_to_json", "figure12_to_csv",
+]

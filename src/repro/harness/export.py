@@ -1,0 +1,71 @@
+"""Machine-readable exports of the benchmark results (CSV / JSON),
+for plotting or regression tracking outside the repo."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List
+
+from repro.harness.measure import Measurement
+from repro.harness.tables import ABLATIONS
+
+
+def _measurement_dict(m: Measurement) -> Dict[str, object]:
+    return {
+        "analysis": m.analysis,
+        "seconds": None if m.oot else round(m.seconds, 4),
+        "peak_memory_mb": None if m.oot else round(m.peak_memory_mb, 3),
+        "points_to_entries": m.points_to_entries,
+        "thread_edges": m.thread_edges,
+        "oot": m.oot,
+    }
+
+
+def table2_to_json(rows: List[Dict[str, object]]) -> str:
+    payload = [{
+        "benchmark": row["benchmark"],
+        "fsam": _measurement_dict(row["fsam"]),
+        "nonsparse": _measurement_dict(row["nonsparse"]),
+    } for row in rows]
+    return json.dumps(payload, indent=2)
+
+
+def table2_to_csv(rows: List[Dict[str, object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", "fsam_seconds", "nonsparse_seconds",
+                     "fsam_entries", "nonsparse_entries", "nonsparse_oot"])
+    for row in rows:
+        fsam: Measurement = row["fsam"]
+        nonsp: Measurement = row["nonsparse"]
+        writer.writerow([
+            row["benchmark"],
+            f"{fsam.seconds:.4f}",
+            "" if nonsp.oot else f"{nonsp.seconds:.4f}",
+            fsam.points_to_entries,
+            "" if nonsp.oot else nonsp.points_to_entries,
+            int(nonsp.oot),
+        ])
+    return buffer.getvalue()
+
+
+def figure12_to_csv(rows: List[Dict[str, object]]) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    header = ["benchmark", "base_solve_s", "base_edges"]
+    for label, _phase in ABLATIONS:
+        key = label.lower().replace("-", "_")
+        header += [f"{key}_solve_s", f"{key}_edges"]
+    writer.writerow(header)
+    for row in rows:
+        base: Measurement = row["base"]
+        base_solve = (base.phase_times or {}).get("sparse_solve", base.seconds)
+        record = [row["benchmark"], f"{base_solve:.5f}", base.thread_edges]
+        for label, _phase in ABLATIONS:
+            m: Measurement = row[label]
+            solve = (m.phase_times or {}).get("sparse_solve", m.seconds)
+            record += [f"{solve:.5f}", m.thread_edges]
+        writer.writerow(record)
+    return buffer.getvalue()

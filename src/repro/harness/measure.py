@@ -1,0 +1,74 @@
+"""Measurement wrappers: wall-clock time, peak memory, OOT handling."""
+
+from __future__ import annotations
+
+import gc
+import time
+import tracemalloc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baseline import NonSparseAnalysis
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.fsam.config import AnalysisTimeout
+
+
+@dataclass
+class Measurement:
+    """One analysis run's vital signs."""
+
+    name: str
+    analysis: str                    # "fsam" | "nonsparse"
+    seconds: float
+    peak_memory_mb: float            # tracemalloc peak during the run
+    points_to_entries: int           # state-size proxy (see DESIGN.md)
+    oot: bool = False
+    phase_times: Optional[Dict[str, float]] = None
+    thread_edges: int = 0            # [THREAD-VF] def-use edges added
+
+    def display_time(self) -> str:
+        return "OOT" if self.oot else f"{self.seconds:.2f}"
+
+    def display_memory(self) -> str:
+        return "OOT" if self.oot else f"{self.peak_memory_mb:.2f}"
+
+
+def _measured(name: str, analysis: str, thunk) -> Measurement:
+    gc.collect()
+    tracemalloc.start()
+    start = time.perf_counter()
+    oot = False
+    phase_times = None
+    entries = 0
+    thread_edges = 0
+    try:
+        result = thunk()
+        entries = result.points_to_entries()
+        phase_times = getattr(result, "phase_times", None)
+        dug = getattr(result, "dug", None)
+        if dug is not None:
+            thread_edges = len(dug.thread_edges)
+    except AnalysisTimeout:
+        oot = True
+    seconds = time.perf_counter() - start
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return Measurement(name=name, analysis=analysis, seconds=seconds,
+                       peak_memory_mb=peak / (1024.0 * 1024.0),
+                       points_to_entries=entries, oot=oot,
+                       phase_times=phase_times, thread_edges=thread_edges)
+
+
+def measure_fsam(name: str, source: str, config: Optional[FSAMConfig] = None) -> Measurement:
+    """Compile and run FSAM under measurement."""
+    module = compile_source(source, name=name)
+    return _measured(name, "fsam", lambda: FSAM(module, config).run())
+
+
+def measure_nonsparse(name: str, source: str,
+                      budget: Optional[float] = None) -> Measurement:
+    """Compile and run NONSPARSE under measurement, with OOT budget."""
+    module = compile_source(source, name=name)
+    config = FSAMConfig(time_budget=budget)
+    return _measured(name, "nonsparse", lambda: NonSparseAnalysis(module, config).run())

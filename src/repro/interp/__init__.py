@@ -1,0 +1,19 @@
+"""A concrete interpreter for the partial-SSA IR.
+
+Executes MiniC programs under a seeded, instruction-granular thread
+scheduler, recording which abstract object every load actually
+observed. Property-based tests replay many schedules and assert the
+static analyses over-approximate every observation — the soundness
+oracle for the whole pipeline.
+"""
+
+from repro.interp.interpreter import (
+    ExecutionLimit, Interpreter, Observation, SegmentationFault, run_program,
+)
+from repro.interp.explore import (
+    ExplorationResult, explore_schedules, observed_names_for_line,
+)
+
+__all__ = ["Interpreter", "Observation", "ExecutionLimit",
+           "SegmentationFault", "run_program",
+           "ExplorationResult", "explore_schedules", "observed_names_for_line"]

@@ -1,0 +1,66 @@
+"""The partial-SSA intermediate representation.
+
+This mirrors the representation the paper analyses (Section 2.1): all
+program variables are split into *top-level* variables ``T`` (SSA
+temporaries, never address-taken) and *address-taken* objects ``A``
+(stack slots, globals, heap allocations), accessed only through LOAD
+and STORE. Pointer-relevant statements are ADDROF / COPY / LOAD /
+STORE / PHI, plus GEP for field-sensitivity and the Pthreads
+synchronisation statements FORK / JOIN / LOCK / UNLOCK.
+"""
+
+from repro.ir.types import (
+    ArrayType,
+    BarrierType,
+    CondType,
+    FunctionType,
+    IntType,
+    LockType,
+    PointerType,
+    StructType,
+    ThreadType,
+    Type,
+    VoidType,
+    INT,
+    VOID,
+)
+from repro.ir.values import Constant, Function, MemObject, ObjectKind, Temp, Value
+from repro.ir.instructions import (
+    AddrOf,
+    BarrierInit,
+    BarrierWait,
+    BinOp,
+    Branch,
+    Call,
+    Copy,
+    Fork,
+    Gep,
+    Instruction,
+    Join,
+    Jump,
+    Load,
+    Lock,
+    Phi,
+    Ret,
+    Signal,
+    Store,
+    Unlock,
+    Wait,
+)
+from repro.ir.module import BasicBlock, Module
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verify import VerificationError, verify_module
+
+__all__ = [
+    "Type", "IntType", "VoidType", "PointerType", "StructType", "ArrayType",
+    "FunctionType", "ThreadType", "LockType", "CondType", "BarrierType",
+    "INT", "VOID",
+    "Value", "Temp", "Constant", "Function", "MemObject", "ObjectKind",
+    "Instruction", "AddrOf", "Copy", "Phi", "Load", "Store", "Gep", "Call",
+    "Ret", "Fork", "Join", "Lock", "Unlock", "Wait", "Signal",
+    "BarrierInit", "BarrierWait", "Branch", "Jump", "BinOp",
+    "Module", "BasicBlock", "IRBuilder",
+    "print_module", "print_function",
+    "verify_module", "VerificationError",
+]

@@ -1,0 +1,97 @@
+"""Module and basic-block containers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional
+
+from repro.ir.instructions import Instruction
+from repro.ir.types import Type
+from repro.ir.values import Function, MemObject, ObjectKind
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions ending in a terminator."""
+
+    _ids = itertools.count()
+
+    def __init__(self, label: str, function: Optional[Function] = None) -> None:
+        self.id = next(BasicBlock._ids)
+        self.label = label
+        self.function = function
+        self.instructions: List[Instruction] = []
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append *instr* and set its parent pointer."""
+        instr.block = self
+        self.instructions.append(instr)
+        return instr
+
+    def insert(self, index: int, instr: Instruction) -> Instruction:
+        instr.block = self
+        self.instructions.insert(index, instr)
+        return instr
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The trailing terminator, or None while under construction."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<block {self.label}>"
+
+
+class Module:
+    """A whole program: globals, functions, and the abstract-object table."""
+
+    def __init__(self, name: str = "module") -> None:
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.globals: Dict[str, MemObject] = {}
+        self.structs: Dict[str, Type] = {}
+        # Every MemObject ever created for this module, for iteration.
+        self.objects: List[MemObject] = []
+
+    # -- functions ----------------------------------------------------
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise ValueError(f"duplicate function {fn.name}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    @property
+    def main(self) -> Function:
+        """The program entry point."""
+        return self.functions["main"]
+
+    # -- objects ------------------------------------------------------
+
+    def add_global(self, name: str, ty: Type, is_array: bool = False) -> MemObject:
+        """Declare a global variable's abstract object."""
+        if name in self.globals:
+            raise ValueError(f"duplicate global {name}")
+        obj = MemObject(name, ty, ObjectKind.GLOBAL, is_array=is_array)
+        self.globals[name] = obj
+        self.objects.append(obj)
+        return obj
+
+    def register_object(self, obj: MemObject) -> MemObject:
+        """Record a stack/heap object created during lowering."""
+        self.objects.append(obj)
+        return obj
+
+    def all_instructions(self) -> Iterator[Instruction]:
+        for fn in self.functions.values():
+            yield from fn.instructions()
+
+    def __repr__(self) -> str:
+        return f"<module {self.name}: {len(self.functions)} functions>"

@@ -1,0 +1,33 @@
+"""Textual printing of IR modules, for debugging and golden tests."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.module import Module
+from repro.ir.values import Function
+
+
+def print_function(fn: Function) -> str:
+    """Render one function as text."""
+    params = ", ".join(f"{p!r}" for p in fn.params)
+    lines: List[str] = [f"define {fn.name}({params}) {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instructions:
+            lines.append(f"  {instr!r}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module as text."""
+    lines: List[str] = [f"; module {module.name}"]
+    for name, obj in module.globals.items():
+        lines.append(f"global @{name} : {obj.type!r}")
+    for fn in module.functions.values():
+        if fn.is_declaration:
+            lines.append(f"declare {fn.name}")
+        else:
+            lines.append(print_function(fn))
+    return "\n".join(lines)

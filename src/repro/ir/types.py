@@ -1,0 +1,156 @@
+"""IR types.
+
+The type system is intentionally small: integers, pointers, structs,
+arrays, functions, plus the two Pthreads handle types (thread ids and
+mutexes). Pointer analysis only needs enough typing to resolve field
+offsets and to distinguish pointers from scalars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+class Type:
+    """Base class for IR types. Types are compared structurally."""
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, type(self)) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.key()))
+
+    def key(self) -> tuple:
+        """Structural identity key; subclasses override."""
+        return ()
+
+
+class IntType(Type):
+    """A machine integer; width is irrelevant to pointer analysis."""
+
+    def __repr__(self) -> str:
+        return "int"
+
+
+class VoidType(Type):
+    """The absence of a value (function returns only)."""
+
+    def __repr__(self) -> str:
+        return "void"
+
+
+class ThreadType(Type):
+    """An opaque pthread_t thread handle."""
+
+    def __repr__(self) -> str:
+        return "pthread_t"
+
+
+class LockType(Type):
+    """An opaque pthread_mutex_t."""
+
+    def __repr__(self) -> str:
+        return "mutex_t"
+
+
+class CondType(Type):
+    """An opaque pthread_cond_t (extension beyond the paper, which
+    treats signal/wait soundly as no-ops)."""
+
+    def __repr__(self) -> str:
+        return "cond_t"
+
+
+class BarrierType(Type):
+    """An opaque pthread_barrier_t (extension; analysed soundly as a
+    no-op, executed as a real rendezvous by the interpreter)."""
+
+    def __repr__(self) -> str:
+        return "barrier_t"
+
+
+class PointerType(Type):
+    """A pointer to *pointee*."""
+
+    def __init__(self, pointee: Type) -> None:
+        self.pointee = pointee
+
+    def key(self) -> tuple:
+        return (self.pointee,)
+
+    def __repr__(self) -> str:
+        return f"{self.pointee!r}*"
+
+
+class StructType(Type):
+    """A named struct with ordered (name, type) fields.
+
+    Structs are *nominal*: two structs with the same name are the same
+    type (MiniC forbids redefinition), which lets recursive structs
+    (linked lists, trees) be expressed without infinite structural
+    comparison.
+    """
+
+    def __init__(self, name: str, fields: Optional[List[Tuple[str, Type]]] = None) -> None:
+        self.name = name
+        self.fields: List[Tuple[str, Type]] = fields or []
+
+    def key(self) -> tuple:
+        return (self.name,)
+
+    def field_index(self, name: str) -> int:
+        """Index of field *name*; raises KeyError if absent."""
+        for i, (fname, _) in enumerate(self.fields):
+            if fname == name:
+                return i
+        raise KeyError(f"struct {self.name} has no field {name!r}")
+
+    def field_type(self, index: int) -> Type:
+        return self.fields[index][1]
+
+    def __repr__(self) -> str:
+        return f"struct {self.name}"
+
+
+class ArrayType(Type):
+    """A fixed-size array. Arrays are analysed monolithically
+    (paper Section 4.2): all elements share one abstract object."""
+
+    def __init__(self, element: Type, count: int) -> None:
+        self.element = element
+        self.count = count
+
+    def key(self) -> tuple:
+        return (self.element, self.count)
+
+    def __repr__(self) -> str:
+        return f"{self.element!r}[{self.count}]"
+
+
+class FunctionType(Type):
+    """A function signature."""
+
+    def __init__(self, ret: Type, params: List[Type]) -> None:
+        self.ret = ret
+        self.params = params
+
+    def key(self) -> tuple:
+        return (self.ret, tuple(self.params))
+
+    def __repr__(self) -> str:
+        params = ", ".join(repr(p) for p in self.params)
+        return f"{self.ret!r}({params})"
+
+
+INT = IntType()
+VOID = VoidType()
+THREAD = ThreadType()
+LOCK = LockType()
+
+
+def pointer_to(ty: Type) -> PointerType:
+    """Convenience constructor for ``ty*``."""
+    return PointerType(ty)

@@ -1,0 +1,215 @@
+"""The sparse def-use graph (DUG).
+
+Nodes are program statements plus the memory-SSA pseudo-statements
+(memory phis, formal-in/out, callsite mu/chi). Edges are labelled by
+the value that flows: a Temp for top-level def-use, or a MemObject
+for address-taken def-use. The sparse flow-sensitive solver
+propagates points-to facts only along these edges, exactly as in the
+paper's Figure 4(c).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.ir.instructions import Instruction
+from repro.ir.module import BasicBlock
+from repro.ir.values import Function, MemObject, Temp
+
+Label = Union[Temp, MemObject]
+
+
+class DUGNode:
+    """Base class for DUG nodes."""
+
+    _ids = itertools.count()
+
+    def __init__(self) -> None:
+        self.uid = next(DUGNode._ids)
+
+    def __hash__(self) -> int:
+        return self.uid
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+
+class StmtNode(DUGNode):
+    """A real program statement."""
+
+    def __init__(self, instr: Instruction) -> None:
+        super().__init__()
+        self.instr = instr
+
+    def __repr__(self) -> str:
+        return f"[{self.instr!r}]"
+
+
+class MemPhiNode(DUGNode):
+    """phi(o) at a CFG confluence for an address-taken object."""
+
+    def __init__(self, block: BasicBlock, obj: MemObject) -> None:
+        super().__init__()
+        self.block = block
+        self.obj = obj
+
+    def __repr__(self) -> str:
+        return f"[memphi {self.obj.name} @ {self.block.label}]"
+
+
+class FormalInNode(DUGNode):
+    """The incoming memory state of *obj* at a function entry."""
+
+    def __init__(self, fn: Function, obj: MemObject) -> None:
+        super().__init__()
+        self.fn = fn
+        self.obj = obj
+
+    def __repr__(self) -> str:
+        return f"[formal-in {self.obj.name} @ {self.fn.name}]"
+
+
+class FormalOutNode(DUGNode):
+    """The outgoing memory state of *obj* at a function exit."""
+
+    def __init__(self, fn: Function, obj: MemObject) -> None:
+        super().__init__()
+        self.fn = fn
+        self.obj = obj
+
+    def __repr__(self) -> str:
+        return f"[formal-out {self.obj.name} @ {self.fn.name}]"
+
+
+class CallMuNode(DUGNode):
+    """mu(o) at a call/fork site: memory state flowing into callees."""
+
+    def __init__(self, site: Instruction, obj: MemObject) -> None:
+        super().__init__()
+        self.site = site
+        self.obj = obj
+
+    def __repr__(self) -> str:
+        return f"[mu {self.obj.name} @ {self.site!r}]"
+
+
+class CallChiNode(DUGNode):
+    """chi(o) at a call/fork/join site: the merge of the old memory
+    state with callee (or joined-thread) side effects."""
+
+    def __init__(self, site: Instruction, obj: MemObject) -> None:
+        super().__init__()
+        self.site = site
+        self.obj = obj
+
+    def __repr__(self) -> str:
+        return f"[chi {self.obj.name} @ {self.site!r}]"
+
+
+class DUG:
+    """The def-use graph: nodes plus labelled edges, with the indexes
+    the sparse solver needs (per-node incoming memory defs grouped by
+    object, per-node outgoing users, per-temp top-level users)."""
+
+    def __init__(self) -> None:
+        self.nodes: List[DUGNode] = []
+        self._stmt_nodes: Dict[int, StmtNode] = {}
+        # Memory (address-taken) edges.
+        self._mem_out: Dict[int, List[Tuple[MemObject, DUGNode]]] = {}
+        self._mem_in: Dict[int, Dict[MemObject, List[DUGNode]]] = {}
+        self._mem_edge_set: Set[Tuple[int, int, int]] = set()
+        # Thread-aware edges added by the value-flow phase are tracked
+        # separately so ablations and statistics can distinguish them.
+        self.thread_edges: List[Tuple[DUGNode, MemObject, DUGNode]] = []
+        self._thread_edge_keys: Set[Tuple[int, int, int]] = set()
+        # Thread-aware in-edges per node, for the solver's blind
+        # propagation along [THREAD-VF] edges.
+        self._thread_in: Dict[int, List[Tuple[MemObject, DUGNode]]] = {}
+        # Top-level def-use: users of each temp.
+        self._top_users: Dict[int, List[DUGNode]] = {}
+        # Copy constraints from interprocedural top-level linking:
+        # (source value, destination temp).
+        self.top_copies: List[Tuple[object, Temp]] = []
+        self._copies_by_src: Dict[int, List[Tuple[object, Temp]]] = {}
+        # Interference: objects at which a store statement participates
+        # in an MHP store-store/store-load pair (set by value-flow).
+        self.interfering: Dict[int, Set[MemObject]] = {}
+
+    # -- nodes --------------------------------------------------------------
+
+    def add_node(self, node: DUGNode) -> DUGNode:
+        self.nodes.append(node)
+        if isinstance(node, StmtNode):
+            self._stmt_nodes[node.instr.id] = node
+        return node
+
+    def stmt_node(self, instr: Instruction) -> StmtNode:
+        return self._stmt_nodes[instr.id]
+
+    def has_stmt(self, instr: Instruction) -> bool:
+        return instr.id in self._stmt_nodes
+
+    # -- memory edges --------------------------------------------------------
+
+    def add_mem_edge(self, src: DUGNode, obj: MemObject, dst: DUGNode,
+                     thread_aware: bool = False) -> bool:
+        """Add src --obj--> dst; returns False if already present."""
+        key = (src.uid, id(obj), dst.uid)
+        if key in self._mem_edge_set:
+            return False
+        self._mem_edge_set.add(key)
+        self._mem_out.setdefault(src.uid, []).append((obj, dst))
+        self._mem_in.setdefault(dst.uid, {}).setdefault(obj, []).append(src)
+        if thread_aware:
+            self.thread_edges.append((src, obj, dst))
+            self._thread_edge_keys.add(key)
+            self._thread_in.setdefault(dst.uid, []).append((obj, src))
+        return True
+
+    def mem_out(self, node: DUGNode) -> List[Tuple[MemObject, DUGNode]]:
+        return self._mem_out.get(node.uid, [])
+
+    def mem_in(self, node: DUGNode) -> Dict[MemObject, List[DUGNode]]:
+        return self._mem_in.get(node.uid, {})
+
+    def mem_defs_of(self, node: DUGNode, obj: MemObject) -> List[DUGNode]:
+        """Definitions of *obj* reaching *node*."""
+        return self._mem_in.get(node.uid, {}).get(obj, [])
+
+    def num_mem_edges(self) -> int:
+        return len(self._mem_edge_set)
+
+    def thread_in_edges(self, node: DUGNode) -> List[Tuple[MemObject, DUGNode]]:
+        """Thread-aware (obj, src) in-edges of *node*."""
+        return self._thread_in.get(node.uid, [])
+
+    def is_thread_edge(self, src: DUGNode, obj: MemObject, dst: DUGNode) -> bool:
+        return (src.uid, id(obj), dst.uid) in self._thread_edge_keys
+
+    # -- top-level def-use ----------------------------------------------------
+
+    def add_top_user(self, temp: Temp, node: DUGNode) -> None:
+        self._top_users.setdefault(temp.id, []).append(node)
+
+    def top_users(self, temp: Temp) -> List[DUGNode]:
+        return self._top_users.get(temp.id, [])
+
+    def add_top_copy(self, src, dst: Temp) -> None:
+        """Record an interprocedural copy (call argument -> parameter,
+        return value -> call result)."""
+        pair = (src, dst)
+        self.top_copies.append(pair)
+        if isinstance(src, Temp):
+            self._copies_by_src.setdefault(src.id, []).append(pair)
+
+    def copies_from(self, temp: Temp) -> List[Tuple[object, Temp]]:
+        return self._copies_by_src.get(temp.id, [])
+
+    # -- interference bookkeeping ---------------------------------------------
+
+    def mark_interfering(self, store_node: DUGNode, obj: MemObject) -> None:
+        self.interfering.setdefault(store_node.uid, set()).add(obj)
+
+    def is_interfering(self, node: DUGNode, obj: MemObject) -> bool:
+        return obj in self.interfering.get(node.uid, ())

@@ -1,0 +1,127 @@
+"""Interprocedural mod-ref summaries.
+
+For every function, the sets of abstract objects it (or anything it
+transitively calls, forks, or joins) may store to (MOD) and load from
+(REF). These sets decide which mu/chi functions annotate each
+callsite (paper Section 2.2: "Every callsite is also annotated with
+mu and chi functions to expose its indirect uses and defs").
+
+Fork sites count as calls of their start routines (the paper's Pseq
+transformation, Section 3.2 Step 1). Join sites import the MOD of
+the routines they may join (Step 3), so a joined thread's effects are
+visible at and after the join.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.andersen import AndersenResult
+from repro.cfg.callgraph import CallGraph
+from repro.graphs.digraph import DiGraph
+from repro.graphs.scc import tarjan_scc
+from repro.ir.instructions import Call, Fork, Instruction, Join, Load, Store
+from repro.ir.module import Module
+from repro.ir.values import Function, MemObject, Temp
+
+
+class ModRefAnalysis:
+    """Computes MOD/REF per function and per callsite."""
+
+    def __init__(self, module: Module, andersen: AndersenResult,
+                 relevant: Optional[Set[MemObject]] = None) -> None:
+        self.module = module
+        self.andersen = andersen
+        self.callgraph: CallGraph = andersen.callgraph
+        # Restrict to pointer-carrying objects when a filter is given.
+        self.relevant = relevant
+        self.mod: Dict[Function, Set[MemObject]] = {}
+        self.ref: Dict[Function, Set[MemObject]] = {}
+        # Join sites -> routines whose termination the join observes.
+        self.joined_routines: Dict[int, Set[Function]] = {}
+        self._compute()
+
+    def _filter(self, objs: Set[MemObject]) -> Set[MemObject]:
+        if self.relevant is None:
+            return set(objs)
+        return objs & self.relevant
+
+    def _routines_of_join(self, join: Join) -> Set[Function]:
+        """Start routines of the threads *join* may join, correlated
+        through the abstract thread-id objects in pts(handle)."""
+        routines: Set[Function] = set()
+        for tid in self.andersen.pts(join.handle):
+            fork = getattr(tid, "fork_site", None)
+            if fork is not None:
+                routines |= set(self.callgraph.callees(fork))
+        return routines
+
+    def _compute(self) -> None:
+        fns = [fn for fn in self.module.functions.values()
+               if not fn.is_declaration and fn.blocks]
+        local_mod: Dict[Function, Set[MemObject]] = {fn: set() for fn in fns}
+        local_ref: Dict[Function, Set[MemObject]] = {fn: set() for fn in fns}
+        # Effect edges: caller depends on callee summaries.
+        dep = DiGraph()
+        for fn in fns:
+            dep.add_node(fn)
+        for fn in fns:
+            for instr in fn.instructions():
+                if isinstance(instr, Load):
+                    local_ref[fn] |= self._filter(self.andersen.pts(instr.ptr))
+                elif isinstance(instr, Store):
+                    local_mod[fn] |= self._filter(self.andersen.pts(instr.ptr))
+                elif isinstance(instr, (Call, Fork)):
+                    for callee in self.callgraph.callees(instr):
+                        if callee in local_mod:
+                            dep.add_edge(fn, callee)
+                elif isinstance(instr, Join):
+                    routines = self._routines_of_join(instr)
+                    self.joined_routines[instr.id] = routines
+                    for routine in routines:
+                        if routine in local_mod:
+                            dep.add_edge(fn, routine)
+
+        # Propagate bottom-up over the dependency graph's SCC DAG;
+        # Tarjan emits callees before callers.
+        self.mod = {fn: set(local_mod[fn]) for fn in fns}
+        self.ref = {fn: set(local_ref[fn]) for fn in fns}
+        for scc in tarjan_scc(dep):
+            # Merge within the SCC to a common fixpoint.
+            scc_mod: Set[MemObject] = set()
+            scc_ref: Set[MemObject] = set()
+            for fn in scc:
+                scc_mod |= self.mod[fn]
+                scc_ref |= self.ref[fn]
+                for callee in dep.successors(fn):
+                    scc_mod |= self.mod[callee]
+                    scc_ref |= self.ref[callee]
+            for fn in scc:
+                self.mod[fn] = set(scc_mod)
+                self.ref[fn] = set(scc_ref)
+
+    # -- per-site queries -------------------------------------------------
+
+    def callsite_mod(self, site: Instruction) -> Set[MemObject]:
+        """Objects a call or fork site may modify (via its callees),
+        or a join site may import from its joined routines."""
+        result: Set[MemObject] = set()
+        if isinstance(site, Join):
+            for routine in self.joined_routines.get(site.id, ()):
+                result |= self.mod.get(routine, set())
+            return result
+        for callee in self.callgraph.callees(site):
+            result |= self.mod.get(callee, set())
+        return result
+
+    def callsite_ref(self, site: Instruction) -> Set[MemObject]:
+        """Objects a call or fork site may read (via its callees).
+        Includes MOD because weak chi functions also read the old
+        contents."""
+        result: Set[MemObject] = set()
+        if isinstance(site, Join):
+            return result
+        for callee in self.callgraph.callees(site):
+            result |= self.ref.get(callee, set())
+            result |= self.mod.get(callee, set())
+        return result

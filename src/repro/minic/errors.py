@@ -1,0 +1,33 @@
+"""Frontend diagnostics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class MiniCError(Exception):
+    """Base class for all MiniC frontend errors, carrying a location."""
+
+    def __init__(self, message: str, line: Optional[int] = None, col: Optional[int] = None) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        location = ""
+        if line is not None:
+            location = f"line {line}"
+            if col is not None:
+                location += f", col {col}"
+            location = f" ({location})"
+        super().__init__(f"{message}{location}")
+
+
+class LexError(MiniCError):
+    """An unrecognised character or malformed token."""
+
+
+class ParseError(MiniCError):
+    """A syntax error."""
+
+
+class SemanticError(MiniCError):
+    """A name-resolution or type error."""

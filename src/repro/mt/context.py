@@ -1,0 +1,39 @@
+"""Calling contexts.
+
+A context is a stack of callsite identities from a thread's start
+procedure down to the current statement (paper Section 3.1:
+``c = [cs0, ..., csn]``). Callsites inside call-graph cycles are not
+pushed, which keeps contexts finite (context-insensitive recursion).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+
+class Context(Tuple[int, ...]):
+    """An immutable callsite-id stack. Subclasses tuple so it hashes
+    and compares structurally for free."""
+
+    __slots__ = ()
+
+    EMPTY: "Context"
+
+    def push(self, site_id: int) -> "Context":
+        return Context(self + (site_id,))
+
+    def pop(self) -> "Context":
+        if not self:
+            raise ValueError("pop from empty context")
+        return Context(self[:-1])
+
+    def peek(self) -> int:
+        if not self:
+            raise ValueError("peek on empty context")
+        return self[-1]
+
+    def __repr__(self) -> str:
+        return "[" + ",".join(str(i) for i in self) + "]"
+
+
+Context.EMPTY = Context()

@@ -1,0 +1,234 @@
+"""Lock analysis (paper Section 3.3.3, Definitions 3-6).
+
+Computes lock-release spans flow- and context-sensitively over each
+thread's state graph, derives per-object span heads and tails from
+the thread-oblivious def-use graph, and decides which MHP aliased
+pairs are non-interference lock pairs — those [THREAD-VF] edges are
+spurious and get filtered (Figure 9's s2 -o-> s4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.andersen import AndersenResult
+from repro.cfg.icfg import NodeKind
+from repro.ir.instructions import Instruction, Load, Lock, Store, Unlock, Wait
+from repro.ir.values import MemObject, Temp
+from repro.memssa.builder import MemorySSABuilder
+from repro.memssa.dug import DUG, StmtNode
+from repro.mt.mhp import MHPOracle
+from repro.mt.threads import AbstractThread, ThreadModel
+
+
+class LockSpan:
+    """A lock-release span: the context-sensitive statements between a
+    lock acquisition and its matching releases (Definition 3)."""
+
+    def __init__(self, thread: AbstractThread, lock_obj: MemObject,
+                 lock_sid: int, members: Set[int],
+                 member_instrs: Set[int]) -> None:
+        self.thread = thread
+        self.lock_obj = lock_obj
+        self.lock_sid = lock_sid
+        self.members = members              # state ids in the thread graph
+        self.member_instrs = member_instrs  # instruction ids
+        self._heads: Dict[int, Set[int]] = {}  # obj.id -> instr ids
+        self._tails: Dict[int, Set[int]] = {}
+
+    def __repr__(self) -> str:
+        return (f"<span lock={self.lock_obj.name} thread=t{self.thread.id} "
+                f"|members|={len(self.members)}>")
+
+
+class LockAnalysis:
+    """Builds all spans and answers non-interference queries."""
+
+    def __init__(self, model: ThreadModel, andersen: AndersenResult,
+                 dug: DUG, builder: MemorySSABuilder) -> None:
+        self.model = model
+        self.andersen = andersen
+        self.dug = dug
+        self.builder = builder
+        self.spans: List[LockSpan] = []
+        # (thread id, sid) -> span indices covering that state.
+        self._spans_by_state: Dict[Tuple[int, int], List[int]] = {}
+        self._build()
+
+    # -- span construction ------------------------------------------------
+
+    def _lock_object(self, ptr) -> Optional[MemObject]:
+        """The singleton lock object *ptr* must point to, or None.
+        Must-alias is required: l == l' only when both resolve to the
+        same unique runtime lock (paper: "point to the same singleton
+        lock object")."""
+        if not isinstance(ptr, Temp):
+            return None
+        pts = self.andersen.pts(ptr)
+        if len(pts) != 1:
+            return None
+        obj = next(iter(pts))
+        return obj if obj.is_singleton else None
+
+    def _build(self) -> None:
+        for thread in self.model.threads:
+            graph = self.model.state_graphs[thread.id]
+            for sid, (ctx, node) in enumerate(graph.state_info):
+                if node.kind is not NodeKind.STMT:
+                    continue
+                # A span begins at a lock acquisition — or at a
+                # condition wait, which re-acquires the mutex on
+                # return (extension: pthread_cond_wait modelling).
+                if isinstance(node.instr, Lock):
+                    lock_obj = self._lock_object(node.instr.ptr)
+                elif isinstance(node.instr, Wait):
+                    lock_obj = self._lock_object(node.instr.mutex_ptr)
+                else:
+                    continue
+                if lock_obj is None:
+                    continue
+                span = self._trace_span(thread, graph, sid, lock_obj)
+                index = len(self.spans)
+                self.spans.append(span)
+                for member in span.members:
+                    self._spans_by_state.setdefault((thread.id, member), []).append(index)
+
+    def _trace_span(self, thread: AbstractThread, graph, lock_sid: int,
+                    lock_obj: MemObject) -> LockSpan:
+        """Forward reachability from the lock site, stopping at matching
+        unlocks; calls/returns are already matched by the state graph."""
+        members: Set[int] = {lock_sid}
+        instrs: Set[int] = set()
+        work = [lock_sid]
+        while work:
+            sid = work.pop()
+            _ctx, node = graph.state(sid)
+            if node.instr is not None:
+                instrs.add(node.instr.id)
+            if sid != lock_sid and node.kind is NodeKind.STMT:
+                released = None
+                if isinstance(node.instr, Unlock):
+                    released = self._lock_object(node.instr.ptr)
+                elif isinstance(node.instr, Wait):
+                    # cond_wait releases the mutex: the span ends here
+                    # (a fresh span is seeded at the wait itself).
+                    released = self._lock_object(node.instr.mutex_ptr)
+                if released is lock_obj and released is not None:
+                    continue  # the span ends here (release included)
+            for succ in graph.graph.successors(sid):
+                if succ not in members:
+                    members.add(succ)
+                    work.append(succ)
+        return LockSpan(thread, lock_obj, lock_sid, members, instrs)
+
+    # -- span heads and tails ------------------------------------------------
+
+    def _accesses_on(self, span: LockSpan, obj: MemObject) -> Tuple[Set[int], Set[int]]:
+        """(all accesses, stores) on *obj* among the span's statements."""
+        accesses: Set[int] = set()
+        stores: Set[int] = set()
+        for instr_id in span.member_instrs:
+            if obj in self.builder.chis.get(instr_id, ()):  # store-like
+                instr = self.model._instr_by_id.get(instr_id)
+                if isinstance(instr, Store):
+                    accesses.add(instr_id)
+                    stores.add(instr_id)
+            if obj in self.builder.mus.get(instr_id, ()):
+                instr = self.model._instr_by_id.get(instr_id)
+                if isinstance(instr, Load):
+                    accesses.add(instr_id)
+        return accesses, stores
+
+    def span_head(self, span: LockSpan, obj: MemObject) -> Set[int]:
+        """HD(span, o) — Definition 4: accesses of o with no def-use
+        predecessor on o inside the span."""
+        cached = span._heads.get(obj.id)
+        if cached is not None:
+            return cached
+        accesses, _stores = self._accesses_on(span, obj)
+        head: Set[int] = set()
+        for instr_id in accesses:
+            instr = self.model._instr_by_id[instr_id]
+            node = self.dug.stmt_node(instr)
+            preceded = False
+            for src in self.dug.mem_defs_of(node, obj):
+                if isinstance(src, StmtNode) and src.instr.id in span.member_instrs \
+                        and src.instr.id != instr_id:
+                    preceded = True
+                    break
+            if not preceded:
+                head.add(instr_id)
+        span._heads[obj.id] = head
+        return head
+
+    def span_tail(self, span: LockSpan, obj: MemObject) -> Set[int]:
+        """TL(span, o) — Definition 5: stores of o with no store
+        successor on o inside the span."""
+        cached = span._tails.get(obj.id)
+        if cached is not None:
+            return cached
+        _accesses, stores = self._accesses_on(span, obj)
+        tail: Set[int] = set()
+        for instr_id in stores:
+            instr = self.model._instr_by_id[instr_id]
+            node = self.dug.stmt_node(instr)
+            overwritten = False
+            for out_obj, dst in self.dug.mem_out(node):
+                if out_obj is not obj:
+                    continue
+                if isinstance(dst, StmtNode) and isinstance(dst.instr, Store) \
+                        and dst.instr.id in span.member_instrs and dst.instr.id != instr_id:
+                    overwritten = True
+                    break
+            if not overwritten:
+                tail.add(instr_id)
+        span._tails[obj.id] = tail
+        return tail
+
+    # -- non-interference filtering ---------------------------------------------
+
+    def _spans_of(self, thread: AbstractThread, sid: int) -> List[LockSpan]:
+        return [self.spans[i] for i in self._spans_by_state.get((thread.id, sid), [])]
+
+    def _instance_non_interfering(self, inst1, inst2, store: Store,
+                                  target: Instruction, obj: MemObject) -> bool:
+        """Definition 6 for one MHP instance pair: both protected by a
+        common lock and the store is not a span tail or the target not
+        a span head."""
+        t1, sid1 = inst1
+        t2, sid2 = inst2
+        spans1 = self._spans_of(t1, sid1)
+        spans2 = self._spans_of(t2, sid2)
+        protected = False
+        for sp1 in spans1:
+            for sp2 in spans2:
+                if sp1.lock_obj is not sp2.lock_obj:
+                    continue
+                protected = True
+                tail = self.span_tail(sp1, obj)
+                head = self.span_head(sp2, obj)
+                if store.id in tail and target.id in head:
+                    return False  # this value flow is real
+        return protected
+
+    def commonly_protected(self, inst1, inst2) -> bool:
+        """True when both context-sensitive statement instances sit in
+        spans of one common lock (used by race-detection clients)."""
+        t1, sid1 = inst1
+        t2, sid2 = inst2
+        for sp1 in self._spans_of(t1, sid1):
+            for sp2 in self._spans_of(t2, sid2):
+                if sp1.lock_obj is sp2.lock_obj:
+                    return True
+        return False
+
+    def filters(self, store: Store, target: Instruction, obj: MemObject,
+                mhp: MHPOracle) -> bool:
+        """True when the would-be [THREAD-VF] edge store -obj-> target
+        is spurious under lock protection for *every* MHP instance."""
+        any_pair = False
+        for inst1, inst2 in mhp.parallel_instance_pairs(store, target):
+            any_pair = True
+            if not self._instance_non_interfering(inst1, inst2, store, target, obj):
+                return False
+        return any_pair

@@ -1,0 +1,193 @@
+"""The interleaving (may-happen-in-parallel) analysis — paper 3.3.1.
+
+A forward data-flow problem per thread over its context-expanded
+state graph, computing I(t, c, s): the set of threads that may run
+concurrently when thread t executes statement s under context c.
+
+Rule correspondence (Figure 7):
+
+- [I-DESCENDANT] — the transfer at a fork state adds the spawned
+  thread and all of its (transitive) descendants; the spawnee's entry
+  seed contains all of its ancestors.
+- [I-SIBLING]    — the entry seed of each thread also contains every
+  sibling not ordered by happens-before (either way).
+- [I-JOIN]       — the transfer at a join state (or at a symmetric
+  join loop's exits) removes the certainly-joined closure.
+- [I-INTRA]/[I-CALL]/[I-RET] — the state graph's edges already match
+  calls and returns context-sensitively, so plain forward propagation
+  over it realises all three.
+
+Two statements are MHP when each one's I-set contains the other's
+thread — or when they belong to the same multi-forked thread.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.graphs.dataflow import DataflowProblem, solve_forward
+from repro.ir.instructions import Fork, Instruction
+from repro.mt.threads import AbstractThread, ThreadModel
+
+
+class MHPOracle:
+    """The query interface the value-flow and lock phases consume."""
+
+    def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
+        raise NotImplementedError
+
+    def parallel_instance_pairs(self, s1: Instruction, s2: Instruction):
+        """Iterate MHP instance pairs ((t1, sid1), (t2, sid2))."""
+        raise NotImplementedError
+
+
+class InterleavingAnalysis(MHPOracle):
+    """FSAM's flow- and context-sensitive interleaving analysis."""
+
+    def __init__(self, model: ThreadModel) -> None:
+        self.model = model
+        # thread id -> sid -> frozenset of concurrent thread ids.
+        self.interleaving: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        self._pair_cache: Dict[Tuple[int, int], bool] = {}
+        self._compute()
+
+    # -- seeds ----------------------------------------------------------------
+
+    def _entry_seed(self, thread: AbstractThread) -> FrozenSet[int]:
+        seed: Set[int] = set()
+        # [I-DESCENDANT]: every (transitive) spawner may still be running.
+        seed.update(t.id for t in thread.ancestors())
+        # [I-SIBLING]: unordered siblings may overlap.
+        for other in self.model.threads:
+            if self.model.siblings(thread, other):
+                if not self.model.happens_before(thread, other) and \
+                        not self.model.happens_before(other, thread):
+                    seed.add(other.id)
+        return frozenset(seed)
+
+    # -- data-flow --------------------------------------------------------------
+
+    def _compute(self) -> None:
+        for thread in self.model.threads:
+            graph = self.model.state_graphs[thread.id]
+            kills = self.model.kills_at.get(thread.id, {})
+            seed = self._entry_seed(thread)
+
+            spawn_adds: Dict[int, FrozenSet[int]] = {}
+            for sid, fork in graph.fork_states():
+                ctx, _node = graph.state(sid)
+                added: Set[int] = set()
+                for child in self.model.spawned_at(thread, ctx, fork):
+                    added.add(child.id)
+                    added.update(t.id for t in child.descendants())
+                if added:
+                    spawn_adds[sid] = frozenset(added)
+
+            def transfer(sid: int, fact: FrozenSet[int]) -> FrozenSet[int]:
+                add = spawn_adds.get(sid)
+                if add:
+                    fact = fact | add
+                kill = kills.get(sid)
+                if kill:
+                    fact = fact - kill
+                return fact
+
+            problem = DataflowProblem(
+                graph.graph,
+                entry_fact=lambda sid: seed,
+                bottom=lambda: frozenset(),
+                transfer=transfer,
+                meet=lambda a, b: a | b,
+                equal=lambda a, b: a == b,
+            )
+            self.interleaving[thread.id] = solve_forward(problem, [graph.entry_sid])
+
+    # -- queries ----------------------------------------------------------------
+
+    def interleaving_at(self, thread: AbstractThread, sid: int) -> FrozenSet[int]:
+        """I(t, c, s) for the state *sid* of *thread*."""
+        return self.interleaving.get(thread.id, {}).get(sid, frozenset())
+
+    def _instances(self, instr: Instruction) -> List[Tuple[AbstractThread, int]]:
+        result = []
+        for thread in self.model.threads:
+            graph = self.model.state_graphs[thread.id]
+            for sid in graph.states_of_instr(instr):
+                result.append((thread, sid))
+        return result
+
+    def parallel_instance_pairs(self, s1: Instruction, s2: Instruction):
+        inst1 = self._instances(s1)
+        inst2 = self._instances(s2)
+        for t1, sid1 in inst1:
+            i1 = self.interleaving[t1.id].get(sid1, frozenset())
+            for t2, sid2 in inst2:
+                if t1 is t2:
+                    if t1.multi_forked:
+                        yield (t1, sid1), (t2, sid2)
+                    continue
+                if t2.id in i1 and t1.id in self.interleaving[t2.id].get(sid2, frozenset()):
+                    yield (t1, sid1), (t2, sid2)
+
+    def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
+        key = (s1.id, s2.id)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        result = next(iter(self.parallel_instance_pairs(s1, s2)), None) is not None
+        self._pair_cache[key] = result
+        self._pair_cache[(s2.id, s1.id)] = result
+        return result
+
+
+class CoarsePCGMhp(MHPOracle):
+    """The No-Interleaving fallback (paper Section 4.3): a
+    procedure-level MHP in the spirit of PCG — it knows which thread
+    may execute which procedure but performs no flow-sensitive join or
+    happens-before reasoning, so any two statements executed by
+    distinct threads (or by one multi-forked thread) are deemed
+    parallel."""
+
+    def __init__(self, model: ThreadModel) -> None:
+        self.model = model
+        self._pair_cache: Dict[Tuple[int, int], bool] = {}
+
+    def _threads_of(self, instr: Instruction) -> List[AbstractThread]:
+        result = []
+        for thread in self.model.threads:
+            graph = self.model.state_graphs[thread.id]
+            if graph.states_of_instr(instr):
+                result.append(thread)
+        return result
+
+    def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
+        key = (s1.id, s2.id)
+        cached = self._pair_cache.get(key)
+        if cached is not None:
+            return cached
+        result = False
+        for t1 in self._threads_of(s1):
+            for t2 in self._threads_of(s2):
+                if t1 is t2:
+                    if t1.multi_forked:
+                        result = True
+                        break
+                else:
+                    result = True
+                    break
+            if result:
+                break
+        self._pair_cache[key] = result
+        self._pair_cache[(s2.id, s1.id)] = result
+        return result
+
+    def parallel_instance_pairs(self, s1: Instruction, s2: Instruction):
+        for t1 in self.model.threads:
+            g1 = self.model.state_graphs[t1.id]
+            for sid1 in g1.states_of_instr(s1):
+                for t2 in self.model.threads:
+                    g2 = self.model.state_graphs[t2.id]
+                    for sid2 in g2.states_of_instr(s2):
+                        if t1 is t2 and not t1.multi_forked:
+                            continue
+                        yield (t1, sid1), (t2, sid2)

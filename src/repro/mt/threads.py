@@ -1,0 +1,469 @@
+"""The static thread model (paper Section 3.1).
+
+Abstract threads are context-sensitive fork sites; the main thread
+roots the spawn tree. Each thread owns a *state graph*: its ICFG
+expanded with calling contexts (callsites in call-graph cycles are
+not pushed). On top of these the model computes:
+
+- the spawn relation (direct and transitive, [T-FORK]),
+- multi-forked threads (Definition 1),
+- definite joins at join sites ([T-JOIN], including the symmetric
+  fork/join loop correlation of Figure 11),
+- a forward *must-join* data-flow per thread, from which full joins
+  and the happens-before relation for siblings (Definition 2) derive.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.andersen import AndersenResult
+from repro.cfg.callgraph import CallGraph
+from repro.cfg.cfg import CFG
+from repro.cfg.icfg import ICFG, ICFGNode, NodeKind
+from repro.graphs.dataflow import DataflowProblem, solve_forward
+from repro.graphs.digraph import DiGraph
+from repro.ir.instructions import Call, Fork, Instruction, Join
+from repro.ir.module import Module
+from repro.ir.values import Function
+from repro.mt.context import Context
+from repro.mt.symmetry import SymmetricPair, find_symmetric_pairs
+
+
+class AbstractThread:
+    """A context-sensitive fork site (or the main thread)."""
+
+    def __init__(self, tid: int, parent: Optional["AbstractThread"],
+                 fork_site: Optional[Fork], spawn_ctx: Context,
+                 routine: Function, multi_forked: bool) -> None:
+        self.id = tid
+        self.parent = parent
+        self.fork_site = fork_site
+        self.spawn_ctx = spawn_ctx
+        self.routine = routine
+        self.multi_forked = multi_forked
+        self.children: List["AbstractThread"] = []
+
+    @property
+    def is_main(self) -> bool:
+        return self.parent is None
+
+    def ancestors(self) -> List["AbstractThread"]:
+        result = []
+        node = self.parent
+        while node is not None:
+            result.append(node)
+            node = node.parent
+        return result
+
+    def descendants(self) -> List["AbstractThread"]:
+        result: List[AbstractThread] = []
+        work = list(self.children)
+        while work:
+            t = work.pop()
+            result.append(t)
+            work.extend(t.children)
+        return result
+
+    def __repr__(self) -> str:
+        if self.is_main:
+            return "<thread t0 (main)>"
+        star = "*" if self.multi_forked else ""
+        return f"<thread t{self.id}{star} {self.routine.name} @ ctx{self.spawn_ctx!r}>"
+
+
+class ThreadStateGraph:
+    """A thread's context-expanded ICFG.
+
+    States are (context, ICFG node) pairs; edges follow intra edges,
+    descend into callee bodies at call nodes (pushing the callsite
+    unless it is cycle-collapsed), and return to the matching
+    return-site at function exits.
+    """
+
+    def __init__(self, thread: AbstractThread, icfg: ICFG, callgraph: CallGraph,
+                 max_context_depth: Optional[int] = None) -> None:
+        self.thread = thread
+        self.icfg = icfg
+        self.callgraph = callgraph
+        # None = full context-sensitivity (the paper's configuration,
+        # with recursion cycles collapsed). An integer k caps the
+        # callsite stack: deeper calls reuse the truncated context,
+        # and the return map fans returns out to every registered
+        # caller — coarser but sound, and much cheaper on programs
+        # with deep call chains.
+        self.max_context_depth = max_context_depth
+        self.graph = DiGraph()                      # over state ids (ints)
+        self.state_info: List[Tuple[Context, ICFGNode]] = []
+        self._index: Dict[Tuple[Context, int], int] = {}
+        self.entry_sid: int = -1
+        self.exit_sids: List[int] = []
+        self.instr_states: Dict[int, List[int]] = {}   # instr.id -> [sid]
+        # (fn, ctx-in-callee) -> [(caller ctx, retsite node)]
+        self._ret_map: Dict[Tuple[str, Context], List[Tuple[Context, ICFGNode]]] = {}
+        self._exit_states: Dict[Tuple[str, Context], int] = {}
+
+    def sid_of(self, ctx: Context, node: ICFGNode) -> Optional[int]:
+        return self._index.get((ctx, node.uid))
+
+    def state(self, sid: int) -> Tuple[Context, ICFGNode]:
+        return self.state_info[sid]
+
+    def _intern(self, ctx: Context, node: ICFGNode) -> Tuple[int, bool]:
+        key = (ctx, node.uid)
+        sid = self._index.get(key)
+        if sid is not None:
+            return sid, False
+        sid = len(self.state_info)
+        self._index[key] = sid
+        self.state_info.append((ctx, node))
+        self.graph.add_node(sid)
+        if node.instr is not None and node.kind in (NodeKind.STMT, NodeKind.CALL):
+            self.instr_states.setdefault(node.instr.id, []).append(sid)
+        if node.kind is NodeKind.EXIT:
+            self._exit_states[(node.function.name, ctx)] = sid
+            if node.function is self.thread.routine and ctx == Context.EMPTY:
+                self.exit_sids.append(sid)
+        return sid, True
+
+    def build(self) -> None:
+        entry_node = self.icfg.entry_of(self.thread.routine)
+        self.entry_sid, _ = self._intern(Context.EMPTY, entry_node)
+        work = [self.entry_sid]
+        while work:
+            sid = work.pop()
+            ctx, node = self.state_info[sid]
+            for succ_ctx, succ_node in self._successors(ctx, node):
+                succ_sid, fresh = self._intern(succ_ctx, succ_node)
+                self.graph.add_edge(sid, succ_sid)
+                if fresh:
+                    work.append(succ_sid)
+
+    def _successors(self, ctx: Context, node: ICFGNode) -> Iterable[Tuple[Context, ICFGNode]]:
+        if node.kind is NodeKind.CALL:
+            call = node.instr
+            callees = [fn for fn in self.callgraph.callees(call)
+                       if fn in self.icfg.entries]
+            retsite = self.icfg.retsite_of(call)
+            if not callees:
+                # External/unresolved call: fall through.
+                yield (ctx, retsite)
+                return
+            for callee in callees:
+                if self.callgraph.site_in_cycle(call):
+                    callee_ctx = ctx
+                elif self.max_context_depth is not None \
+                        and len(ctx) >= self.max_context_depth:
+                    callee_ctx = ctx  # k-limit reached: merge contexts
+                else:
+                    callee_ctx = ctx.push(call.id)
+                self._register_return(callee, callee_ctx, ctx, retsite)
+                yield (callee_ctx, self.icfg.entry_of(callee))
+            return
+        if node.kind is NodeKind.EXIT:
+            for caller_ctx, retsite in self._ret_map.get((node.function.name, ctx), []):
+                yield (caller_ctx, retsite)
+            return
+        # STMT / RETSITE / ENTRY: follow intra-procedural edges only.
+        # (Fork and join sites have only intra successors by
+        # construction of the ICFG.)
+        from repro.cfg.icfg import EdgeKind
+        for succ in self.icfg.successors(node):
+            if self.icfg.edge_kind(node, succ) is EdgeKind.INTRA:
+                yield (ctx, succ)
+
+    def _register_return(self, callee: Function, callee_ctx: Context,
+                         caller_ctx: Context, retsite: ICFGNode) -> None:
+        targets = self._ret_map.setdefault((callee.name, callee_ctx), [])
+        if (caller_ctx, retsite) in targets:
+            return
+        targets.append((caller_ctx, retsite))
+        # If the callee's exit state already exists (cycle-collapsed
+        # contexts revisited), wire the new return edge immediately.
+        exit_sid = self._exit_states.get((callee.name, callee_ctx))
+        if exit_sid is not None:
+            ret_sid, fresh = self._intern(caller_ctx, retsite)
+            self.graph.add_edge(exit_sid, ret_sid)
+            if fresh:
+                # Freshly created return site needs expansion: walk it.
+                self._expand_from(ret_sid)
+
+    def _expand_from(self, sid: int) -> None:
+        work = [sid]
+        while work:
+            cur = work.pop()
+            ctx, node = self.state_info[cur]
+            for succ_ctx, succ_node in self._successors(ctx, node):
+                succ_sid, fresh = self._intern(succ_ctx, succ_node)
+                self.graph.add_edge(cur, succ_sid)
+                if fresh:
+                    work.append(succ_sid)
+
+    def fork_states(self) -> List[Tuple[int, Fork]]:
+        result = []
+        for sid, (ctx, node) in enumerate(self.state_info):
+            if isinstance(node.instr, Fork) and node.kind is NodeKind.STMT:
+                result.append((sid, node.instr))
+        return result
+
+    def join_states(self) -> List[Tuple[int, Join]]:
+        result = []
+        for sid, (ctx, node) in enumerate(self.state_info):
+            if isinstance(node.instr, Join) and node.kind is NodeKind.STMT:
+                result.append((sid, node.instr))
+        return result
+
+    def states_of_instr(self, instr: Instruction) -> List[int]:
+        return self.instr_states.get(instr.id, [])
+
+
+class ThreadModel:
+    """Thread enumeration plus the relations FSAM's interference
+    analyses consume."""
+
+    def __init__(self, module: Module, andersen: AndersenResult,
+                 icfg: Optional[ICFG] = None,
+                 max_context_depth: Optional[int] = None) -> None:
+        self.module = module
+        self.andersen = andersen
+        self.callgraph = andersen.callgraph
+        self.icfg = icfg if icfg is not None else ICFG(module, self.callgraph)
+        self.max_context_depth = max_context_depth
+        self.threads: List[AbstractThread] = []
+        self.state_graphs: Dict[int, ThreadStateGraph] = {}
+        self.threads_by_fork: Dict[int, List[AbstractThread]] = {}
+        self.symmetric_pairs: Dict[Tuple[int, int], SymmetricPair] = {}
+        # Per thread: sid -> set of thread ids certainly dead past it.
+        self.kills_at: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        # Per thread: sid -> must-joined thread-id set.
+        self.must_join: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        # thread id -> ids of descendants it certainly joins by exit.
+        self.fully_joined: Dict[int, FrozenSet[int]] = {}
+        self.by_id: Dict[int, AbstractThread] = {}
+        self._loop_cache: Dict[str, Set] = {}
+        self._instr_by_id: Dict[int, Instruction] = {}
+        for instr in module.all_instructions():
+            self._instr_by_id[instr.id] = instr
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        self.symmetric_pairs = find_symmetric_pairs(self.module, self.andersen)
+        counter = itertools.count()
+        main = AbstractThread(next(counter), None, None, Context.EMPTY,
+                              self.module.main, False)
+        self.threads.append(main)
+        self.by_id[main.id] = main
+        seen: Set[Tuple[int, Context, int, str]] = set()
+        queue = [main]
+        while queue:
+            thread = queue.pop(0)
+            graph = ThreadStateGraph(thread, self.icfg, self.callgraph,
+                                     max_context_depth=self.max_context_depth)
+            graph.build()
+            self.state_graphs[thread.id] = graph
+            for sid, fork in graph.fork_states():
+                ctx, _node = graph.state(sid)
+                for routine in self.callgraph.callees(fork):
+                    if routine.is_declaration or not routine.blocks:
+                        continue
+                    key = (thread.id, ctx, fork.id, routine.name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    multi = self._is_multi_forked(thread, ctx, fork)
+                    child = AbstractThread(next(counter), thread, fork, ctx,
+                                           routine, multi)
+                    thread.children.append(child)
+                    self.threads.append(child)
+                    self.by_id[child.id] = child
+                    self.threads_by_fork.setdefault(fork.id, []).append(child)
+                    queue.append(child)
+        # Children first: must-join of a child feeds the transitive
+        # join closure of its parent.
+        for thread in reversed(self.threads):
+            self._compute_kills(thread)
+            self._compute_must_join(thread)
+
+    def _loop_blocks(self, fn: Function) -> Set:
+        blocks = self._loop_cache.get(fn.name)
+        if blocks is None:
+            blocks = CFG(fn).loop_blocks
+            self._loop_cache[fn.name] = blocks
+        return blocks
+
+    def _is_multi_forked(self, spawner: AbstractThread, ctx: Context, fork: Fork) -> bool:
+        """Definition 1: fork in a loop or recursion, or spawner in M."""
+        if spawner.multi_forked:
+            return True
+        fn = fork.function
+        if fn is None:
+            return True
+        if self.callgraph.in_cycle(fn):
+            return True
+        if fork.block in self._loop_blocks(fn):
+            return True
+        for site_id in ctx:
+            site = self._instr_by_id.get(site_id)
+            if site is None or site.function is None:
+                return True
+            if self.callgraph.in_cycle(site.function):
+                return True
+            if site.block in self._loop_blocks(site.function):
+                return True
+        return False
+
+    # -- joins ----------------------------------------------------------------
+
+    def definite_joins(self, thread: AbstractThread, join: Join) -> Set[AbstractThread]:
+        """Child threads certainly joined when *thread* executes *join*
+        ([T-JOIN]): the handle must name exactly one abstract thread,
+        spawned by *thread*, that denotes a unique runtime thread
+        (not multi-forked) — or a multi-forked thread matched by the
+        symmetric-loop correlation (handled separately via kill
+        blocks, so it is excluded here)."""
+        tids = self.andersen.pts(join.handle)
+        if len(tids) != 1:
+            return set()
+        tid = next(iter(tids))
+        fork = getattr(tid, "fork_site", None)
+        if fork is None:
+            return set()
+        candidates = [t for t in self.threads_by_fork.get(fork.id, [])
+                      if t.parent is thread]
+        if len(candidates) != 1:
+            return set()
+        child = candidates[0]
+        if child.multi_forked:
+            return set()
+        return {child}
+
+    def symmetric_join_of(self, thread: AbstractThread, join: Join) -> Optional[Tuple[AbstractThread, SymmetricPair]]:
+        """The multi-forked child joined by a symmetric join loop.
+        The structural matcher (not points-to purity) identifies the
+        fork, so reused tid arrays still correlate."""
+        for tid in self.andersen.pts(join.handle):
+            fork = getattr(tid, "fork_site", None)
+            if fork is None:
+                continue
+            pair = self.symmetric_pairs.get((fork.id, join.id))
+            if pair is None:
+                continue
+            candidates = [t for t in self.threads_by_fork.get(fork.id, [])
+                          if t.parent is thread]
+            if len(candidates) == 1:
+                return candidates[0], pair
+        return None
+
+    def _join_closure(self, child: AbstractThread) -> FrozenSet[int]:
+        """{child} plus descendants the child fully joins, transitively
+        ([T-JOIN] transitivity through full joins)."""
+        return frozenset({child.id}) | self.fully_joined.get(child.id, frozenset())
+
+    def _compute_kills(self, thread: AbstractThread) -> None:
+        graph = self.state_graphs[thread.id]
+        kills: Dict[int, Set[int]] = {}
+        for sid, join in graph.join_states():
+            ctx, node = graph.state(sid)
+            for child in self.definite_joins(thread, join):
+                kills.setdefault(sid, set()).update(self._join_closure(child))
+            symmetric = self.symmetric_join_of(thread, join)
+            if symmetric is not None:
+                child, pair = symmetric
+                closure = self._join_closure(child)
+                # The kill lands at the join loop's exits, where every
+                # runtime instance has been joined.
+                for block in pair.kill_blocks:
+                    first = block.instructions[0]
+                    kill_node = self.icfg.node_of(first)
+                    kill_sid = graph.sid_of(ctx, kill_node)
+                    if kill_sid is not None:
+                        kills.setdefault(kill_sid, set()).update(closure)
+        self.kills_at[thread.id] = {sid: frozenset(s) for sid, s in kills.items()}
+
+    def _compute_must_join(self, thread: AbstractThread) -> None:
+        """Forward must data-flow: which threads has *thread* certainly
+        joined when reaching each state."""
+        graph = self.state_graphs[thread.id]
+        kills = self.kills_at[thread.id]
+        universe = frozenset(t.id for t in self.threads)
+
+        problem = DataflowProblem(
+            graph.graph,
+            entry_fact=lambda sid: frozenset(),
+            bottom=lambda: universe,
+            transfer=lambda sid, fact: fact | kills.get(sid, frozenset()),
+            meet=lambda a, b: a & b,
+            equal=lambda a, b: a == b,
+        )
+        out = solve_forward(problem, [graph.entry_sid])
+        self.must_join[thread.id] = out
+        if graph.exit_sids:
+            joined = None
+            for sid in graph.exit_sids:
+                fact = out.get(sid, frozenset())
+                joined = fact if joined is None else (joined & fact)
+            self.fully_joined[thread.id] = joined or frozenset()
+        else:
+            self.fully_joined[thread.id] = frozenset()
+
+    # -- relations --------------------------------------------------------------
+
+    def is_ancestor(self, a: AbstractThread, b: AbstractThread) -> bool:
+        node = b.parent
+        while node is not None:
+            if node is a:
+                return True
+            node = node.parent
+        return False
+
+    def siblings(self, a: AbstractThread, b: AbstractThread) -> bool:
+        """[T-SIBLING]: neither transitively spawns the other."""
+        return a is not b and not self.is_ancestor(a, b) and not self.is_ancestor(b, a)
+
+    def _lca_children(self, a: AbstractThread, b: AbstractThread):
+        """(A, B): the children of the lowest common ancestor on the
+        paths to a and b. Returns None unless a, b are siblings."""
+        a_chain = [a] + a.ancestors()
+        b_chain = [b] + b.ancestors()
+        a_set = {t.id: i for i, t in enumerate(a_chain)}
+        for j, anc in enumerate(b_chain):
+            if anc.id in a_set:
+                i = a_set[anc.id]
+                if i == 0 or j == 0:
+                    return None  # ancestor relation, not siblings
+                return a_chain[i - 1], b_chain[j - 1]
+        return None
+
+    def happens_before(self, a: AbstractThread, b: AbstractThread) -> bool:
+        """Definition 2 (generalised through the spawn tree): a > b if,
+        in their lowest common ancestor L, the fork of b's ancestor
+        chain is preceded on every path by joins that certainly
+        include a."""
+        pair = self._lca_children(a, b)
+        if pair is None:
+            return False
+        child_a, child_b = pair
+        lca = child_b.parent
+        graph = self.state_graphs.get(lca.id)
+        if graph is None or child_b.fork_site is None:
+            return False
+        fork_node = self.icfg.node_of(child_b.fork_site)
+        sid = graph.sid_of(child_b.spawn_ctx, fork_node)
+        if sid is None:
+            return False
+        must = self.must_join.get(lca.id, {}).get(sid, frozenset())
+        if a.id in must:
+            return True
+        # a may be joined transitively: child_a fully joined and a
+        # fully joined within its own chain down from child_a.
+        if child_a.id in must:
+            joined = self.fully_joined.get(child_a.id, frozenset())
+            return a.id in joined or a is child_a
+        return False
+
+    def spawned_at(self, thread: AbstractThread, ctx: Context, fork: Fork) -> List[AbstractThread]:
+        return [t for t in self.threads_by_fork.get(fork.id, [])
+                if t.parent is thread and t.spawn_ctx == ctx]

@@ -1,0 +1,17 @@
+"""Synthetic multithreaded workloads standing in for the paper's
+benchmark suite (Table 1).
+
+Each module in :mod:`repro.workloads.programs` generates MiniC source
+reproducing one benchmark's concurrency idiom at a configurable
+scale: Phoenix's master-slave map-reduce loops, Parsec's task queues,
+pipelines and data-parallel kernels, and the open-source servers'
+detached worker threads. Absolute LOC is scaled down (CPython is not
+a C++ LLVM pass), but the structural knobs the evaluation turns —
+pointer density, synchronisation idiom, sharing patterns — follow the
+originals.
+"""
+
+from repro.workloads.base import Workload, source_loc
+from repro.workloads.registry import WORKLOADS, get_workload, workload_names
+
+__all__ = ["Workload", "WORKLOADS", "get_workload", "workload_names", "source_loc"]

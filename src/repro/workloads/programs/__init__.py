@@ -1,0 +1,1 @@
+"""One generator module per benchmark program (paper Table 1)."""

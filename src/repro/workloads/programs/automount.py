@@ -1,0 +1,129 @@
+"""automount (open-source): autofs mount-point management.
+
+A daemon-ish program with extensive lock usage around shared mount
+tables (the paper notes lock analysis is most beneficial here) and a
+handful of long-lived service threads joined individually — which
+exercises definite (non-loop) joins and happens-before ordering.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SourceWriter
+
+
+def generate(scale: int = 1) -> str:
+    tables = 7 * scale
+    ops = 5 * scale
+    w = SourceWriter()
+    w.line("// automount: lock-protected mount tables, individually joined threads")
+    w.open("struct mount")
+    w.line("int dev;")
+    w.line("int flags;")
+    w.line("struct mount *next;")
+    w.line("struct mount *parent;")
+    w.close(";")
+    w.open("struct table")
+    w.line("struct mount *entries;")
+    w.line("int count;")
+    w.close(";")
+    w.line("")
+    for t in range(tables):
+        w.line(f"struct table mount_table_{t};")
+        w.line(f"mutex_t table_lock_{t};")
+    w.line("thread_t expire_thread;")
+    w.line("thread_t submount_thread;")
+    w.line("thread_t signal_thread;")
+    w.line("int shutdown_flag;")
+    w.line("mutex_t state_lock;")
+    w.line("")
+
+    for t in range(tables):
+        w.open(f"struct mount *table_lookup_{t}(int dev)")
+        w.line("struct mount *m;")
+        w.line(f"lock(&table_lock_{t});")
+        w.line(f"m = mount_table_{t}.entries;")
+        w.open("while (m != null)")
+        w.open("if (m->dev == dev)")
+        w.line(f"unlock(&table_lock_{t});")
+        w.line("return m;")
+        w.close()
+        w.line("m = m->next;")
+        w.close()
+        w.line(f"unlock(&table_lock_{t});")
+        w.line("return null;")
+        w.close()
+        w.line("")
+        w.open(f"void table_insert_{t}(int dev)")
+        w.line("struct mount *m; struct mount *old;")
+        w.line("m = malloc(struct mount);")
+        w.line("m->dev = dev;")
+        w.line(f"lock(&table_lock_{t});")
+        w.line("// transient states within the critical section")
+        w.line(f"old = mount_table_{t}.entries;")
+        w.line(f"mount_table_{t}.entries = null;")
+        w.line("m->next = old;")
+        w.line(f"mount_table_{t}.entries = m;")
+        w.line(f"old = mount_table_{t}.entries;")
+        w.line(f"mount_table_{t}.count = mount_table_{t}.count + 1;")
+        w.line(f"unlock(&table_lock_{t});")
+        w.close()
+        w.line("")
+
+    for o in range(ops):
+        w.open(f"int do_umount_{o}(struct mount *m)")
+        w.line("struct mount *p;")
+        w.line("p = m->parent;")
+        w.open("if (p != null)")
+        w.line(f"p->flags = {o};")
+        w.close()
+        w.line("return 0;")
+        w.close()
+        w.line("")
+
+    w.open("void *expire_proc(void *arg)")
+    w.line("struct mount *m;")
+    w.line("int round;")
+    w.open("for (round = 0; round < 8; round = round + 1)")
+    for t in range(tables):
+        w.line(f"m = table_lookup_{t}(round);")
+        w.open("if (m != null)")
+        w.line(f"do_umount_{t % ops}(m);")
+        w.close()
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("void *submount_proc(void *arg)")
+    w.line("int i;")
+    w.open(f"for (i = 0; i < {tables}; i = i + 1)")
+    for t in range(tables):
+        w.line(f"table_insert_{t}(i + {t});")
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("void *signal_proc(void *arg)")
+    w.line("lock(&state_lock);")
+    w.line("shutdown_flag = 1;")
+    w.line("unlock(&state_lock);")
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("int main()")
+    w.line("int done;")
+    w.line("fork(&expire_thread, expire_proc, null);")
+    w.line("fork(&submount_thread, submount_proc, null);")
+    w.line("join(expire_thread);")
+    w.line("// after this join, expire_proc cannot race with signal_proc")
+    w.line("fork(&signal_thread, signal_proc, null);")
+    w.line("join(submount_thread);")
+    w.line("join(signal_thread);")
+    w.line("lock(&state_lock);")
+    w.line("done = shutdown_flag;")
+    w.line("unlock(&state_lock);")
+    w.line("return done;")
+    w.close()
+    return w.text()

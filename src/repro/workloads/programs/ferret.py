@@ -1,0 +1,111 @@
+"""ferret (Parsec-3.0): content-based similarity search server.
+
+The classic Parsec pipeline: distinct stage threads (segment ->
+extract -> index -> rank -> output) connected by bounded queues, each
+stage forked individually. Local pointer churn per stage is heavy —
+the pattern the paper credits value-flow analysis for (avoiding
+blind propagation of non-shared locals).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SourceWriter
+
+
+def generate(scale: int = 1) -> str:
+    stages = 5
+    features = 8 * scale
+    w = SourceWriter()
+    w.line("// ferret: pipeline of stage threads connected by locked queues")
+    w.open("struct item")
+    w.line("int id;")
+    w.line("int score;")
+    w.line("struct item *next;")
+    w.line("int *payload;")
+    w.close(";")
+    w.open("struct pipe_queue")
+    w.line("struct item *head;")
+    w.line("int depth;")
+    w.close(";")
+    w.line("")
+    for s in range(stages + 1):
+        w.line(f"struct pipe_queue stage_q_{s};")
+        w.line(f"mutex_t stage_lock_{s};")
+    for s in range(stages):
+        w.line(f"thread_t stage_tid_{s};")
+    w.line("int results;")
+    w.line("")
+
+    for s in range(stages + 1):
+        w.open(f"void q_push_{s}(struct item *it)")
+        w.line(f"lock(&stage_lock_{s});")
+        w.line(f"it->next = stage_q_{s}.head;")
+        w.line(f"stage_q_{s}.head = it;")
+        w.line(f"stage_q_{s}.depth = stage_q_{s}.depth + 1;")
+        w.line(f"unlock(&stage_lock_{s});")
+        w.close()
+        w.line("")
+        w.open(f"struct item *q_pop_{s}()")
+        w.line("struct item *it;")
+        w.line(f"lock(&stage_lock_{s});")
+        w.line(f"it = stage_q_{s}.head;")
+        w.open("if (it != null)")
+        w.line(f"stage_q_{s}.head = it->next;")
+        w.line(f"stage_q_{s}.depth = stage_q_{s}.depth - 1;")
+        w.close()
+        w.line(f"unlock(&stage_lock_{s});")
+        w.line("return it;")
+        w.close()
+        w.line("")
+
+    for f in range(features):
+        w.open(f"int feature_{f}(struct item *it)")
+        w.line("int *vec; int acc;")
+        w.line("vec = it->payload;")
+        w.line("acc = 0;")
+        w.open("if (vec != null)")
+        w.line(f"acc = *vec + {f};")
+        w.close()
+        w.line("return acc;")
+        w.close()
+        w.line("")
+
+    for s in range(stages):
+        w.open(f"void *stage_{s}(void *arg)")
+        w.line("struct item *it;")
+        w.line("int work; int acc;")
+        w.open("for (work = 0; work < 32; work = work + 1)")
+        w.line(f"it = q_pop_{s}();")
+        w.open("if (it != null)")
+        w.line("acc = 0;")
+        for f in range(s, features, stages):
+            w.line(f"acc = acc + feature_{f}(it);")
+        w.line("it->score = acc;")
+        w.line(f"q_push_{s + 1}(it);")
+        w.close()
+        w.close()
+        w.line("return null;")
+        w.close()
+        w.line("")
+
+    w.open("int main()")
+    w.line("int i;")
+    w.line("struct item *seed;")
+    w.line("struct item *out;")
+    w.open("for (i = 0; i < 16; i = i + 1)")
+    w.line("seed = malloc(struct item);")
+    w.line("seed->id = i;")
+    w.line("seed->payload = malloc(int);")
+    w.line("q_push_0(seed);")
+    w.close()
+    for s in range(stages):
+        w.line(f"fork(&stage_tid_{s}, stage_{s}, null);")
+    for s in range(stages):
+        w.line(f"join(stage_tid_{s});")
+    w.line(f"out = q_pop_{stages}();")
+    w.open("if (out != null)")
+    w.line("results = out->score;")
+    w.close()
+    w.line("return results;")
+    w.close()
+    return w.text()

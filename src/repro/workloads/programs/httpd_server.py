@@ -1,0 +1,148 @@
+"""httpd_server (open-source): a multithreaded HTTP server.
+
+The master-slave server idiom the paper calls out for interleaving
+analysis: an accept loop forks detached connection handlers (never
+joined -> multi-forked, alive forever), handlers dispatch through a
+function-pointer table to many per-route handlers touching shared
+config and statistics under locks.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SourceWriter
+
+
+def generate(scale: int = 1) -> str:
+    routes = 24 * scale
+    utils = 10 * scale
+    w = SourceWriter()
+    w.line("// httpd_server: accept loop forking detached handler threads")
+    w.open("struct request")
+    w.line("int method;")
+    w.line("int route;")
+    w.line("int *body;")
+    w.line("struct request *next;")
+    w.close(";")
+    w.open("struct server_config")
+    w.line("int port;")
+    w.line("int max_conns;")
+    w.line("int *doc_root;")
+    w.close(";")
+    w.open("struct stats")
+    w.line("int served;")
+    w.line("int errors;")
+    w.close(";")
+    w.line("")
+    w.line("struct server_config config;")
+    w.line("struct stats global_stats;")
+    w.line("mutex_t stats_lock;")
+    w.line("mutex_t config_lock;")
+    w.line("thread_t worker_slot;")
+    w.line("thread_t logger_tid;")
+    w.line(f"int handler_table[{routes}];")
+    w.line("struct request *request_pool;")
+    w.line("mutex_t pool_lock;")
+    for r in range(routes):
+        w.line(f"struct request *last_req_{r};")
+        w.line(f"int *route_stats_{r};")
+    w.line("")
+
+    for u in range(utils):
+        w.open(f"int parse_header_{u}(struct request *req)")
+        w.line("int *b;")
+        w.line("b = req->body;")
+        w.open("if (b != null)")
+        w.line(f"return *b + {u};")
+        w.close()
+        w.line("return 0;")
+        w.close()
+        w.line("")
+
+    for r in range(routes):
+        w.open(f"int handle_route_{r}(struct request *req)")
+        w.line("int code;")
+        w.line(f"code = parse_header_{r % utils}(req);")
+        w.line("lock(&stats_lock);")
+        w.line("global_stats.served = global_stats.served + 1;")
+        w.open("if (code < 0)")
+        w.line("global_stats.errors = global_stats.errors + 1;")
+        w.close()
+        w.line("unlock(&stats_lock);")
+        w.line(f"req->route = {r};")
+        w.line(f"last_req_{r} = req;")
+        w.open(f"if (route_stats_{r} != null)")
+        w.line(f"*route_stats_{r} = code;")
+        w.close()
+        w.line("return code;")
+        w.close()
+        w.line("")
+
+    w.open("struct request *alloc_request(int method)")
+    w.line("struct request *req;")
+    w.line("lock(&pool_lock);")
+    w.line("req = request_pool;")
+    w.open("if (req != null)")
+    w.line("request_pool = req->next;")
+    w.close()
+    w.open("else")
+    w.line("req = malloc(struct request);")
+    w.close()
+    w.line("unlock(&pool_lock);")
+    w.line("req->method = method;")
+    w.line("return req;")
+    w.close()
+    w.line("")
+
+    w.open("void free_request(struct request *req)")
+    w.line("lock(&pool_lock);")
+    w.line("req->next = request_pool;")
+    w.line("request_pool = req;")
+    w.line("unlock(&pool_lock);")
+    w.close()
+    w.line("")
+
+    w.open("void *connection_worker(void *arg)")
+    w.line("struct request *req;")
+    w.line("int code; int r;")
+    w.line("req = alloc_request(1);")
+    w.open(f"for (r = 0; r < {routes}; r = r + 1)")
+    dispatch = "    "
+    for r in range(routes):
+        w.open(f"if (r == {r})")
+        w.line(f"code = handle_route_{r}(req);")
+        w.close()
+    w.close()
+    w.line("free_request(req);")
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("void *stat_logger(void *arg)")
+    w.line("int snapshot;")
+    w.open("while (1)")
+    w.line("lock(&stats_lock);")
+    w.line("snapshot = global_stats.served;")
+    w.line("unlock(&stats_lock);")
+    w.open("if (snapshot > 1000)")
+    w.line("return null;")
+    w.close()
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("int main()")
+    w.line("int conn;")
+    w.line("config.port = 8080;")
+    w.line("config.doc_root = malloc(int);")
+    for r in range(routes):
+        w.line(f"route_stats_{r} = malloc(int);")
+    w.line("fork(&logger_tid, stat_logger, null);")
+    w.line("// detached workers: forked in the accept loop, never joined")
+    w.open("for (conn = 0; conn < 64; conn = conn + 1)")
+    w.line("fork(&worker_slot, connection_worker, null);")
+    w.close()
+    w.line("join(logger_tid);")
+    w.line("return global_stats.served;")
+    w.close()
+    return w.text()

@@ -1,0 +1,130 @@
+"""mt_daapd (open-source): a multithreaded DAAP media daemon.
+
+Master-slave daemon: a scanner thread populating a shared song
+database (locked linked lists), a pool of session threads querying
+it, and post-join maintenance in the master — the structure the paper
+says interleaving analysis helps most (slave work in start
+procedures, master post-processing after joining the slaves).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SourceWriter
+
+
+def generate(scale: int = 1) -> str:
+    indexes = 10 * scale
+    codecs = 12 * scale
+    w = SourceWriter()
+    w.line("// mt_daapd: scanner + session pool over a locked song database")
+    w.open("struct song")
+    w.line("int id;")
+    w.line("int codec;")
+    w.line("int *meta;")
+    w.line("struct song *next;")
+    w.close(";")
+    w.open("struct db_index")
+    w.line("struct song *head;")
+    w.line("int size;")
+    w.close(";")
+    w.line("")
+    for i in range(indexes):
+        w.line(f"struct db_index db_idx_{i};")
+        w.line(f"mutex_t idx_lock_{i};")
+    w.line("thread_t scanner_tid;")
+    w.line("thread_t session_tids[8];")
+    w.line("int playlist_total;")
+    w.line("struct song *now_playing;")
+    w.line("")
+
+    for c in range(codecs):
+        w.open(f"int probe_codec_{c}(struct song *s)")
+        w.line("int *m;")
+        w.line("m = s->meta;")
+        w.open("if (m != null)")
+        w.line(f"s->codec = {c};")
+        w.line("return *m;")
+        w.close()
+        w.line("return 0;")
+        w.close()
+        w.line("")
+
+    for i in range(indexes):
+        w.open(f"void db_add_{i}(struct song *s)")
+        w.line(f"lock(&idx_lock_{i});")
+        w.line(f"s->next = db_idx_{i}.head;")
+        w.line(f"db_idx_{i}.head = s;")
+        w.line(f"db_idx_{i}.size = db_idx_{i}.size + 1;")
+        w.line(f"unlock(&idx_lock_{i});")
+        w.close()
+        w.line("")
+        w.open(f"struct song *db_find_{i}(int id)")
+        w.line("struct song *s;")
+        w.line(f"lock(&idx_lock_{i});")
+        w.line(f"s = db_idx_{i}.head;")
+        w.open("while (s != null)")
+        w.open("if (s->id == id)")
+        w.line(f"unlock(&idx_lock_{i});")
+        w.line("return s;")
+        w.close()
+        w.line("s = s->next;")
+        w.close()
+        w.line(f"unlock(&idx_lock_{i});")
+        w.line("return null;")
+        w.close()
+        w.line("")
+
+    w.open("void *scanner_proc(void *arg)")
+    w.line("struct song *s;")
+    w.line("int f; int c;")
+    w.open("for (f = 0; f < 64; f = f + 1)")
+    w.line("s = malloc(struct song);")
+    w.line("s->id = f;")
+    w.line("s->meta = malloc(int);")
+    for c in range(codecs):
+        w.line(f"c = probe_codec_{c}(s);")
+    for i in range(indexes):
+        w.line(f"db_add_{i}(s);")
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("void *session_proc(void *arg)")
+    w.line("struct song *s;")
+    w.line("int q;")
+    w.open("for (q = 0; q < 32; q = q + 1)")
+    for i in range(indexes):
+        w.line(f"s = db_find_{i}(q);")
+        w.open("if (s != null)")
+        w.line("now_playing = s;")
+        w.close()
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("int main()")
+    w.line("int i;")
+    w.line("struct song *cur;")
+    w.line("fork(&scanner_tid, scanner_proc, null);")
+    w.open("for (i = 0; i < 8; i = i + 1)")
+    w.line("fork(&session_tids[i], session_proc, null);")
+    w.close()
+    w.line("join(scanner_tid);")
+    w.open("for (i = 0; i < 8; i = i + 1)")
+    w.line("join(session_tids[i]);")
+    w.close()
+    w.line("// post-join maintenance: master-only, no MHP with slaves;")
+    w.line("// coarse (PCG-style) MHP cannot see that and floods these")
+    w.line("// loads with spurious scanner-store edges.")
+    for i in range(indexes):
+        w.line(f"cur = db_idx_{i}.head;")
+        w.open("while (cur != null)")
+        w.line("playlist_total = playlist_total + 1;")
+        w.line("now_playing = cur;")
+        w.line("cur = cur->next;")
+        w.close()
+    w.line("return playlist_total;")
+    w.close()
+    return w.text()

@@ -1,0 +1,106 @@
+"""word_count (Phoenix-2.0): map-reduce word counting.
+
+The idiom the paper highlights in Figure 11: a fixed pool of slave
+threads forked in one loop storing ids into ``tids[i]`` and joined in
+a second, symmetric loop. Slaves insert into shared hash buckets
+under per-group locks; the master reduces after the join loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import SourceWriter
+
+
+def generate(scale: int = 1) -> str:
+    groups = 6 * scale          # bucket groups, each with own lock + mapper
+    chain_ops = 4               # list operations per mapper
+    w = SourceWriter()
+    w.line("// word_count: Phoenix-style map-reduce, symmetric fork/join loops")
+    w.open("struct entry")
+    w.line("int count;")
+    w.line("int key;")
+    w.line("struct entry *next;")
+    w.close(";")
+    w.line("")
+    for g in range(groups):
+        w.line(f"struct entry *bucket_{g};")
+        w.line(f"mutex_t bucket_lock_{g};")
+    w.line("int num_procs;")
+    w.line("thread_t tids[8];")
+    w.line("int total_count;")
+    w.line("struct entry *result_list;")
+    w.line("")
+
+    for g in range(groups):
+        w.open(f"void insert_entry_{g}(int key)")
+        w.line("struct entry *e;")
+        w.line("e = malloc(struct entry);")
+        w.line("e->count = 1;")
+        w.line("e->key = key;")
+        w.line(f"lock(&bucket_lock_{g});")
+        w.line(f"e->next = bucket_{g};")
+        w.line(f"bucket_{g} = e;")
+        w.line(f"unlock(&bucket_lock_{g});")
+        w.close()
+        w.line("")
+        w.open(f"int lookup_{g}(int key)")
+        w.line("struct entry *cur;")
+        w.line(f"lock(&bucket_lock_{g});")
+        w.line(f"cur = bucket_{g};")
+        w.open("while (cur != null)")
+        w.line("if (cur->key == key) { cur->count = cur->count + 1; }")
+        w.line("cur = cur->next;")
+        w.close()
+        w.line(f"unlock(&bucket_lock_{g});")
+        w.line("return 0;")
+        w.close()
+        w.line("")
+
+    w.open("void *wordcount_map(void *arg)")
+    w.line("int i;")
+    w.open(f"for (i = 0; i < {chain_ops}; i = i + 1)")
+    for g in range(groups):
+        w.line(f"insert_entry_{g}(i + {g});")
+        w.line(f"lookup_{g}(i);")
+    w.close()
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("void *wordcount_reduce(void *arg)")
+    w.line("struct entry *cur;")
+    for g in range(groups):
+        w.line(f"lock(&bucket_lock_{g});")
+        w.line(f"cur = bucket_{g};")
+        w.open("while (cur != null)")
+        w.line("total_count = total_count + cur->count;")
+        w.line("cur = cur->next;")
+        w.close()
+        w.line(f"unlock(&bucket_lock_{g});")
+    w.line("return null;")
+    w.close()
+    w.line("")
+
+    w.open("int main()")
+    w.line("int i;")
+    w.line("struct entry *final;")
+    w.line("num_procs = 8;")
+    w.open("for (i = 0; i < num_procs; i = i + 1)")
+    w.line("fork(&tids[i], wordcount_map, null);")
+    w.close()
+    w.open("for (i = 0; i < num_procs; i = i + 1)")
+    w.line("join(tids[i]);")
+    w.close()
+    w.line("// post-join: master-only reduction (no MHP with slaves)")
+    w.line("final = malloc(struct entry);")
+    w.line(f"final->next = bucket_0;")
+    w.line("result_list = final;")
+    w.open("for (i = 0; i < num_procs; i = i + 1)")
+    w.line("fork(&tids[i], wordcount_reduce, null);")
+    w.close()
+    w.open("for (i = 0; i < num_procs; i = i + 1)")
+    w.line("join(tids[i]);")
+    w.close()
+    w.line("return total_count;")
+    w.close()
+    return w.text()

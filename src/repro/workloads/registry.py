@@ -1,0 +1,46 @@
+"""The benchmark registry: one entry per Table 1 program."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.base import Workload
+
+
+def _lazy(name: str):
+    def generate(scale: int) -> str:
+        import importlib
+        module = importlib.import_module(f"repro.workloads.programs.{name}")
+        return module.generate(scale)
+    return generate
+
+
+WORKLOADS: Dict[str, Workload] = {}
+
+
+def _register(name: str, description: str, paper_loc: int, suite: str,
+              default_scale: int = 1) -> None:
+    WORKLOADS[name] = Workload(name=name, description=description,
+                               paper_loc=paper_loc, generate=_lazy(name),
+                               default_scale=default_scale, suite=suite)
+
+
+# Paper Table 1, in order.
+_register("word_count", "Word counter based on map-reduce", 6330, "Phoenix-2.0")
+_register("kmeans", "Iterative clustering of 3-D points", 6008, "Phoenix-2.0")
+_register("radiosity", "Graphics", 12781, "Parsec-3.0")
+_register("automount", "Manage autofs mount points", 13170, "open-source")
+_register("ferret", "Content similarity search server", 15735, "Parsec-3.0")
+_register("bodytrack", "Body tracking of a person", 19063, "Parsec-3.0")
+_register("httpd_server", "Http server", 52616, "open-source")
+_register("mt_daapd", "Multi-threaded DAAP Daemon", 57102, "open-source")
+_register("raytrace", "Real-time raytracing", 84373, "Parsec-3.0")
+_register("x264", "Media processing", 113481, "Parsec-3.0")
+
+
+def get_workload(name: str) -> Workload:
+    return WORKLOADS[name]
+
+
+def workload_names() -> List[str]:
+    return list(WORKLOADS.keys())

@@ -1,0 +1,139 @@
+"""Andersen pre-analysis: core inclusion constraints."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.ir import Load, Store
+
+
+def analyze(src):
+    m = compile_source(src)
+    return m, run_andersen(m)
+
+
+def names(objs):
+    return sorted(o.name for o in objs)
+
+
+class TestCoreConstraints:
+    def test_addr_of(self):
+        m, a = analyze("int x; int *p; int main() { p = &x; return 0; }")
+        assert names(a.pts(m.globals["p"])) == ["x"]
+
+    def test_copy_through_globals(self):
+        m, a = analyze("""
+        int x; int *p; int *q;
+        int main() { p = &x; q = p; return 0; }
+        """)
+        assert names(a.pts(m.globals["q"])) == ["x"]
+
+    def test_flow_insensitive_union(self):
+        m, a = analyze("""
+        int x; int y; int *p;
+        int main() { p = &x; p = &y; return 0; }
+        """)
+        assert names(a.pts(m.globals["p"])) == ["x", "y"]
+
+    def test_load_store_indirection(self):
+        m, a = analyze("""
+        int x; int *p; int **pp; int *q;
+        int main() { p = &x; pp = &p; q = *pp; return 0; }
+        """)
+        assert names(a.pts(m.globals["q"])) == ["x"]
+
+    def test_store_through_pointer(self):
+        m, a = analyze("""
+        int x; int y; int *p; int **pp;
+        int main() { pp = &p; *pp = &y; return 0; }
+        """)
+        assert "y" in names(a.pts(m.globals["p"]))
+
+    def test_null_points_nowhere(self):
+        m, a = analyze("int *p; int main() { p = null; return 0; }")
+        assert a.pts(m.globals["p"]) == set()
+
+    def test_copy_cycle_collapses(self):
+        m, a = analyze("""
+        int x; int *p; int *q; int *r;
+        int main() { int i;
+            p = &x;
+            for (i = 0; i < 3; i = i + 1) { q = p; r = q; p = r; }
+            return 0; }
+        """)
+        assert names(a.pts(m.globals["p"])) == ["x"]
+        assert names(a.pts(m.globals["q"])) == ["x"]
+        assert names(a.pts(m.globals["r"])) == ["x"]
+
+    def test_may_alias(self):
+        m, a = analyze("""
+        int x; int y; int *p; int *q; int *r;
+        int main() { p = &x; q = &x; r = &y; return 0; }
+        """)
+        p, q, r = m.globals["p"], m.globals["q"], m.globals["r"]
+        assert a.may_alias(p, q)
+        assert not a.may_alias(p, r)
+        assert names(a.alias_set(p, q)) == ["x"]
+
+    def test_heap_contents(self):
+        m, a = analyze("""
+        int g;
+        int **pp;
+        int main() { pp = malloc(sizeof(int)); *pp = &g; return 0; }
+        """)
+        heap = next(o for o in m.objects if o.name.startswith("malloc"))
+        assert names(a.pts(heap)) == ["g"]
+
+
+class TestInterprocedural:
+    def test_param_passing(self):
+        m, a = analyze("""
+        int x; int *keep;
+        void f(int *p) { keep = p; }
+        int main() { f(&x); return 0; }
+        """)
+        assert names(a.pts(m.globals["keep"])) == ["x"]
+
+    def test_return_values(self):
+        m, a = analyze("""
+        int x; int *got;
+        int *mk() { return &x; }
+        int main() { got = mk(); return 0; }
+        """)
+        assert names(a.pts(m.globals["got"])) == ["x"]
+
+    def test_multi_callsite_merging(self):
+        m, a = analyze("""
+        int x; int y; int *keep;
+        void f(int *p) { keep = p; }
+        int main() { f(&x); f(&y); return 0; }
+        """)
+        assert names(a.pts(m.globals["keep"])) == ["x", "y"]
+
+    def test_recursive_flow(self):
+        m, a = analyze("""
+        int x; int *keep;
+        void walk(int *p, int n) {
+            keep = p;
+            if (n > 0) { walk(p, n - 1); }
+        }
+        int main() { walk(&x, 3); return 0; }
+        """)
+        assert names(a.pts(m.globals["keep"])) == ["x"]
+
+    def test_fork_arg_flows_to_routine_param(self):
+        m, a = analyze("""
+        int x; int *keep;
+        void *w(void *arg) { keep = arg; return null; }
+        int main() { thread_t t; fork(&t, w, &x); join(t); return 0; }
+        """)
+        assert names(a.pts(m.globals["keep"])) == ["x"]
+
+    def test_thread_id_objects_per_fork(self):
+        m, a = analyze("""
+        void *w(void *arg) { return null; }
+        int main() { thread_t t1; thread_t t2;
+            fork(&t1, w, null); fork(&t2, w, null);
+            join(t1); join(t2); return 0; }
+        """)
+        assert len(a.thread_objects) == 2
+        tids = list(a.thread_objects.values())
+        assert tids[0] is not tids[1]

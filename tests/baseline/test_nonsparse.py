@@ -1,0 +1,119 @@
+"""NONSPARSE baseline tests."""
+
+import pytest
+
+from repro.baseline import NonSparseAnalysis
+from repro.frontend import compile_source
+from repro.fsam import FSAMConfig
+from repro.fsam.config import AnalysisTimeout
+
+
+def run(src, budget=None):
+    m = compile_source(src)
+    return NonSparseAnalysis(m, FSAMConfig(time_budget=budget)).run()
+
+
+class TestSequentialPrecision:
+    def test_flow_sensitive_loads(self):
+        r = run("""
+int x; int y; int A;
+int *p; int *mid; int *last;
+int main() {
+    p = &A;
+    *p = &x;
+    mid = *p;
+    *p = &y;
+    last = *p;
+    return 0;
+}
+""")
+        assert r.deref_pts_names_at_line(7) == {"x"}
+        assert r.deref_pts_names_at_line(9) == {"y"}
+
+    def test_strong_update_kills(self):
+        r = run("""
+int x; int y; int A;
+int *p; int *out;
+int main() {
+    p = &A;
+    *p = &x;
+    *p = &y;
+    out = *p;
+    return 0;
+}
+""")
+        assert r.deref_pts_names_at_line(8) == {"y"}
+
+    def test_branch_merge(self):
+        r = run("""
+int x; int y; int A; int c;
+int *p; int *out;
+int main() {
+    p = &A;
+    if (c) { *p = &x; } else { *p = &y; }
+    out = *p;
+    return 0;
+}
+""")
+        assert r.deref_pts_names_at_line(7) == {"x", "y"}
+
+
+class TestThreadSoundness:
+    def test_parallel_store_visible(self):
+        r = run("""
+int x; int y; int A;
+int *p;
+int *c;
+void *w(void *arg) { *p = &y; return null; }
+int main() {
+    thread_t t;
+    p = &A;
+    *p = &x;
+    fork(&t, w, null);
+    c = *p;
+    return 0;
+}
+""")
+        got = r.deref_pts_names_at_line(11)
+        assert {"x", "y"} <= got
+
+    def test_coarseness_after_join(self):
+        # The baseline has no flow-sensitive join reasoning: the
+        # routine's store still pollutes the post-join read with the
+        # *pre-join* main value retained (no precise strong update
+        # ordering across threads).
+        r = run("""
+int x; int y; int A;
+int *p;
+int *c;
+void *w(void *arg) { *p = &y; return null; }
+int main() {
+    thread_t t;
+    p = &A;
+    *p = &x;
+    fork(&t, w, null);
+    join(t);
+    c = *p;
+    return 0;
+}
+""")
+        got = r.deref_pts_names_at_line(12)
+        assert "y" in got  # sound
+        # FSAM proves {y}; the baseline may keep x as well — check it
+        # is at least sound, and record the coarseness when present.
+        assert got >= {"y"}
+
+
+class TestTimeout:
+    def test_budget_enforced(self):
+        src_parts = ["int g%d; int *p%d;" % (i, i) for i in range(40)]
+        body = "\n".join(f"p{i} = &g{i};" for i in range(40))
+        src = "\n".join(src_parts) + "\nint main() { " + body + " return 0; }"
+        m = compile_source(src)
+        with pytest.raises(AnalysisTimeout):
+            NonSparseAnalysis(m, FSAMConfig(time_budget=0.0)).run()
+
+    def test_metrics_exposed(self):
+        r = run("int x; int *p; int main() { p = &x; return 0; }")
+        assert r.points_to_entries() > 0
+        assert r.total_time() >= 0

@@ -1,0 +1,68 @@
+"""Procedure-level concurrency graph tests."""
+
+from repro.andersen import run_andersen
+from repro.baseline import ProcedureConcurrencyGraph
+from repro.frontend import compile_source
+
+
+def build(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    return m, ProcedureConcurrencyGraph(m, a)
+
+
+SRC = """
+int g;
+void util() { g = 1; }
+void *w1(void *a) { util(); return null; }
+void *w2(void *a) { return null; }
+void main_only() { }
+int main() {
+    thread_t t1; thread_t t2;
+    fork(&t1, w1, null);
+    fork(&t2, w2, null);
+    main_only();
+    join(t1); join(t2);
+    return 0;
+}
+"""
+
+
+class TestPCG:
+    def test_thread_classes_created(self):
+        m, pcg = build(SRC)
+        assert len(pcg.class_procs) == 3  # main + two fork classes
+
+    def test_footprints_include_callees(self):
+        m, pcg = build(SRC)
+        w1_classes = pcg.classes_of(m.functions["w1"])
+        assert any(m.functions["util"] in pcg.class_procs[c] for c in w1_classes)
+
+    def test_distinct_threads_concurrent(self):
+        m, pcg = build(SRC)
+        assert pcg.procedures_concurrent(m.functions["w1"], m.functions["w2"])
+        assert pcg.procedures_concurrent(m.functions["main_only"], m.functions["w1"])
+
+    def test_single_threaded_program_nothing_concurrent(self):
+        m, pcg = build("""
+        void f() { }
+        int main() { f(); return 0; }
+        """)
+        assert not pcg.procedures_concurrent(m.functions["f"], m.functions["main"])
+
+    def test_multi_forked_class_self_concurrent(self):
+        m, pcg = build("""
+        thread_t tids[4];
+        void *w(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) { fork(&tids[i], w, null); }
+            return 0; }
+        """)
+        w = m.functions["w"]
+        assert pcg.procedures_concurrent(w, w)
+
+    def test_no_join_reasoning(self):
+        # PCG is coarser than the interleaving analysis: even after the
+        # join, procedures of different classes are deemed concurrent.
+        m, pcg = build(SRC)
+        assert pcg.procedures_concurrent(m.functions["main"], m.functions["w1"])

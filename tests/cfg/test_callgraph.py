@@ -1,0 +1,92 @@
+"""Call-graph tests (on-the-fly construction by the pre-analysis)."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.ir import Call, Fork
+
+
+def analyze(src):
+    m = compile_source(src)
+    return m, run_andersen(m)
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        m, a = analyze("""
+        void f() { }
+        int main() { f(); return 0; }
+        """)
+        call = next(i for i in m.functions["main"].instructions() if isinstance(i, Call))
+        assert a.callgraph.callees(call) == {m.functions["f"]}
+        assert call in a.callgraph.callsites_of(m.functions["f"])
+
+    def test_indirect_resolution_through_memory(self):
+        m, a = analyze("""
+        int g;
+        void h1(int *p) { *p = 1; }
+        void h2(int *p) { *p = 2; }
+        int *table[2];
+        int main() {
+            int *fp;
+            table[0] = h1;
+            table[1] = h2;
+            fp = table[0];
+            fp(&g);
+            return 0;
+        }
+        """)
+        call = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Call) and i.args)
+        callees = {f.name for f in a.callgraph.callees(call)}
+        assert callees == {"h1", "h2"}  # monolithic array: both
+
+    def test_fork_edges(self):
+        m, a = analyze("""
+        void *w(void *x) { return null; }
+        int main() { thread_t t; fork(&t, w, null); join(t); return 0; }
+        """)
+        fork = next(i for i in m.functions["main"].instructions() if isinstance(i, Fork))
+        assert {f.name for f in a.callgraph.callees(fork)} == {"w"}
+
+    def test_recursion_detected(self):
+        m, a = analyze("""
+        int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+        int main() { return f(3); }
+        """)
+        assert a.callgraph.in_cycle(m.functions["f"])
+        assert not a.callgraph.in_cycle(m.functions["main"])
+
+    def test_mutual_recursion_same_scc(self):
+        m, a = analyze("""
+        int g(int n);
+        """ .replace("int g(int n);", "") + """
+        int f(int n) { if (n < 1) { return 0; } return g(n - 1); }
+        int g(int n) { return f(n); }
+        int main() { return f(3); }
+        """)
+        cg = a.callgraph
+        assert cg.in_cycle(m.functions["f"])
+        assert cg.in_cycle(m.functions["g"])
+        assert cg.scc_id(m.functions["f"]) == cg.scc_id(m.functions["g"])
+
+    def test_site_in_cycle(self):
+        m, a = analyze("""
+        int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+        int main() { return f(3); }
+        """)
+        rec_call = next(i for i in m.functions["f"].instructions() if isinstance(i, Call))
+        outer_call = next(i for i in m.functions["main"].instructions() if isinstance(i, Call))
+        assert a.callgraph.site_in_cycle(rec_call)
+        assert not a.callgraph.site_in_cycle(outer_call)
+
+    def test_reachable_functions(self):
+        m, a = analyze("""
+        void leaf() { }
+        void mid() { leaf(); }
+        void orphan() { }
+        int main() { mid(); return 0; }
+        """)
+        reach = a.callgraph.reachable_functions([m.functions["main"]])
+        names = {f.name for f in reach}
+        assert "leaf" in names and "mid" in names
+        assert "orphan" not in names

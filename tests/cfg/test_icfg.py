@@ -1,0 +1,94 @@
+"""ICFG construction tests."""
+
+from repro.andersen import run_andersen
+from repro.cfg import ICFG, NodeKind
+from repro.cfg.icfg import EdgeKind
+from repro.frontend import compile_source
+from repro.ir import Call, Fork, Join
+
+
+def build(src):
+    m = compile_source(src)
+    andersen = run_andersen(m)
+    return m, ICFG(m, andersen.callgraph)
+
+
+SRC = """
+int g;
+void callee(int *p) { *p = 1; }
+void *worker(void *a) { g = 2; return null; }
+int main() {
+    thread_t t;
+    callee(&g);
+    fork(&t, worker, null);
+    join(t);
+    return g;
+}
+"""
+
+
+class TestICFG:
+    def test_entry_exit_per_function(self):
+        m, icfg = build(SRC)
+        for name in ("main", "callee", "worker"):
+            fn = m.functions[name]
+            assert icfg.entry_of(fn).kind is NodeKind.ENTRY
+            assert icfg.exit_of(fn).kind is NodeKind.EXIT
+
+    def test_call_split_into_call_and_retsite(self):
+        m, icfg = build(SRC)
+        call = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Call))
+        cnode = icfg.node_of(call)
+        rnode = icfg.retsite_of(call)
+        assert cnode.kind is NodeKind.CALL
+        assert rnode.kind is NodeKind.RETSITE
+        # Fallthrough intra edge always present.
+        assert rnode in icfg.successors(cnode)
+
+    def test_call_and_ret_edges_to_callee(self):
+        m, icfg = build(SRC)
+        call = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Call))
+        callee = m.functions["callee"]
+        cnode = icfg.node_of(call)
+        assert icfg.entry_of(callee) in icfg.successors(cnode)
+        assert icfg.edge_kind(cnode, icfg.entry_of(callee)) is EdgeKind.CALL
+        rnode = icfg.retsite_of(call)
+        assert rnode in icfg.successors(icfg.exit_of(callee))
+        assert icfg.edge_kind(icfg.exit_of(callee), rnode) is EdgeKind.RET
+
+    def test_fork_has_no_interprocedural_edges(self):
+        m, icfg = build(SRC)
+        fork = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Fork))
+        fnode = icfg.node_of(fork)
+        worker = m.functions["worker"]
+        # Paper Section 3.1: no outgoing edges for a fork site beyond
+        # the intra fall-through.
+        assert icfg.entry_of(worker) not in icfg.successors(fnode)
+        assert all(icfg.edge_kind(fnode, s) is EdgeKind.INTRA
+                   for s in icfg.successors(fnode))
+
+    def test_join_is_plain_statement_node(self):
+        m, icfg = build(SRC)
+        join = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Join))
+        jnode = icfg.node_of(join)
+        assert jnode.kind is NodeKind.STMT
+        assert len(icfg.successors(jnode)) == 1
+
+    def test_indirect_call_edges_added_after_resolution(self):
+        src = """
+        int g;
+        void h(int *p) { *p = 1; }
+        int main() { int *fp; fp = h; fp(&g); return 0; }
+        """
+        m = compile_source(src)
+        andersen = run_andersen(m)
+        icfg = ICFG(m, andersen.callgraph)
+        # The call may have been direct-resolved by mem2reg; either way
+        # the callee entry must be reachable from main's entry.
+        entry = icfg.entry_of(m.functions["main"])
+        reach = icfg.graph.reachable_from(entry)
+        assert icfg.entry_of(m.functions["h"]) in reach

@@ -1,0 +1,129 @@
+"""Data race detector tests."""
+
+from repro.clients import detect_races
+from repro.frontend import compile_source
+
+
+def races_of(src):
+    return detect_races(compile_source(src))
+
+
+class TestRaceDetection:
+    def test_unprotected_concurrent_write_read(self):
+        races = races_of("""
+int g; int x;
+int *shared;
+int *c;
+void *w(void *arg) { shared = &g; return null; }
+int main() {
+    thread_t t;
+    shared = &x;
+    fork(&t, w, null);
+    c = shared;
+    return 0;
+}
+""")
+        assert races
+        assert any(r.obj.name == "shared" for r in races)
+
+    def test_lock_protected_accesses_not_reported(self):
+        races = races_of("""
+int g; int x;
+int *shared;
+int *c;
+mutex_t mu;
+void *w(void *arg) {
+    lock(&mu);
+    shared = &g;
+    unlock(&mu);
+    return null;
+}
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    lock(&mu);
+    c = shared;
+    unlock(&mu);
+    return 0;
+}
+""")
+        assert not any(r.obj.name == "shared" for r in races)
+
+    def test_join_ordered_accesses_not_reported(self):
+        races = races_of("""
+int g; int x;
+int *shared;
+int *c;
+void *w(void *arg) { shared = &g; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    join(t);
+    c = shared;
+    return 0;
+}
+""")
+        assert races == []
+
+    def test_sequential_program_no_races(self):
+        races = races_of("""
+int x;
+int *p; int *q;
+int main() { p = &x; q = p; return 0; }
+""")
+        assert races == []
+
+    def test_write_write_race(self):
+        races = races_of("""
+int a_t; int b_t;
+int *shared;
+void *w(void *arg) { shared = &a_t; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    shared = &b_t;
+    join(t);
+    return 0;
+}
+""")
+        ww = [r for r in races if r.is_write_write and r.obj.name == "shared"]
+        assert ww
+
+    def test_partially_locked_still_races(self):
+        # Only one side takes the lock: still a race.
+        races = races_of("""
+int g; int x;
+int *shared;
+int *c;
+mutex_t mu;
+void *w(void *arg) {
+    lock(&mu);
+    shared = &g;
+    unlock(&mu);
+    return null;
+}
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    c = shared;
+    return 0;
+}
+""")
+        assert any(r.obj.name == "shared" for r in races)
+
+    def test_describe_readable(self):
+        races = races_of("""
+int g;
+int *shared;
+void *w(void *arg) { shared = &g; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    shared = null;
+    join(t);
+    return 0;
+}
+""")
+        assert races
+        text = races[0].describe()
+        assert "race on 'shared'" in text

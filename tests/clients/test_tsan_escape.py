@@ -1,0 +1,108 @@
+"""Instrumentation-reduction and escape-classification client tests."""
+
+from repro.clients import (
+    AccessClass, EscapeClass, classify_escapes, reduce_instrumentation,
+)
+from repro.frontend import compile_source
+from repro.ir import Load, Store
+
+
+MIXED = """
+mutex_t mu;
+int g;
+int *locked_shared;     // only ever touched under mu
+int *racy_shared;       // touched without protection
+int *main_only;         // never touched by the worker
+
+void *worker(void *arg) {
+    lock(&mu);
+    locked_shared = &g;
+    unlock(&mu);
+    racy_shared = &g;
+    return null;
+}
+
+int main() {
+    thread_t t;
+    int *x;
+    fork(&t, worker, null);
+    lock(&mu);
+    x = locked_shared;
+    unlock(&mu);
+    x = racy_shared;
+    main_only = &g;
+    join(t);
+    return 0;
+}
+"""
+
+
+class TestInstrumentationReduction:
+    def test_classification(self):
+        m = compile_source(MIXED)
+        report = reduce_instrumentation(m)
+        by_class = {}
+        for instr_id, cls in report.classes.items():
+            instr = report.accesses[instr_id]
+            if isinstance(instr, (Load, Store)):
+                by_class.setdefault(cls, []).append(instr)
+        assert report.count(AccessClass.RACY) >= 2      # racy_shared pair
+        assert report.count(AccessClass.LOCKED) >= 2    # locked_shared pair
+        assert report.count(AccessClass.LOCAL) >= 1     # main_only
+
+    def test_reduction_fraction(self):
+        m = compile_source(MIXED)
+        report = reduce_instrumentation(m)
+        assert 0.0 < report.reduction < 1.0
+        assert "instrumentation avoided" in report.summary()
+
+    def test_sequential_program_everything_local(self):
+        m = compile_source("""
+        int g; int *p; int *q;
+        int main() { p = &g; q = p; return 0; }
+        """)
+        report = reduce_instrumentation(m)
+        assert report.count(AccessClass.RACY) == 0
+        assert report.reduction == 1.0
+
+    def test_workload_reduction_substantial(self):
+        from repro.workloads import get_workload
+        m = compile_source(get_workload("radiosity").source(1))
+        report = reduce_instrumentation(m)
+        # Lock-heavy code: most accesses provably not racy.
+        assert report.reduction > 0.5
+
+
+class TestEscapeClassification:
+    def test_mixed_program(self):
+        m = compile_source(MIXED)
+        report = classify_escapes(m)
+        classes = {report.objects[k].name: v for k, v in report.classes.items()}
+        assert classes["locked_shared"] is EscapeClass.SHARED
+        assert classes["racy_shared"] is EscapeClass.SHARED
+        assert classes["main_only"] is EscapeClass.THREAD_LOCAL
+
+    def test_multi_forked_self_sharing(self):
+        m = compile_source("""
+        int g; int *p;
+        thread_t tids[4];
+        void *w(void *arg) { p = &g; p = p; return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) { fork(&tids[i], w, null); }
+            return 0; }
+        """)
+        report = classify_escapes(m)
+        classes = {report.objects[k].name: v for k, v in report.classes.items()}
+        # p is touched only by the worker, but the worker is
+        # multi-forked: instances share it.
+        assert classes["p"] is EscapeClass.SHARED
+
+    def test_sequential_all_local(self):
+        m = compile_source("""
+        int g; int *p;
+        int main() { p = &g; p = p; return 0; }
+        """)
+        report = classify_escapes(m)
+        assert report.count(EscapeClass.SHARED) == 0
+        assert report.count(EscapeClass.THREAD_LOCAL) >= 1
+        assert "objects" in report.summary()

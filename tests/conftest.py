@@ -1,0 +1,24 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+
+
+def analyze(source: str, config: FSAMConfig = None):
+    """Compile + run FSAM (fresh module per call)."""
+    module = compile_source(source)
+    return FSAM(module, config).run()
+
+
+@pytest.fixture
+def compile_src():
+    return compile_source
+
+
+@pytest.fixture
+def run_fsam():
+    return analyze

@@ -1,0 +1,114 @@
+"""SSA-construction (mem2reg) tests."""
+
+from repro.frontend import compile_source
+from repro.ir import AddrOf, Load, Phi, Store, verify_module
+from repro.ir.values import ObjectKind
+
+
+def main_instrs(m, kind):
+    return [i for i in m.functions["main"].instructions() if isinstance(i, kind)]
+
+
+class TestPromotion:
+    def test_straightline_promotion_removes_memory_ops(self):
+        m = compile_source("int main() { int a; int b; a = 1; b = a; return b; }")
+        assert not main_instrs(m, Load)
+        assert not main_instrs(m, Store)
+        assert not main_instrs(m, Phi)
+
+    def test_if_join_gets_phi(self):
+        m = compile_source("""
+        int main() { int x; if (1) { x = 1; } else { x = 2; } return x; }
+        """)
+        phis = main_instrs(m, Phi)
+        assert len(phis) == 1
+        incoming = {repr(v) for v, _ in phis[0].incomings}
+        assert incoming == {"1", "2"}
+
+    def test_loop_header_phi(self):
+        m = compile_source("""
+        int main() { int i; i = 0; while (i < 3) { i = i + 1; } return i; }
+        """)
+        phis = main_instrs(m, Phi)
+        assert len(phis) == 1
+        assert len(phis[0].incomings) == 2
+
+    def test_uninitialised_use_gets_zero(self):
+        m = compile_source("int main() { int x; return x; }")
+        ret = [i for i in m.functions["main"].instructions()][-1]
+        assert repr(ret.value) == "0"
+
+    def test_pointer_local_promoted_with_null_undef(self):
+        m = compile_source("""
+        int g;
+        int main() { int *p; if (1) { p = &g; } return 0; }
+        """)
+        phis = main_instrs(m, Phi)
+        # p is live-out of the if; one incoming is null (undef).
+        if phis:
+            values = {repr(v) for v, _ in phis[0].incomings}
+            assert "null" in values
+
+    def test_escaping_local_not_promoted(self):
+        m = compile_source("""
+        void taker(int *p) { *p = 1; }
+        int main() { int x; taker(&x); return x; }
+        """)
+        stack_addrs = [i for i in main_instrs(m, AddrOf)
+                       if i.obj.kind is ObjectKind.STACK]
+        assert stack_addrs
+
+    def test_struct_local_not_promoted(self):
+        m = compile_source("""
+        struct s { int a; };
+        int main() { struct s v; v.a = 1; return v.a; }
+        """)
+        assert main_instrs(m, Store)
+
+    def test_array_local_not_promoted(self):
+        m = compile_source("int main() { int a[3]; a[0] = 1; return a[0]; }")
+        assert main_instrs(m, Store)
+
+    def test_params_promoted(self):
+        m = compile_source("int f(int a) { return a + 1; } int main() { return f(1); }")
+        f_loads = [i for i in m.functions["f"].instructions() if isinstance(i, Load)]
+        assert not f_loads
+
+    def test_param_address_taken_not_promoted(self):
+        m = compile_source("""
+        int f(int a) { int *p; p = &a; *p = 2; return a; }
+        int main() { return f(1); }
+        """)
+        f_loads = [i for i in m.functions["f"].instructions() if isinstance(i, Load)]
+        assert f_loads
+
+    def test_nested_loops_verify(self):
+        m = compile_source("""
+        int main() { int i; int j; int s;
+            s = 0;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) { s = s + i * j; }
+            }
+            return s; }
+        """)
+        verify_module(m)
+        assert len(main_instrs(m, Phi)) >= 3  # i, j, s
+
+    def test_deep_if_chain_no_recursion_error(self):
+        body = "x = 0;\n" + "\n".join(
+            f"if (x == {i}) {{ x = x + 1; }}" for i in range(300))
+        m = compile_source("int main() { int x; " + body + " return x; }")
+        verify_module(m)
+
+    def test_value_chain_resolution(self):
+        # b = a; c = b; d = c — replacement chains must resolve fully.
+        m = compile_source("""
+        int g;
+        int main() { int *a; int *b; int *c;
+            a = &g; b = a; c = b; *c = 1; return 0; }
+        """)
+        stores = main_instrs(m, Store)
+        assert len(stores) == 1
+        # The store pointer must resolve to the AddrOf temp directly.
+        addr = main_instrs(m, AddrOf)[0]
+        assert stores[0].ptr is addr.dst

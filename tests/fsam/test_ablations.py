@@ -1,0 +1,91 @@
+"""Ablation semantics: turning a phase off must never lose soundness,
+only precision and performance (paper Section 4.3)."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.ir import Load
+from repro.workloads import get_workload
+
+PROGRAMS = ["word_count", "radiosity", "mt_daapd"]
+
+
+def loads_of(module):
+    return [i for i in module.all_instructions() if isinstance(i, Load)]
+
+
+def normalised(objs):
+    """Names comparable across two compilations of the same source:
+    abstract thread-id objects embed per-run instruction ids, so they
+    are collapsed (they all denote 'some tid of this program')."""
+    return {"tid" if o.name.startswith("tid.fork") else o.name for o in objs}
+
+
+def run(src, config=None):
+    module = compile_source(src)
+    return module, FSAM(module, config).run()
+
+
+@pytest.mark.parametrize("name", PROGRAMS)
+@pytest.mark.parametrize("phase", ["interleaving", "value_flow", "lock_analysis"])
+class TestAblationMonotonicity:
+    def test_ablated_is_superset_at_loads(self, name, phase):
+        src = get_workload(name).source(1)
+        m1, base = run(src)
+        m2, ablated = run(src, FSAMConfig().ablated(phase))
+        for l1, l2 in zip(loads_of(m1), loads_of(m2)):
+            precise = normalised(base.pts(l1.dst))
+            coarse = normalised(ablated.pts(l2.dst))
+            assert precise <= coarse, (
+                f"{name}/{phase}: ablation lost facts at {l1!r}: "
+                f"{sorted(precise - coarse)}")
+
+
+class TestAblationEdgeCounts:
+    def test_no_value_flow_inflates_edges(self):
+        src = get_workload("radiosity").source(1)
+        _m1, base = run(src)
+        _m2, novf = run(src, FSAMConfig(value_flow=False))
+        assert len(novf.dug.thread_edges) > len(base.dug.thread_edges)
+
+    def test_no_lock_inflates_edges_on_lock_heavy_code(self):
+        src = get_workload("radiosity").source(1)
+        _m1, base = run(src)
+        _m2, nolock = run(src, FSAMConfig(lock_analysis=False))
+        assert len(nolock.dug.thread_edges) >= len(base.dug.thread_edges)
+
+    def test_no_interleaving_inflates_edges_on_master_slave(self):
+        src = get_workload("mt_daapd").source(1)
+        _m1, base = run(src)
+        _m2, coarse = run(src, FSAMConfig(interleaving=False))
+        assert len(coarse.dug.thread_edges) >= len(base.dug.thread_edges)
+
+
+class TestNoValueFlowPrecisionLoss:
+    def test_figure1d_pollution(self):
+        # With AS(*p,*q) disregarded, the non-aliased store *x = r
+        # pollutes pt(c) — the exact Section 1.1 example.
+        src = """
+int x_; int y; int z; int a_;
+int *p; int *q; int *r;
+int **x;
+int *c;
+void foo(void *arg) {
+    *p = q;
+    *x = r;
+    return null;
+}
+int main() {
+    thread_t t;
+    p = &x_; q = &y; r = &z; x = &a_;
+    fork(&t, foo, null);
+    c = *p;
+    return 0;
+}
+"""
+        _m, base = run(src)
+        assert base.deref_pts_names_at_line(15) == {"y"}
+        _m2, novf = run(src, FSAMConfig(value_flow=False))
+        got = novf.deref_pts_names_at_line(15)
+        assert "z" in got, "the spurious edge should pollute pt(c)"

@@ -1,0 +1,80 @@
+"""Generic forward data-flow engine tests."""
+
+from repro.graphs import DataflowProblem, DiGraph, solve_forward
+
+
+def build(edges):
+    g = DiGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+def reaching_labels(graph, entry, gen):
+    """A tiny may-analysis: which labels reach each node."""
+    problem = DataflowProblem(
+        graph,
+        entry_fact=lambda n: frozenset(),
+        bottom=lambda: frozenset(),
+        transfer=lambda n, fact: fact | gen.get(n, frozenset()),
+        meet=lambda a, b: a | b,
+        equal=lambda a, b: a == b,
+    )
+    return solve_forward(problem, [entry])
+
+
+class TestMayAnalysis:
+    def test_linear_accumulation(self):
+        g = build([(1, 2), (2, 3)])
+        out = reaching_labels(g, 1, {1: frozenset("a"), 2: frozenset("b")})
+        assert out[3] == {"a", "b"}
+
+    def test_branch_union_at_join(self):
+        g = build([(1, 2), (1, 3), (2, 4), (3, 4)])
+        out = reaching_labels(g, 1, {2: frozenset("x"), 3: frozenset("y")})
+        assert out[4] == {"x", "y"}
+
+    def test_loop_reaches_fixpoint(self):
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4)])
+        out = reaching_labels(g, 1, {3: frozenset("l")})
+        assert "l" in out[2]
+        assert "l" in out[4]
+
+    def test_unreachable_nodes_not_solved(self):
+        g = build([(1, 2), (8, 9)])
+        out = reaching_labels(g, 1, {})
+        assert 9 not in out
+
+
+class TestMustAnalysis:
+    def test_intersection_at_join(self):
+        g = build([(1, 2), (1, 3), (2, 4), (3, 4)])
+        universe = frozenset("abc")
+        gen = {2: frozenset("ab"), 3: frozenset("b")}
+        problem = DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset(),
+            bottom=lambda: universe,
+            transfer=lambda n, fact: fact | gen.get(n, frozenset()),
+            meet=lambda a, b: a & b,
+            equal=lambda a, b: a == b,
+        )
+        out = solve_forward(problem, [1])
+        assert out[4] == {"b"}  # only b holds on every path
+
+    def test_must_through_loop(self):
+        # A label generated before the loop must still hold after it.
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4)])
+        universe = frozenset("ab")
+        gen = {1: frozenset("a")}
+        problem = DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset(),
+            bottom=lambda: universe,
+            transfer=lambda n, fact: fact | gen.get(n, frozenset()),
+            meet=lambda a, b: a & b,
+            equal=lambda a, b: a == b,
+        )
+        out = solve_forward(problem, [1])
+        assert "a" in out[4]
+        assert "b" not in out[4]

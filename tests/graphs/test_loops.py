@@ -1,0 +1,61 @@
+"""Natural loop discovery tests."""
+
+from repro.graphs import DiGraph, natural_loops
+from repro.graphs.loops import blocks_in_loops
+
+
+def build(edges):
+    g = DiGraph()
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestNaturalLoops:
+    def test_no_loops_on_dag(self):
+        g = build([(1, 2), (2, 3)])
+        assert natural_loops(g, 1) == []
+
+    def test_simple_while_loop(self):
+        # 1 -> 2(header) -> 3(body) -> 2, 2 -> 4
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4)])
+        loops = natural_loops(g, 1)
+        assert len(loops) == 1
+        assert loops[0].header == 2
+        assert loops[0].body == {2, 3}
+
+    def test_self_loop(self):
+        g = build([(1, 2), (2, 2), (2, 3)])
+        loops = natural_loops(g, 1)
+        assert len(loops) == 1
+        assert loops[0].body == {2}
+
+    def test_nested_loops(self):
+        # outer: 2..5, inner: 3..4
+        g = build([(1, 2), (2, 3), (3, 4), (4, 3), (4, 5), (5, 2), (2, 6)])
+        loops = natural_loops(g, 1)
+        headers = {l.header: l for l in loops}
+        assert set(headers) == {2, 3}
+        assert headers[3].body == {3, 4}
+        assert headers[2].body >= {2, 3, 4, 5}
+
+    def test_two_back_edges_same_header_merge(self):
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4), (4, 2), (2, 5)])
+        loops = natural_loops(g, 1)
+        assert len(loops) == 1
+        assert loops[0].body == {2, 3, 4}
+
+    def test_blocks_in_loops_union(self):
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4)])
+        assert blocks_in_loops(g, 1) == {2, 3}
+
+    def test_goto_like_cycle_not_dominated_is_ignored(self):
+        # Edge 4 -> 2 where 2 does not dominate 4 is not a back edge.
+        g = build([(1, 2), (1, 4), (4, 2), (2, 3)])
+        assert natural_loops(g, 1) == []
+
+    def test_loop_membership_operator(self):
+        g = build([(1, 2), (2, 3), (3, 2), (2, 4)])
+        loop = natural_loops(g, 1)[0]
+        assert 3 in loop
+        assert 4 not in loop

@@ -1,0 +1,79 @@
+"""Tarjan SCC and condensation tests."""
+
+from repro.graphs import DiGraph, condensation, tarjan_scc
+
+
+def build(edges, nodes=()):
+    g = DiGraph()
+    for n in nodes:
+        g.add_node(n)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+def scc_sets(graph):
+    return {frozenset(c) for c in tarjan_scc(graph)}
+
+
+class TestTarjan:
+    def test_empty_graph(self):
+        assert tarjan_scc(DiGraph()) == []
+
+    def test_singletons_on_dag(self):
+        g = build([(1, 2), (2, 3)])
+        assert scc_sets(g) == {frozenset({1}), frozenset({2}), frozenset({3})}
+
+    def test_simple_cycle(self):
+        g = build([(1, 2), (2, 3), (3, 1)])
+        assert scc_sets(g) == {frozenset({1, 2, 3})}
+
+    def test_two_cycles_bridged(self):
+        g = build([(1, 2), (2, 1), (2, 3), (3, 4), (4, 3)])
+        assert scc_sets(g) == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_self_loop_is_its_own_scc(self):
+        g = build([(1, 1), (1, 2)])
+        assert scc_sets(g) == {frozenset({1}), frozenset({2})}
+
+    def test_reverse_topological_emission(self):
+        # Tarjan emits callees before callers.
+        g = build([(1, 2), (2, 3)])
+        sccs = tarjan_scc(g)
+        order = [c[0] for c in sccs]
+        assert order.index(3) < order.index(2) < order.index(1)
+
+    def test_isolated_nodes(self):
+        g = build([], nodes=["a", "b"])
+        assert scc_sets(g) == {frozenset({"a"}), frozenset({"b"})}
+
+    def test_large_chain_no_recursion_error(self):
+        # The iterative implementation must survive deep graphs.
+        n = 5000
+        g = build([(i, i + 1) for i in range(n)])
+        assert len(tarjan_scc(g)) == n + 1
+
+    def test_large_cycle(self):
+        n = 2000
+        edges = [(i, (i + 1) % n) for i in range(n)]
+        g = build(edges)
+        assert scc_sets(g) == {frozenset(range(n))}
+
+
+class TestCondensation:
+    def test_condensed_dag_edges(self):
+        g = build([(1, 2), (2, 1), (2, 3)])
+        dag, scc_of = condensation(g)
+        assert scc_of[1] == scc_of[2] != scc_of[3]
+        assert dag.has_edge(scc_of[1], scc_of[3])
+
+    def test_condensation_is_acyclic(self):
+        g = build([(1, 2), (2, 3), (3, 1), (3, 4), (4, 5), (5, 4)])
+        dag, scc_of = condensation(g)
+        inner = {frozenset(c) for c in tarjan_scc(dag)}
+        assert all(len(c) == 1 for c in inner)
+
+    def test_no_self_edges_in_condensation(self):
+        g = build([(1, 2), (2, 1)])
+        dag, scc_of = condensation(g)
+        assert not dag.has_edge(scc_of[1], scc_of[1])

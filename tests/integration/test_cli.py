@@ -1,0 +1,105 @@
+"""CLI smoke tests (driving repro.cli.main directly)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SAMPLE = """
+mutex_t mu;
+int g;
+int *shared;
+int *c;
+void *w(void *arg) { shared = &g; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    c = shared;
+    join(t);
+    return 0;
+}
+"""
+
+ABBA = """
+mutex_t la; mutex_t lb;
+int g; int *p;
+void *t1_fn(void *arg) { lock(&la); lock(&lb); p = &g; unlock(&lb); unlock(&la); return null; }
+void *t2_fn(void *arg) { lock(&lb); lock(&la); p = &g; unlock(&la); unlock(&lb); return null; }
+int main() {
+    thread_t a; thread_t b;
+    fork(&a, t1_fn, null); fork(&b, t2_fn, null);
+    join(a); join(b);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def sample(tmp_path):
+    path = tmp_path / "sample.mc"
+    path.write_text(SAMPLE)
+    return str(path)
+
+
+@pytest.fixture
+def abba(tmp_path):
+    path = tmp_path / "abba.mc"
+    path.write_text(ABBA)
+    return str(path)
+
+
+class TestCLI:
+    def test_analyze_text(self, sample, capsys):
+        assert main(["analyze", sample]) == 0
+        out = capsys.readouterr().out
+        assert "points-to at loads" in out
+        assert "shared" in out
+
+    def test_analyze_json(self, sample, capsys):
+        assert main(["analyze", sample, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "stats" in payload and "loads" in payload
+        assert any("g" in l["pts"] for l in payload["loads"])
+
+    def test_races_exit_code(self, sample, capsys):
+        assert main(["races", sample]) == 2  # the unprotected pair
+        assert "race" in capsys.readouterr().out
+
+    def test_deadlocks(self, abba, capsys):
+        assert main(["deadlocks", abba]) == 2
+        assert "lock-order cycle" in capsys.readouterr().out
+
+    def test_deadlocks_json(self, abba, capsys):
+        assert main(["deadlocks", abba, "--json"]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["first"] in ("la", "lb")
+
+    def test_tsan(self, sample, capsys):
+        assert main(["tsan", sample]) == 0
+        assert "instrumentation avoided" in capsys.readouterr().out
+
+    def test_escape(self, sample, capsys):
+        assert main(["escape", sample]) == 0
+        out = capsys.readouterr().out
+        assert "shared: shared" in out
+
+    def test_threads(self, sample, capsys):
+        assert main(["threads", sample]) == 0
+        assert "abstract thread" in capsys.readouterr().out
+
+    def test_ir_dump(self, sample, capsys):
+        assert main(["ir", sample]) == 0
+        assert "define main" in capsys.readouterr().out
+
+    def test_dot_outputs(self, sample, capsys):
+        for what in ("dug", "icfg", "threads"):
+            assert main(["dot", sample, "--what", what]) == 0
+            assert "digraph" in capsys.readouterr().out
+
+    def test_compare(self, sample, capsys):
+        assert main(["compare", sample]) == 0
+        assert "speedup" in capsys.readouterr().out
+
+    def test_ablation_flags(self, sample, capsys):
+        assert main(["analyze", sample, "--no-lock", "--no-interleaving"]) == 0

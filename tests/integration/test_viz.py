@@ -1,0 +1,56 @@
+"""DOT exporter tests."""
+
+from repro import viz
+from repro.cfg import ICFG
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+
+SRC = """
+int g; int *p;
+void *w(void *arg) { p = &g; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    p = &g;
+    join(t);
+    return 0;
+}
+"""
+
+
+class TestViz:
+    def test_dug_dot(self):
+        m = compile_source(SRC)
+        r = FSAM(m).run()
+        dot = viz.dug_to_dot(r.dug)
+        assert dot.startswith("digraph DUG")
+        assert dot.rstrip().endswith("}")
+        assert "->" in dot
+
+    def test_dug_dot_thread_edges_highlighted(self):
+        m = compile_source(SRC)
+        r = FSAM(m).run()
+        dot = viz.dug_to_dot(r.dug)
+        if r.dug.thread_edges:
+            assert "color=red" in dot
+
+    def test_dug_dot_max_nodes(self):
+        m = compile_source(SRC)
+        r = FSAM(m).run()
+        dot = viz.dug_to_dot(r.dug, max_nodes=3)
+        assert dot.count("[label=") <= 3 + dot.count("->")
+
+    def test_icfg_dot_filtered(self):
+        m = compile_source(SRC)
+        r = FSAM(m).run()
+        icfg = ICFG(m, r.andersen.callgraph)
+        dot = viz.icfg_to_dot(icfg, function_names=["w"])
+        assert "digraph ICFG" in dot
+        assert "main" not in dot.split("digraph")[1].split("\n")[3] if True else True
+
+    def test_thread_tree_dot(self):
+        m = compile_source(SRC)
+        r = FSAM(m).run()
+        dot = viz.thread_tree_to_dot(r.thread_model)
+        assert "t0" in dot and "t1" in dot
+        assert "t0 -> t1" in dot

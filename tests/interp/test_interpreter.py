@@ -1,0 +1,207 @@
+"""Concrete interpreter tests."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.interp import ExecutionLimit, Interpreter, run_program
+
+
+def observed_names(obs):
+    return {o.target.name for o in obs}
+
+
+class TestSequentialExecution:
+    def test_simple_pointer_chain(self):
+        m = compile_source("""
+int x; int *p; int *q;
+int main() { p = &x; q = p; return 0; }
+""")
+        obs = run_program(m)
+        assert "x" in observed_names(obs)
+
+    def test_arithmetic_and_branching(self):
+        m = compile_source("""
+int r;
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 5; i = i + 1) {
+        if (i % 2 == 0) { s = s + i; }
+    }
+    r = s;
+    return r;
+}
+""")
+        run_program(m)  # terminates without error
+
+    def test_struct_fields_runtime(self):
+        m = compile_source("""
+struct pair { int *a; int *b; };
+int x; int y;
+struct pair g;
+int *out;
+int main() {
+    g.a = &x;
+    g.b = &y;
+    out = g.b;
+    return 0;
+}
+""")
+        obs = run_program(m)
+        # The load of g.b observes the field object of y's pointer? No:
+        # it observes the *target* y.
+        assert "y" in observed_names(obs)
+
+    def test_function_calls_and_returns(self):
+        m = compile_source("""
+int x;
+int *give() { return &x; }
+int *out; int *readback;
+int main() { out = give(); readback = out; return 0; }
+""")
+        obs = run_program(m)
+        assert "x" in observed_names(obs)
+
+    def test_recursion_executes(self):
+        m = compile_source("""
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int main() { return fact(5); }
+""")
+        run_program(m)
+
+    def test_malloc_linked_list(self):
+        m = compile_source("""
+struct n { int v; struct n *next; };
+struct n *head;
+int main() {
+    struct n *a; struct n *b;
+    a = malloc(struct n);
+    b = malloc(struct n);
+    a->next = b;
+    head = a;
+    head = head->next;
+    return 0;
+}
+""")
+        obs = run_program(m)
+        assert any(name.startswith("malloc") for name in observed_names(obs))
+
+    def test_step_budget(self):
+        m = compile_source("int main() { while (1) { } return 0; }")
+        with pytest.raises(ExecutionLimit):
+            run_program(m, max_steps=500)
+
+
+class TestThreads:
+    FORKJOIN = """
+int g; int *p;
+void *w(void *arg) { p = &g; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    join(t);
+    return 0;
+}
+"""
+
+    def test_fork_runs_routine(self):
+        m = compile_source(self.FORKJOIN)
+        interp = Interpreter(m, seed=1)
+        interp.run()
+        assert len(interp.threads) == 2
+        assert all(t.done for t in interp.threads)
+
+    def test_join_blocks_until_done(self):
+        # Under every schedule, the routine finishes before main exits.
+        for seed in range(5):
+            m = compile_source(self.FORKJOIN)
+            interp = Interpreter(m, seed=seed)
+            interp.run()
+            assert all(t.done for t in interp.threads)
+
+    def test_fork_loop_spawns_many(self):
+        m = compile_source("""
+thread_t tids[4];
+void *w(void *arg) { return null; }
+int main() { int i;
+    for (i = 0; i < 4; i = i + 1) { fork(&tids[i], w, null); }
+    for (i = 0; i < 4; i = i + 1) { join(tids[i]); }
+    return 0; }
+""")
+        interp = Interpreter(m, seed=3)
+        interp.run()
+        assert len(interp.threads) == 5
+
+    def test_schedules_differ(self):
+        src = """
+int g; int x; int y;
+int *p;
+int *c;
+void *w(void *arg) { p = &y; return null; }
+int main() {
+    thread_t t;
+    p = &x;
+    fork(&t, w, null);
+    c = p;
+    join(t);
+    return 0;
+}
+"""
+        seen = set()
+        for seed in range(20):
+            m = compile_source(src)
+            obs = run_program(m, seed=seed)
+            # the final read of p (c = p) sees x or y depending on order
+            seen |= observed_names(obs)
+        assert {"x", "y"} <= seen
+
+    def test_locks_mutually_exclude(self):
+        m = compile_source("""
+mutex_t mu;
+int counter;
+void *w(void *arg) {
+    lock(&mu);
+    counter = counter + 1;
+    unlock(&mu);
+    return null;
+}
+int main() {
+    thread_t a; thread_t b;
+    fork(&a, w, null);
+    fork(&b, w, null);
+    join(a); join(b);
+    return counter;
+}
+""")
+        interp = Interpreter(m, seed=7)
+        interp.run()
+        assert all(t.done for t in interp.threads)
+        assert not interp.locks_held
+
+    def test_deadlock_detected(self):
+        m = compile_source("""
+mutex_t mu;
+int main() {
+    lock(&mu);
+    lock(&mu);
+    return 0;
+}
+""")
+        with pytest.raises(ExecutionLimit, match="deadlock"):
+            run_program(m)
+
+    def test_fork_arg_passed(self):
+        m = compile_source("""
+int x;
+int *keep; int *readback;
+void *w(void *arg) { keep = arg; return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, &x);
+    join(t);
+    readback = keep;
+    return 0;
+}
+""")
+        obs = run_program(m, seed=2)
+        assert "x" in observed_names(obs)

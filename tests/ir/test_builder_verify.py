@@ -1,0 +1,179 @@
+"""IR builder, printer, and verifier tests."""
+
+import pytest
+
+from repro.ir import (
+    Branch, Copy, IRBuilder, Jump, Module, Phi, Ret, Store, Temp,
+    VerificationError, print_function, print_module, verify_module, INT,
+)
+from repro.ir.types import PointerType
+
+
+def fresh():
+    m = Module("t")
+    return m, IRBuilder(m)
+
+
+class TestBuilder:
+    def test_function_with_entry_block(self):
+        m, b = fresh()
+        fn = b.new_function("main")
+        assert fn.blocks and fn.entry.label.endswith("0")
+        b.ret()
+        verify_module(m)
+
+    def test_addr_of_types_pointer(self):
+        m, b = fresh()
+        b.new_function("main")
+        obj = b.stack_object("x", INT)
+        p = b.addr_of(obj)
+        assert isinstance(p.type, PointerType)
+        b.ret()
+        verify_module(m)
+
+    def test_store_load_roundtrip_structure(self):
+        m, b = fresh()
+        b.new_function("main")
+        obj = b.stack_object("x", INT)
+        p = b.addr_of(obj)
+        b.store(p, b.const(3))
+        v = b.load(p)
+        b.ret(v)
+        verify_module(m)
+
+    def test_branch_and_blocks(self):
+        m, b = fresh()
+        fn = b.new_function("main")
+        then = b.new_block("then")
+        other = b.new_block("else")
+        b.branch(b.const(1), then, other)
+        b.position_at(then)
+        b.ret()
+        b.position_at(other)
+        b.ret()
+        verify_module(m)
+        assert len(fn.blocks) == 3
+
+    def test_unique_block_labels(self):
+        m, b = fresh()
+        b.new_function("main")
+        b1 = b.new_block("loop")
+        b2 = b.new_block("loop")
+        assert b1.label != b2.label
+
+    def test_fork_join_lock_unlock(self):
+        m, b = fresh()
+        worker = b.new_function("worker")
+        b.ret()
+        b.position(m.function("main") if "main" in m.functions else b.new_function("main"), None) if False else None
+        main = b.new_function("main")
+        lock_obj = b.stack_object("m", INT)
+        lp = b.addr_of(lock_obj)
+        b.lock(lp)
+        b.unlock(lp)
+        slot = b.stack_object("t", INT)
+        hp = b.addr_of(slot)
+        b.fork(hp, worker, None)
+        h = b.load(hp)
+        b.join(h)
+        b.ret()
+        verify_module(m)
+
+
+class TestPrinter:
+    def test_print_module_contains_functions(self):
+        m, b = fresh()
+        b.new_function("main")
+        b.ret()
+        text = print_module(m)
+        assert "define main" in text
+        assert "ret" in text
+
+    def test_print_function_lists_blocks(self):
+        m, b = fresh()
+        fn = b.new_function("f")
+        b.ret()
+        text = print_function(fn)
+        assert fn.blocks[0].label + ":" in text
+
+
+class TestVerifier:
+    def test_missing_terminator(self):
+        m, b = fresh()
+        b.new_function("main")  # entry block left unterminated
+        with pytest.raises(VerificationError, match="missing terminator"):
+            verify_module(m)
+
+    def test_double_definition(self):
+        m, b = fresh()
+        b.new_function("main")
+        t = b.temp(INT)
+        b.block.append(Copy(t, b.const(1)))
+        b.block.append(Copy(t, b.const(2)))
+        b.ret()
+        with pytest.raises(VerificationError, match="defined twice"):
+            verify_module(m)
+
+    def test_use_of_undefined_temp(self):
+        m, b = fresh()
+        b.new_function("main")
+        ghost = Temp("ghost", INT)
+        b.block.append(Copy(b.temp(INT), ghost))
+        b.ret()
+        with pytest.raises(VerificationError, match="undefined temp"):
+            verify_module(m)
+
+    def test_terminator_not_last(self):
+        m, b = fresh()
+        b.new_function("main")
+        b.ret()
+        b.block.append(Copy(b.temp(INT), b.const(1)))
+        b.block.append(Ret())
+        with pytest.raises(VerificationError, match="not last"):
+            verify_module(m)
+
+    def test_phi_incomings_must_match_predecessors(self):
+        m, b = fresh()
+        fn = b.new_function("main")
+        merge = b.new_block("merge")
+        b.jump(merge)
+        b.position_at(merge)
+        t = b.temp(INT)
+        phi = Phi(t)
+        phi.add_incoming(b.const(1), fn.entry)
+        phi.add_incoming(b.const(2), fn.entry)  # duplicate pred set ok (set-compare)
+        merge.insert(0, phi)
+        b.ret()
+        verify_module(m)  # same set of predecessors: fine
+
+    def test_phi_with_wrong_pred_fails(self):
+        m, b = fresh()
+        fn = b.new_function("main")
+        merge = b.new_block("merge")
+        stranger = b.new_block("stranger")
+        b.jump(merge)
+        b.position_at(stranger)
+        b.ret()
+        b.position_at(merge)
+        t = b.temp(INT)
+        phi = Phi(t)
+        phi.add_incoming(b.const(1), stranger)
+        merge.insert(0, phi)
+        b.ret()
+        with pytest.raises(VerificationError, match="phi"):
+            verify_module(m)
+
+    def test_phi_after_non_phi_fails(self):
+        m, b = fresh()
+        fn = b.new_function("main")
+        merge = b.new_block("merge")
+        b.jump(merge)
+        b.position_at(merge)
+        c = b.copy(b.const(1))
+        t = b.temp(INT)
+        phi = Phi(t)
+        phi.add_incoming(b.const(1), fn.entry)
+        merge.append(phi)
+        b.ret()
+        with pytest.raises(VerificationError, match="after non-phi"):
+            verify_module(m)

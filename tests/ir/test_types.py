@@ -1,0 +1,74 @@
+"""IR type system tests."""
+
+from repro.ir.types import (
+    ArrayType, FunctionType, IntType, LockType, PointerType, StructType,
+    ThreadType, VoidType, INT, VOID, pointer_to,
+)
+
+
+class TestStructuralEquality:
+    def test_int_equality(self):
+        assert IntType() == IntType()
+        assert IntType() != VoidType()
+
+    def test_pointer_equality(self):
+        assert PointerType(INT) == PointerType(INT)
+        assert PointerType(INT) != PointerType(VOID)
+        assert PointerType(PointerType(INT)) == PointerType(PointerType(INT))
+
+    def test_hashable(self):
+        s = {PointerType(INT), PointerType(INT), INT}
+        assert len(s) == 2
+
+    def test_array_equality(self):
+        assert ArrayType(INT, 4) == ArrayType(INT, 4)
+        assert ArrayType(INT, 4) != ArrayType(INT, 8)
+
+    def test_function_type(self):
+        f1 = FunctionType(VOID, [INT, PointerType(INT)])
+        f2 = FunctionType(VOID, [INT, PointerType(INT)])
+        assert f1 == f2
+        assert f1 != FunctionType(INT, [INT])
+
+    def test_thread_and_lock_types(self):
+        assert ThreadType() == ThreadType()
+        assert LockType() == LockType()
+        assert ThreadType() != LockType()
+
+
+class TestStructs:
+    def test_nominal_identity(self):
+        a = StructType("node", [("v", INT)])
+        b = StructType("node")  # same name, fields filled later
+        assert a == b
+
+    def test_different_names_differ(self):
+        assert StructType("a") != StructType("b")
+
+    def test_field_lookup(self):
+        s = StructType("pair", [("fst", INT), ("snd", PointerType(INT))])
+        assert s.field_index("snd") == 1
+        assert s.field_type(1) == PointerType(INT)
+
+    def test_missing_field_raises(self):
+        s = StructType("pair", [("fst", INT)])
+        try:
+            s.field_index("nope")
+            assert False, "expected KeyError"
+        except KeyError:
+            pass
+
+    def test_recursive_struct_reprs(self):
+        s = StructType("node")
+        s.fields = [("next", PointerType(s))]
+        assert "node" in repr(s)
+
+
+class TestHelpers:
+    def test_is_pointer(self):
+        assert pointer_to(INT).is_pointer()
+        assert not INT.is_pointer()
+
+    def test_reprs(self):
+        assert repr(pointer_to(INT)) == "int*"
+        assert repr(ArrayType(INT, 3)) == "int[3]"

@@ -1,0 +1,88 @@
+"""Value and abstract-object tests."""
+
+from repro.ir.types import ArrayType, IntType, PointerType, StructType, INT
+from repro.ir.values import Constant, Function, MemObject, ObjectKind, Temp
+
+
+class TestTemps:
+    def test_unique_ids(self):
+        a = Temp("a", INT)
+        b = Temp("a", INT)
+        assert a.id != b.id
+        assert a is not b
+
+    def test_repr(self):
+        assert repr(Temp("x", INT)) == "%x"
+
+
+class TestConstants:
+    def test_null(self):
+        n = Constant.null(PointerType(INT))
+        assert n.is_null
+        assert repr(n) == "null"
+
+    def test_int_constant(self):
+        c = Constant(7, INT)
+        assert c.value == 7
+        assert not c.is_null
+
+
+class TestMemObjects:
+    def test_singleton_global(self):
+        obj = MemObject("g", INT, ObjectKind.GLOBAL)
+        assert obj.is_singleton
+
+    def test_heap_not_singleton(self):
+        obj = MemObject("h", INT, ObjectKind.HEAP)
+        assert not obj.is_singleton
+
+    def test_array_not_singleton(self):
+        obj = MemObject("a", ArrayType(INT, 4), ObjectKind.GLOBAL, is_array=True)
+        assert not obj.is_singleton
+
+    def test_recursive_local_not_singleton(self):
+        obj = MemObject("l", INT, ObjectKind.STACK, in_recursion=True)
+        assert not obj.is_singleton
+
+    def test_plain_stack_singleton(self):
+        obj = MemObject("l", INT, ObjectKind.STACK)
+        assert obj.is_singleton
+
+    def test_field_objects_memoised(self):
+        s = StructType("s", [("a", INT), ("b", INT)])
+        obj = MemObject("o", s, ObjectKind.GLOBAL)
+        f0 = obj.field(0, INT)
+        assert obj.field(0, INT) is f0
+        assert obj.field(1, INT) is not f0
+
+    def test_field_inherits_kind(self):
+        s = StructType("s", [("a", INT)])
+        heap = MemObject("h", s, ObjectKind.HEAP)
+        assert not heap.field(0, INT).is_singleton
+
+    def test_field_root(self):
+        s = StructType("s", [("a", INT)])
+        obj = MemObject("o", s, ObjectKind.GLOBAL)
+        f = obj.field(0, INT)
+        assert f.root() is obj
+        assert f.base is obj
+        assert f.field_index == 0
+
+
+class TestFunctions:
+    def test_mem_object_lazily_created_and_cached(self):
+        from repro.ir.types import FunctionType, VOID
+        fn = Function("f", FunctionType(VOID, []))
+        obj = fn.mem_object
+        assert obj is fn.mem_object
+        assert obj.kind is ObjectKind.FUNCTION
+        assert obj.function is fn
+
+    def test_entry_requires_blocks(self):
+        from repro.ir.types import FunctionType, VOID
+        fn = Function("f", FunctionType(VOID, []))
+        try:
+            fn.entry
+            assert False
+        except ValueError:
+            pass

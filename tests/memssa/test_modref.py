@@ -1,0 +1,96 @@
+"""Mod-ref summary tests."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.ir import Join
+from repro.memssa import ModRefAnalysis
+from repro.memssa.builder import pointer_carrying_objects
+
+
+def build(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    relevant = pointer_carrying_objects(m, a)
+    return m, a, ModRefAnalysis(m, a, relevant=relevant)
+
+
+def names(objs):
+    return sorted(o.name for o in objs)
+
+
+class TestModRef:
+    def test_local_store_in_mod(self):
+        m, a, mr = build("""
+        int g; int *gp;
+        int main() { gp = &g; return 0; }
+        """)
+        assert "gp" in names(mr.mod[m.functions["main"]])
+
+    def test_load_in_ref(self):
+        m, a, mr = build("""
+        int g; int *gp; int *out;
+        void reader() { out = gp; }
+        int main() { gp = &g; reader(); return 0; }
+        """)
+        assert "gp" in names(mr.ref[m.functions["reader"]])
+
+    def test_transitive_mod_through_calls(self):
+        m, a, mr = build("""
+        int g; int *gp;
+        void inner() { gp = &g; }
+        void outer() { inner(); }
+        int main() { outer(); return 0; }
+        """)
+        assert "gp" in names(mr.mod[m.functions["outer"]])
+        assert "gp" in names(mr.mod[m.functions["main"]])
+
+    def test_fork_counts_as_call(self):
+        m, a, mr = build("""
+        int g; int *gp;
+        void *w(void *x) { gp = &g; return null; }
+        int main() { thread_t t; fork(&t, w, null); join(t); return 0; }
+        """)
+        assert "gp" in names(mr.mod[m.functions["main"]])
+
+    def test_join_imports_routine_mod(self):
+        m, a, mr = build("""
+        int g; int *gp;
+        void *w(void *x) { gp = &g; return null; }
+        int main() { thread_t t; fork(&t, w, null); join(t); return 0; }
+        """)
+        join = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Join))
+        assert "gp" in names(mr.callsite_mod(join))
+        assert mr.joined_routines[join.id] == {m.functions["w"]}
+
+    def test_mutual_recursion_fixpoint(self):
+        m, a, mr = build("""
+        int g; int h; int *gp; int *hp;
+        void f1(int n) { gp = &g; if (n > 0) { f2(n - 1); } }
+        void f2(int n) { hp = &h; if (n > 0) { f1(n - 1); } }
+        int main() { f1(3); return 0; }
+        """)
+        mods1 = names(mr.mod[m.functions["f1"]])
+        mods2 = names(mr.mod[m.functions["f2"]])
+        assert "gp" in mods1 and "hp" in mods1
+        assert "gp" in mods2 and "hp" in mods2
+
+    def test_relevance_filter_drops_int_only_objects(self):
+        m, a, mr = build("""
+        int counter;
+        int main() { counter = counter + 1; return 0; }
+        """)
+        # counter holds no pointers: nothing pointer-relevant modified.
+        assert names(mr.mod[m.functions["main"]]) == []
+
+    def test_callsite_ref_includes_mod(self):
+        m, a, mr = build("""
+        int g; int *gp;
+        void writer() { gp = &g; }
+        int main() { writer(); return 0; }
+        """)
+        from repro.ir import Call
+        call = next(i for i in m.functions["main"].instructions()
+                    if isinstance(i, Call))
+        # Weak chi re-reads the old contents -> mod subset of ref.
+        assert set(names(mr.callsite_mod(call))) <= set(names(mr.callsite_ref(call)))

@@ -1,0 +1,39 @@
+"""Calling-context stack tests."""
+
+import pytest
+
+from repro.mt.context import Context
+
+
+class TestContext:
+    def test_empty_is_singleton_value(self):
+        assert Context.EMPTY == Context()
+        assert len(Context.EMPTY) == 0
+
+    def test_push_pop_roundtrip(self):
+        c = Context.EMPTY.push(3).push(7)
+        assert c.peek() == 7
+        assert c.pop() == Context.EMPTY.push(3)
+
+    def test_immutability(self):
+        c = Context.EMPTY
+        c.push(1)
+        assert c == Context.EMPTY
+
+    def test_structural_equality_and_hash(self):
+        a = Context.EMPTY.push(1).push(2)
+        b = Context.EMPTY.push(1).push(2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ValueError):
+            Context.EMPTY.pop()
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(ValueError):
+            Context.EMPTY.peek()
+
+    def test_repr(self):
+        assert repr(Context.EMPTY.push(4).push(5)) == "[4,5]"

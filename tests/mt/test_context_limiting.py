@@ -1,0 +1,93 @@
+"""k-limited calling contexts: a scalability knob beyond the paper.
+
+Capping the callsite stack merges deep call instances. The result
+must stay sound (points-to sets can only grow) while the
+context-expanded state graphs shrink.
+"""
+
+import pytest
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.ir import Load
+from repro.mt import ThreadModel
+from repro.workloads import get_workload
+
+DEEP = """
+int g1; int g2;
+int *m1; int *m2;
+void leaf() { m2 = &g2; }
+void mid2() { leaf(); }
+void mid1() { mid2(); }
+void *w(void *arg) { mid1(); return null; }
+int main() {
+    thread_t t;
+    fork(&t, w, null);
+    mid1();
+    m1 = &g1;
+    join(t);
+    return 0;
+}
+"""
+
+
+def model_with_depth(src, depth):
+    m = compile_source(src)
+    a = run_andersen(m)
+    return m, ThreadModel(m, a, max_context_depth=depth)
+
+
+class TestStateGraphSize:
+    def test_zero_depth_merges_all_contexts(self):
+        m, full = model_with_depth(DEEP, None)
+        m2, flat = model_with_depth(DEEP, 0)
+        g_full = full.state_graphs[full.threads[0].id]
+        g_flat = flat.state_graphs[flat.threads[0].id]
+        assert len(g_flat.state_info) <= len(g_full.state_info)
+        # With depth 0 every function appears under the empty context.
+        ctxs = {ctx for ctx, _node in g_flat.state_info}
+        assert ctxs == {()}
+
+    def test_depth_one_keeps_one_level(self):
+        m, model = model_with_depth(DEEP, 1)
+        graph = model.state_graphs[model.threads[0].id]
+        assert all(len(ctx) <= 1 for ctx, _node in graph.state_info)
+
+    def test_deep_chain_state_count_shrinks(self):
+        src = get_workload("raytrace").source(1)
+        m1, full = model_with_depth(src, None)
+        m2, limited = model_with_depth(src, 2)
+        total_full = sum(len(g.state_info) for g in full.state_graphs.values())
+        total_limited = sum(len(g.state_info) for g in limited.state_graphs.values())
+        assert total_limited < total_full
+
+
+class TestSoundness:
+    def _normalised(self, objs):
+        return {"tid" if o.name.startswith("tid.fork") else o.name for o in objs}
+
+    @pytest.mark.parametrize("depth", [0, 1, 2])
+    def test_limited_is_superset_at_loads(self, depth):
+        for name in ("word_count", "automount"):
+            src = get_workload(name).source(1)
+            m1 = compile_source(src)
+            full = FSAM(m1).run()
+            m2 = compile_source(src)
+            limited = FSAM(m2, FSAMConfig(max_context_depth=depth)).run()
+            loads1 = [i for i in m1.all_instructions() if isinstance(i, Load)]
+            loads2 = [i for i in m2.all_instructions() if isinstance(i, Load)]
+            for l1, l2 in zip(loads1, loads2):
+                assert self._normalised(full.pts(l1.dst)) <= \
+                    self._normalised(limited.pts(l2.dst)), (
+                        f"{name} depth={depth}: k-limiting lost facts at {l1!r}")
+
+    def test_figure8_needs_contexts(self):
+        # The paper's Figure 8 distinguishes s5's two calling contexts;
+        # with depth 0 the two instances merge — still sound, just
+        # coarser (the merged instance inherits both I-sets).
+        from tests.mt.test_threads import FIG8
+        m, flat = model_with_depth(FIG8, 0)
+        from repro.mt import InterleavingAnalysis
+        mhp = InterleavingAnalysis(flat)
+        assert mhp is not None  # completes without error

@@ -1,0 +1,149 @@
+"""MHP correctness on deeper spawn trees: three generations, partial
+joins, and mixed multi-forked subtrees."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.ir import AddrOf, Store
+from repro.mt import InterleavingAnalysis, ThreadModel
+
+
+def setup(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    model = ThreadModel(m, a)
+    return m, model, InterleavingAnalysis(model)
+
+
+def store_to(m, global_name):
+    stores = []
+    for fn in m.functions.values():
+        for instr in fn.instructions():
+            if isinstance(instr, Store):
+                for i2 in fn.instructions():
+                    if isinstance(i2, AddrOf) and i2.dst is instr.ptr \
+                            and i2.obj.name == global_name:
+                        stores.append(instr)
+    assert len(stores) == 1
+    return stores[0]
+
+
+THREE_GENERATIONS = """
+int g1; int g2; int g3; int g4;
+int *m1; int *m2; int *m3; int *m4;
+void *grandchild(void *arg) {
+    m3 = &g3;                // s3
+    return null;
+}
+void *child(void *arg) {
+    thread_t gc;
+    fork(&gc, grandchild, null);
+    m2 = &g2;                // s2 (parallel with grandchild)
+    // no join: grandchild outlives child
+    return null;
+}
+int main() {
+    thread_t c;
+    fork(&c, child, null);
+    join(c);
+    m1 = &g1;                // s1: child joined, grandchild still alive
+    return 0;
+}
+"""
+
+
+class TestThreeGenerations:
+    def test_grandchild_survives_child_join(self):
+        # child is joined, but it never joined grandchild: the
+        # grandchild outlives it (the paper's Figure 1(b) situation one
+        # level deeper).
+        m, model, mhp = setup(THREE_GENERATIONS)
+        s1 = store_to(m, "m1")
+        s3 = store_to(m, "m3")
+        assert mhp.may_happen_in_parallel(s1, s3)
+
+    def test_child_dead_after_join(self):
+        m, model, mhp = setup(THREE_GENERATIONS)
+        s1 = store_to(m, "m1")
+        s2 = store_to(m, "m2")
+        assert not mhp.may_happen_in_parallel(s1, s2)
+
+    def test_child_parallel_with_grandchild(self):
+        m, model, mhp = setup(THREE_GENERATIONS)
+        s2 = store_to(m, "m2")
+        s3 = store_to(m, "m3")
+        assert mhp.may_happen_in_parallel(s2, s3)
+
+    def test_join_closure_excludes_grandchild(self):
+        m, model, mhp = setup(THREE_GENERATIONS)
+        t0 = model.threads[0]
+        child = next(t for t in model.threads
+                     if not t.is_main and t.routine.name == "child")
+        gc = next(t for t in model.threads
+                  if not t.is_main and t.routine.name == "grandchild")
+        assert child.id in model.fully_joined[t0.id]
+        assert gc.id not in model.fully_joined[t0.id]
+
+
+FULLY_JOINED_SUBTREE = THREE_GENERATIONS.replace(
+    """    fork(&gc, grandchild, null);
+    m2 = &g2;                // s2 (parallel with grandchild)
+    // no join: grandchild outlives child""",
+    """    fork(&gc, grandchild, null);
+    m2 = &g2;                // s2 (parallel with grandchild)
+    join(gc);""")
+
+
+class TestTransitiveFullJoin:
+    def test_grandchild_dead_after_transitive_join(self):
+        # Now the child fully joins the grandchild; main's join of the
+        # child transitively kills both ([T-JOIN] transitivity).
+        m, model, mhp = setup(FULLY_JOINED_SUBTREE)
+        s1 = store_to(m, "m1")
+        s3 = store_to(m, "m3")
+        assert not mhp.may_happen_in_parallel(s1, s3)
+
+    def test_closure_includes_grandchild(self):
+        m, model, mhp = setup(FULLY_JOINED_SUBTREE)
+        t0 = model.threads[0]
+        gc = next(t for t in model.threads
+                  if not t.is_main and t.routine.name == "grandchild")
+        assert gc.id in model.fully_joined[t0.id]
+
+
+class TestMixedMultiFork:
+    SRC = """
+int g1; int g2;
+int *m1; int *m2;
+thread_t pool[4];
+void *leaf(void *arg) {
+    m2 = &g2;
+    return null;
+}
+void *spawner(void *arg) {
+    int i;
+    thread_t inner;
+    for (i = 0; i < 2; i = i + 1) { fork(&inner, leaf, null); }
+    return null;
+}
+int main() {
+    thread_t s;
+    fork(&s, spawner, null);
+    join(s);
+    m1 = &g1;
+    return 0;
+}
+"""
+
+    def test_multi_forked_leaves_survive(self):
+        # The leaves are multi-forked and never joined: they may run
+        # after main joins the spawner.
+        m, model, mhp = setup(self.SRC)
+        s1 = store_to(m, "m1")
+        s2 = store_to(m, "m2")
+        assert mhp.may_happen_in_parallel(s1, s2)
+
+    def test_leaf_marked_multi(self):
+        m, model, mhp = setup(self.SRC)
+        leaf = next(t for t in model.threads
+                    if not t.is_main and t.routine.name == "leaf")
+        assert leaf.multi_forked

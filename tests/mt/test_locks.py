@@ -1,0 +1,152 @@
+"""Lock analysis tests (paper Section 3.3.3, Figures 9 and 13)."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.fsam import analyze_source
+from repro.ir import Load, Store
+from repro.memssa import build_dug
+from repro.mt import InterleavingAnalysis, LockAnalysis, ThreadModel
+
+
+def setup(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    dug, builder = build_dug(m, a)
+    model = ThreadModel(m, a)
+    mhp = InterleavingAnalysis(model)
+    locks = LockAnalysis(model, a, dug, builder)
+    return m, a, dug, builder, model, mhp, locks
+
+
+FIG9 = """
+int o_t1; int o_t2; int O;
+int *p; int *q;
+mutex_t l1;
+void foo1(void *arg) {
+    *p = &o_t1;            // s1 (outside the span)
+    lock(&l1);
+    *p = &o_t1;            // s2 (overwritten before unlock)
+    *p = &o_t2;            // s3 (span tail)
+    unlock(&l1);
+    return null;
+}
+void foo2(void *arg) {
+    lock(&l1);
+    q = *p;                // s4 (span head read of O)
+    unlock(&l1);
+    return null;
+}
+int main() {
+    thread_t a; thread_t b;
+    p = &O;
+    fork(&a, foo1, null);
+    fork(&b, foo2, null);
+    join(a); join(b);
+    return 0;
+}
+"""
+
+
+def stores_on_obj(m, builder, fn, obj):
+    return [i for i in m.functions[fn].instructions()
+            if isinstance(i, Store) and obj in builder.chis.get(i.id, set())]
+
+
+class TestSpans:
+    def test_spans_built_per_lock_site(self):
+        m, a, dug, builder, model, mhp, locks = setup(FIG9)
+        lock_objs = {sp.lock_obj.name for sp in locks.spans}
+        assert lock_objs == {"l1"}
+        # foo1's span in thread a, foo2's span in thread b (and their
+        # instances): at least two spans exist.
+        assert len(locks.spans) >= 2
+
+    def test_span_members_cover_critical_section(self):
+        m, a, dug, builder, model, mhp, locks = setup(FIG9)
+        O = m.globals["O"]
+        s_all = stores_on_obj(m, builder, "foo1", O)
+        span = next(sp for sp in locks.spans if sp.thread.routine.name == "foo1")
+        inside = [s for s in s_all if s.id in span.member_instrs]
+        assert len(inside) == 2  # s2 and s3, not s1
+
+    def test_span_head_and_tail(self):
+        m, a, dug, builder, model, mhp, locks = setup(FIG9)
+        O = m.globals["O"]
+        s1, s2, s3 = stores_on_obj(m, builder, "foo1", O)
+        span = next(sp for sp in locks.spans if sp.thread.routine.name == "foo1")
+        tail = locks.span_tail(span, O)
+        assert s3.id in tail
+        assert s2.id not in tail  # overwritten before release
+        span2 = next(sp for sp in locks.spans if sp.thread.routine.name == "foo2")
+        loads = [i for i in m.functions["foo2"].instructions()
+                 if isinstance(i, Load) and O in builder.mus.get(i.id, set())]
+        head = locks.span_head(span2, O)
+        assert loads[0].id in head
+
+    def test_non_tail_store_filtered(self):
+        # Figure 9: s2 -> s4 is a non-interference pair; s3 -> s4 is real.
+        m, a, dug, builder, model, mhp, locks = setup(FIG9)
+        O = m.globals["O"]
+        s1, s2, s3 = stores_on_obj(m, builder, "foo1", O)
+        load = next(i for i in m.functions["foo2"].instructions()
+                    if isinstance(i, Load) and O in builder.mus.get(i.id, set()))
+        assert locks.filters(s2, load, O, mhp)
+        assert not locks.filters(s3, load, O, mhp)
+
+    def test_unprotected_store_not_filtered(self):
+        m, a, dug, builder, model, mhp, locks = setup(FIG9)
+        O = m.globals["O"]
+        s1, s2, s3 = stores_on_obj(m, builder, "foo1", O)
+        load = next(i for i in m.functions["foo2"].instructions()
+                    if isinstance(i, Load) and O in builder.mus.get(i.id, set()))
+        assert not locks.filters(s1, load, O, mhp)  # s1 is outside any span
+
+
+class TestMustAlias:
+    def test_non_singleton_lock_pointer_ignored(self):
+        # Locks reached through a may-alias pointer give no spans.
+        m, a, dug, builder, model, mhp, locks = setup("""
+        int O; int *p; int g;
+        mutex_t l1; mutex_t l2;
+        int cond;
+        void *w(void *arg) {
+            mutex_t *l;
+            if (cond) { l = &l1; } else { l = &l2; }
+            lock(l);
+            p = &O;
+            unlock(l);
+            return null;
+        }
+        int main() { thread_t t; fork(&t, w, null); join(t); return 0; }
+        """)
+        assert locks.spans == []
+
+    def test_two_aliased_lock_names_match(self):
+        # Figure 1(e)-style: l1 and l2 are the same lock by must-alias.
+        src = """
+        int x; int y; int z; int v;
+        int *p; int *q; int *r; int *u;
+        int *c;
+        mutex_t l1;
+        void foo(void *arg) {
+            mutex_t *l2;
+            l2 = &l1;
+            lock(l2);
+            *p = u;
+            *p = q;
+            unlock(l2);
+        }
+        int main() {
+            thread_t t;
+            p = &x; q = &y; r = &z; u = &v;
+            *p = r;
+            fork(&t, foo, null);
+            lock(&l1);
+            c = *p;
+            unlock(&l1);
+            return 0;
+        }
+        """
+        r = analyze_source(src)
+        # v must be filtered out (the *p=u write is not a span tail).
+        assert "v" not in r.deref_pts_names_at_line(20)

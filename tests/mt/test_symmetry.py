@@ -1,0 +1,100 @@
+"""Symmetric fork/join loop matcher tests (paper Figure 11)."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.ir import Fork, Join
+from repro.mt.symmetry import find_symmetric_pairs
+
+
+def pairs_of(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    return m, find_symmetric_pairs(m, a)
+
+
+WORD_COUNT_SHAPE = """
+thread_t tid[8];
+int num_procs;
+void *wordcount_map(void *out) { return null; }
+int main() {
+    int i;
+    num_procs = 8;
+    for (i = 0; i < num_procs; i = i + 1) {
+        fork(&tid[i], wordcount_map, null);
+    }
+    for (i = 0; i < num_procs; i = i + 1) {
+        join(tid[i]);
+    }
+    return 0;
+}
+"""
+
+
+class TestMatcher:
+    def test_word_count_pattern_recognised(self):
+        m, pairs = pairs_of(WORD_COUNT_SHAPE)
+        assert len(pairs) == 1
+        fork = next(i for i in m.all_instructions() if isinstance(i, Fork))
+        join = next(i for i in m.all_instructions() if isinstance(i, Join))
+        assert (fork.id, join.id) in pairs
+
+    def test_kill_blocks_are_loop_exits(self):
+        m, pairs = pairs_of(WORD_COUNT_SHAPE)
+        pair = next(iter(pairs.values()))
+        assert pair.kill_blocks
+        assert all(b not in pair.join_loop.body for b in pair.kill_blocks)
+
+    def test_join_before_fork_not_matched(self):
+        m, pairs = pairs_of("""
+        thread_t tid[4];
+        void *w(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) { join(tid[i]); }
+            for (i = 0; i < 4; i = i + 1) { fork(&tid[i], w, null); }
+            return 0; }
+        """)
+        assert pairs == {}
+
+    def test_same_loop_not_matched(self):
+        m, pairs = pairs_of("""
+        thread_t tid[4];
+        void *w(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) {
+                fork(&tid[i], w, null);
+                join(tid[i]);
+            }
+            return 0; }
+        """)
+        assert pairs == {}
+
+    def test_different_arrays_not_matched(self):
+        m, pairs = pairs_of("""
+        thread_t a[4]; thread_t b[4];
+        void *w(void *x) { return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) { fork(&a[i], w, null); }
+            for (i = 0; i < 4; i = i + 1) { join(b[i]); }
+            return 0; }
+        """)
+        assert pairs == {}
+
+    def test_reused_array_matches_nearest_fork_loop(self):
+        # Two fork loops reuse one tid array (Phoenix idiom): each join
+        # loop correlates with the nearest dominating fork loop.
+        m, pairs = pairs_of("""
+        thread_t tid[8];
+        void *map_(void *a) { return null; }
+        void *reduce_(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 8; i = i + 1) { fork(&tid[i], map_, null); }
+            for (i = 0; i < 8; i = i + 1) { join(tid[i]); }
+            for (i = 0; i < 8; i = i + 1) { fork(&tid[i], reduce_, null); }
+            for (i = 0; i < 8; i = i + 1) { join(tid[i]); }
+            return 0; }
+        """)
+        assert len(pairs) == 2
+        forks = [i for i in m.all_instructions() if isinstance(i, Fork)]
+        joins = [i for i in m.all_instructions() if isinstance(i, Join)]
+        assert (forks[0].id, joins[0].id) in pairs
+        assert (forks[1].id, joins[1].id) in pairs

@@ -1,0 +1,223 @@
+"""Static thread model tests (paper Section 3.1, Figure 8)."""
+
+from repro.andersen import run_andersen
+from repro.frontend import compile_source
+from repro.mt import ThreadModel
+
+
+def model_of(src):
+    m = compile_source(src)
+    a = run_andersen(m)
+    return m, ThreadModel(m, a)
+
+
+def thread_by_routine(model, name):
+    return [t for t in model.threads if not t.is_main and t.routine.name == name]
+
+
+FIG8 = """
+int g1; int g2; int g3; int g4; int g5;
+int *m1; int *m2; int *m3; int *m4; int *m5;
+void bar_(void *arg) {
+    m5 = &g5;                 // s5
+    return null;
+}
+void foo1(void *arg) {
+    thread_t t3;
+    fork(&t3, bar_, null);    // fk3
+    join(t3);                 // jn3
+    return null;
+}
+void foo2(void *arg) {
+    bar_(null);               // cs4
+    m4 = &g4;                 // s4
+    return null;
+}
+int main() {
+    thread_t t1; thread_t t2;
+    m1 = &g1;                 // s1
+    fork(&t1, foo1, null);    // fk1
+    m2 = &g2;                 // s2
+    join(t1);                 // jn1
+    fork(&t2, foo2, null);    // fk2
+    m3 = &g3;                 // s3
+    join(t2);                 // jn2
+    return 0;
+}
+"""
+
+
+class TestEnumeration:
+    def test_figure8_thread_set(self):
+        m, model = model_of(FIG8)
+        routines = sorted(t.routine.name for t in model.threads if not t.is_main)
+        assert routines == ["bar_", "foo1", "foo2"]
+        assert model.threads[0].is_main
+
+    def test_spawn_tree(self):
+        m, model = model_of(FIG8)
+        t1 = thread_by_routine(model, "foo1")[0]
+        t3 = thread_by_routine(model, "bar_")[0]
+        assert t3.parent is t1
+        assert t1.parent is model.threads[0]
+
+    def test_none_multi_forked(self):
+        m, model = model_of(FIG8)
+        assert all(not t.multi_forked for t in model.threads)
+
+    def test_descendants(self):
+        m, model = model_of(FIG8)
+        t0 = model.threads[0]
+        assert len(t0.descendants()) == 3
+
+
+class TestMultiFork:
+    def test_fork_in_loop(self):
+        m, model = model_of("""
+        thread_t tids[4];
+        void *w(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 4; i = i + 1) { fork(&tids[i], w, null); }
+            return 0; }
+        """)
+        t = thread_by_routine(model, "w")[0]
+        assert t.multi_forked
+
+    def test_fork_in_recursion(self):
+        m, model = model_of("""
+        void *w(void *a) { return null; }
+        void spawn(int n) { thread_t t;
+            fork(&t, w, null);
+            if (n > 0) { spawn(n - 1); }
+        }
+        int main() { spawn(2); return 0; }
+        """)
+        t = thread_by_routine(model, "w")[0]
+        assert t.multi_forked
+
+    def test_fork_via_helper_called_in_loop(self):
+        m, model = model_of("""
+        void *w(void *a) { return null; }
+        void helper() { thread_t t; fork(&t, w, null); }
+        int main() { int i;
+            for (i = 0; i < 3; i = i + 1) { helper(); }
+            return 0; }
+        """)
+        t = thread_by_routine(model, "w")[0]
+        assert t.multi_forked
+
+    def test_spawnee_of_multi_forked_is_multi(self):
+        m, model = model_of("""
+        void *leaf(void *a) { return null; }
+        void *mid(void *a) { thread_t t; fork(&t, leaf, null); join(t); return null; }
+        int main() { int i; thread_t tm;
+            for (i = 0; i < 2; i = i + 1) { fork(&tm, mid, null); }
+            return 0; }
+        """)
+        leaf = thread_by_routine(model, "leaf")[0]
+        assert leaf.multi_forked
+
+    def test_straightline_fork_not_multi(self):
+        m, model = model_of("""
+        void *w(void *a) { return null; }
+        int main() { thread_t t; fork(&t, w, null); join(t); return 0; }
+        """)
+        t = thread_by_routine(model, "w")[0]
+        assert not t.multi_forked
+
+
+class TestJoinsAndHB:
+    def test_definite_join(self):
+        m, model = model_of(FIG8)
+        from repro.ir import Join
+        t0 = model.threads[0]
+        joins = [i for i in m.functions["main"].instructions() if isinstance(i, Join)]
+        t1 = thread_by_routine(model, "foo1")[0]
+        t2 = thread_by_routine(model, "foo2")[0]
+        assert model.definite_joins(t0, joins[0]) == {t1}
+        assert model.definite_joins(t0, joins[1]) == {t2}
+
+    def test_fully_joined_transitive(self):
+        m, model = model_of(FIG8)
+        t0 = model.threads[0]
+        t1 = thread_by_routine(model, "foo1")[0]
+        t3 = thread_by_routine(model, "bar_")[0]
+        # foo1 fully joins bar_ by its exit.
+        assert t3.id in model.fully_joined[t1.id]
+        # main's jn1 joins t1 directly and t3 indirectly.
+        assert {t1.id, t3.id} <= model.fully_joined[t0.id]
+
+    def test_figure8_happens_before(self):
+        m, model = model_of(FIG8)
+        t1 = thread_by_routine(model, "foo1")[0]
+        t2 = thread_by_routine(model, "foo2")[0]
+        t3 = thread_by_routine(model, "bar_")[0]
+        assert model.siblings(t1, t2)
+        assert model.siblings(t3, t2)
+        assert model.happens_before(t1, t2)   # t1 > t2
+        assert model.happens_before(t3, t2)   # t3 > t2 (indirect join)
+        assert not model.happens_before(t2, t1)
+        assert not model.happens_before(t2, t3)
+
+    def test_partial_join_no_hb(self):
+        # t1 joined only on one path: no happens-before with t2.
+        m, model = model_of("""
+        int cond;
+        void *w1(void *a) { return null; }
+        void *w2(void *a) { return null; }
+        int main() { thread_t t1; thread_t t2;
+            fork(&t1, w1, null);
+            if (cond) { join(t1); }
+            fork(&t2, w2, null);
+            join(t2);
+            return 0; }
+        """)
+        t1 = thread_by_routine(model, "w1")[0]
+        t2 = thread_by_routine(model, "w2")[0]
+        assert not model.happens_before(t1, t2)
+
+    def test_multi_forked_thread_not_definitely_joined(self):
+        m, model = model_of("""
+        thread_t tid;
+        void *w(void *a) { return null; }
+        int main() { int i;
+            for (i = 0; i < 3; i = i + 1) { fork(&tid, w, null); }
+            join(tid);
+            return 0; }
+        """)
+        from repro.ir import Join
+        t0 = model.threads[0]
+        join = next(i for i in m.functions["main"].instructions() if isinstance(i, Join))
+        # No symmetric loop here: the single join cannot kill the
+        # multi-forked thread.
+        assert model.definite_joins(t0, join) == set()
+        assert model.symmetric_join_of(t0, join) is None
+
+
+class TestStateGraphs:
+    def test_states_cover_called_functions(self):
+        m, model = model_of(FIG8)
+        t2 = thread_by_routine(model, "foo2")[0]
+        graph = model.state_graphs[t2.id]
+        fns = {node.function.name for _ctx, node in graph.state_info}
+        assert fns == {"foo2", "bar_"}
+
+    def test_context_distinguishes_call_instances(self):
+        # bar_ is reachable as t3's body (ctx []) and via foo2's call.
+        m, model = model_of(FIG8)
+        t3 = thread_by_routine(model, "bar_")[0]
+        g3 = model.state_graphs[t3.id]
+        ctxs3 = {ctx for ctx, node in g3.state_info if node.function.name == "bar_"}
+        assert ctxs3 == {()}  # thread root: empty context
+        t2 = thread_by_routine(model, "foo2")[0]
+        g2 = model.state_graphs[t2.id]
+        ctxs2 = {ctx for ctx, node in g2.state_info if node.function.name == "bar_"}
+        assert len(ctxs2) == 1 and next(iter(ctxs2)) != ()
+
+    def test_recursive_calls_terminate(self):
+        m, model = model_of("""
+        int f(int n) { if (n < 1) { return 0; } return f(n - 1); }
+        int main() { return f(5); }
+        """)
+        graph = model.state_graphs[model.threads[0].id]
+        assert graph.state_info  # finite in spite of recursion

@@ -1,0 +1,181 @@
+"""Random MiniC program generation for property-based tests.
+
+Programs are valid-by-construction: statements draw from typed pools
+(int globals, int* globals, int** globals), loops are bounded, and
+locks are emitted in balanced pairs — so the concrete interpreter
+always terminates and the frontend always accepts the source.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from hypothesis import strategies as st
+
+N_INTS = 4      # g0..g3 : int
+N_PTRS = 4      # p0..p3 : int*
+N_PPTRS = 2     # pp0..pp1 : int**
+N_NODES = 2     # h0..h1 : struct node*  (node: {int *f; struct node *n;})
+
+
+@st.composite
+def statements(draw, depth: int = 0, allow_loops: bool = True,
+               counter: List[int] = None) -> List[str]:
+    """A list of statement strings for one block. ``counter`` makes
+    loop variable names unique within a function (MiniC has no block
+    scoping)."""
+    if counter is None:
+        counter = [0]
+    count = draw(st.integers(min_value=1, max_value=5))
+    stmts: List[str] = []
+    for _ in range(count):
+        kind = draw(st.sampled_from(
+            ["addr", "copy", "store_pp", "load_pp", "deref_write",
+             "deref_read", "null", "branch", "loop", "lockblock",
+             "heap_new", "field_write", "field_read", "link", "walk",
+             "waitblock", "signal"]))
+        if kind == "addr":
+            p = draw(st.integers(0, N_PTRS - 1))
+            g = draw(st.integers(0, N_INTS - 1))
+            stmts.append(f"p{p} = &g{g};")
+        elif kind == "copy":
+            a = draw(st.integers(0, N_PTRS - 1))
+            b = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"p{a} = p{b};")
+        elif kind == "store_pp":
+            pp = draw(st.integers(0, N_PPTRS - 1))
+            p = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"pp{pp} = &p{p};")
+        elif kind == "load_pp":
+            a = draw(st.integers(0, N_PTRS - 1))
+            pp = draw(st.integers(0, N_PPTRS - 1))
+            stmts.append(f"p{a} = *pp{pp};")
+        elif kind == "deref_write":
+            pp = draw(st.integers(0, N_PPTRS - 1))
+            p = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"*pp{pp} = p{p};")
+        elif kind == "deref_read":
+            p = draw(st.integers(0, N_PTRS - 1))
+            g = draw(st.integers(0, N_INTS - 1))
+            stmts.append(f"if (p{p} != null) {{ g{g} = *p{p}; }}")
+        elif kind == "null":
+            p = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"p{p} = null;")
+        elif kind == "heap_new":
+            h = draw(st.integers(0, N_NODES - 1))
+            stmts.append(f"h{h} = malloc(struct node);")
+        elif kind == "field_write":
+            h = draw(st.integers(0, N_NODES - 1))
+            p = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"if (h{h} != null) {{ h{h}->f = p{p}; }}")
+        elif kind == "field_read":
+            h = draw(st.integers(0, N_NODES - 1))
+            p = draw(st.integers(0, N_PTRS - 1))
+            stmts.append(f"if (h{h} != null) {{ p{p} = h{h}->f; }}")
+        elif kind == "link":
+            a = draw(st.integers(0, N_NODES - 1))
+            b = draw(st.integers(0, N_NODES - 1))
+            stmts.append(f"if (h{a} != null) {{ h{a}->n = h{b}; }}")
+        elif kind == "walk":
+            a = draw(st.integers(0, N_NODES - 1))
+            b = draw(st.integers(0, N_NODES - 1))
+            stmts.append(f"if (h{a} != null) {{ h{b} = h{a}->n; }}")
+        elif kind == "branch" and depth < 2:
+            then_body = draw(statements(depth=depth + 1, allow_loops=allow_loops,
+                                        counter=counter))
+            else_body = draw(statements(depth=depth + 1, allow_loops=allow_loops,
+                                        counter=counter))
+            g = draw(st.integers(0, N_INTS - 1))
+            stmts.append("if (g%d < 2) { %s } else { %s }"
+                         % (g, " ".join(then_body), " ".join(else_body)))
+        elif kind == "loop" and allow_loops and depth < 2:
+            body = draw(statements(depth=depth + 1, allow_loops=False,
+                                   counter=counter))
+            var = f"i{counter[0]}"
+            counter[0] += 1
+            stmts.append("for (int %s = 0; %s < 2; %s = %s + 1) { %s }"
+                         % (var, var, var, var, " ".join(body)))
+        elif kind == "lockblock" and depth < 2:
+            body = draw(statements(depth=depth + 1, allow_loops=False,
+                                   counter=counter))
+            stmts.append("lock(&mu); %s unlock(&mu);" % " ".join(body))
+        elif kind == "waitblock" and depth < 2:
+            # cond_wait under the spurious-wakeup model: release +
+            # re-acquire inside a critical section.
+            before = draw(statements(depth=depth + 1, allow_loops=False,
+                                     counter=counter))
+            after = draw(statements(depth=depth + 1, allow_loops=False,
+                                    counter=counter))
+            stmts.append("lock(&mu); %s wait(&cv, &mu); %s unlock(&mu);"
+                         % (" ".join(before), " ".join(after)))
+        elif kind == "signal":
+            stmts.append(draw(st.sampled_from(
+                ["signal(&cv);", "broadcast(&cv);"])))
+    return stmts
+
+
+def _globals_header() -> str:
+    lines = ["struct node { int *f; struct node *n; };", "mutex_t mu;",
+             "cond_t cv;"]
+    for i in range(N_INTS):
+        lines.append(f"int g{i};")
+    for i in range(N_PTRS):
+        lines.append(f"int *p{i};")
+    for i in range(N_PPTRS):
+        lines.append(f"int **pp{i};")
+    for i in range(N_NODES):
+        lines.append(f"struct node *h{i};")
+    return "\n".join(lines)
+
+
+@st.composite
+def sequential_programs(draw) -> str:
+    """A single-threaded random program."""
+    helper_body = draw(statements(counter=[0]))
+    main_body = draw(statements(counter=[100]))
+    call_helper = draw(st.booleans())
+    parts = [_globals_header()]
+    parts.append("void helper() { %s }" % " ".join(helper_body))
+    body = " ".join(main_body)
+    if call_helper:
+        body += " helper();"
+    parts.append("int main() { %s return 0; }" % body)
+    return "\n".join(parts)
+
+
+@st.composite
+def single_function_programs(draw) -> str:
+    """No calls at all — the ground for exact sparse == data-flow
+    equivalence checks."""
+    main_body = draw(statements(counter=[0]))
+    return "%s\nint main() { %s return 0; }" % (_globals_header(),
+                                                " ".join(main_body))
+
+
+@st.composite
+def multithreaded_programs(draw) -> str:
+    """Main plus up to two worker threads, optional joins."""
+    parts = [_globals_header()]
+    n_workers = draw(st.integers(min_value=1, max_value=2))
+    for w in range(n_workers):
+        body = draw(statements(counter=[0]))
+        parts.append("void *worker%d(void *arg) { %s return null; }"
+                     % (w, " ".join(body)))
+    main_counter = [0]
+    pre = draw(statements(counter=main_counter))
+    mid = draw(statements(counter=main_counter))
+    post = draw(statements(counter=main_counter))
+    join_style = draw(st.sampled_from(["all", "none", "partial"]))
+    body_lines = [" ".join(pre)]
+    for w in range(n_workers):
+        body_lines.append(f"fork(&t{w}, worker{w}, null);")
+    body_lines.append(" ".join(mid))
+    if join_style == "all":
+        for w in range(n_workers):
+            body_lines.append(f"join(t{w});")
+    elif join_style == "partial":
+        body_lines.append("join(t0);")
+    body_lines.append(" ".join(post))
+    decls = " ".join(f"thread_t t{w};" for w in range(n_workers))
+    parts.append("int main() { %s %s return 0; }" % (decls, " ".join(body_lines)))
+    return "\n".join(parts)

@@ -1,0 +1,63 @@
+"""Cross-validate graph algorithms against networkx on random graphs."""
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import DiGraph, DominatorTree, tarjan_scc
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@st.composite
+def random_digraphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    edges = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=30))
+    g = DiGraph()
+    for i in range(n):
+        g.add_node(i)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+def to_nx(g: DiGraph) -> nx.DiGraph:
+    h = nx.DiGraph()
+    h.add_nodes_from(g.nodes())
+    h.add_edges_from(g.edges())
+    return h
+
+
+class TestSCCAgainstNetworkx:
+    @SETTINGS
+    @given(random_digraphs())
+    def test_same_components(self, g):
+        ours = {frozenset(c) for c in tarjan_scc(g)}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(to_nx(g))}
+        assert ours == theirs
+
+
+class TestDominatorsAgainstNetworkx:
+    @SETTINGS
+    @given(random_digraphs())
+    def test_same_idoms(self, g):
+        entry = 0
+        reachable = g.reachable_from(entry)
+        ours = DominatorTree(g, entry)
+        theirs = nx.immediate_dominators(to_nx(g), entry)
+        for node in reachable:
+            if node == entry:
+                continue
+            assert ours.immediate_dominator(node) == theirs[node], (
+                f"idom({node}) mismatch on edges {sorted(g.edges())}")
+
+
+class TestReachabilityAgainstNetworkx:
+    @SETTINGS
+    @given(random_digraphs())
+    def test_descendants(self, g):
+        h = to_nx(g)
+        ours = g.reachable_from(0)
+        theirs = nx.descendants(h, 0) | {0}
+        assert ours == theirs

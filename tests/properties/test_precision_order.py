@@ -1,0 +1,73 @@
+"""Properties relating the analyses' precision.
+
+- Flow-sensitive FSAM refines the flow-insensitive pre-analysis:
+  for every load, FSAM's pt(dst) is a subset of Andersen's.
+- The sparse analysis is as precise as the traditional data-flow
+  analysis (paper Section 3.4): on call-free programs they agree
+  exactly; with calls/threads FSAM is never coarser at loads.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.andersen import run_andersen
+from repro.baseline import NonSparseAnalysis
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+from repro.ir import Load
+
+from tests.properties.program_gen import (
+    multithreaded_programs, sequential_programs, single_function_programs,
+)
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def loads_of(module):
+    return [i for i in module.all_instructions() if isinstance(i, Load)]
+
+
+class TestRefinesPreAnalysis:
+    @SETTINGS
+    @given(multithreaded_programs())
+    def test_fsam_subset_of_andersen(self, src):
+        module = compile_source(src)
+        fsam = FSAM(module).run()
+        andersen = run_andersen(module)
+        for load in loads_of(module):
+            sparse = {o.name for o in fsam.pts(load.dst)}
+            flowins = {o.name for o in andersen.pts(load.dst)}
+            assert sparse <= flowins, (
+                f"{load!r}: FSAM {sorted(sparse)} !<= Andersen {sorted(flowins)}"
+                f"\nprogram:\n{src}")
+
+
+class TestSparseMatchesDataflow:
+    @SETTINGS
+    @given(single_function_programs())
+    def test_exact_agreement_without_calls(self, src):
+        module = compile_source(src)
+        fsam = FSAM(module).run()
+        module2 = compile_source(src)
+        nonsparse = NonSparseAnalysis(module2).run()
+        loads1 = loads_of(module)
+        loads2 = loads_of(module2)
+        assert len(loads1) == len(loads2)
+        for l1, l2 in zip(loads1, loads2):
+            a = {o.name for o in fsam.pts(l1.dst)}
+            b = {o.name for o in nonsparse.pts(l2.dst)}
+            assert a == b, (f"sparse {sorted(a)} != dataflow {sorted(b)} at "
+                            f"{l1!r}\nprogram:\n{src}")
+
+    @SETTINGS
+    @given(sequential_programs())
+    def test_fsam_never_coarser_sequential(self, src):
+        module = compile_source(src)
+        fsam = FSAM(module).run()
+        module2 = compile_source(src)
+        nonsparse = NonSparseAnalysis(module2).run()
+        for l1, l2 in zip(loads_of(module), loads_of(module2)):
+            a = {o.name for o in fsam.pts(l1.dst)}
+            b = {o.name for o in nonsparse.pts(l2.dst)}
+            assert a <= b, (f"FSAM {sorted(a)} !<= NONSPARSE {sorted(b)} at "
+                            f"{l1!r}\nprogram:\n{src}")

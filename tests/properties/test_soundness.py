@@ -1,0 +1,75 @@
+"""Property: the static analyses over-approximate concrete execution.
+
+For random programs and random schedules, every abstract object a
+load dynamically observes must be in the analysis' points-to set of
+the load's destination — for FSAM and for NONSPARSE.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.baseline import NonSparseAnalysis
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+from repro.interp import ExecutionLimit, Interpreter
+
+from tests.properties.program_gen import multithreaded_programs, sequential_programs
+
+SETTINGS = settings(max_examples=30, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def observations_for(module, seeds=(0, 1, 2)):
+    result = []
+    for seed in seeds:
+        interp = Interpreter(module, seed=seed, max_steps=20000)
+        try:
+            interp.run()
+        except ExecutionLimit:
+            pass  # truncated runs still yield valid observations
+        result.extend(interp.observations)
+    return result
+
+
+def check_soundness(src, analysis_pts):
+    module = compile_source(src)
+    obs = observations_for(module)
+    pts_fn = analysis_pts(module)
+    for o in obs:
+        static = {t.name for t in pts_fn(o.load.dst)}
+        assert o.target.name in static, (
+            f"unsound: load {o.load!r} observed {o.target.name}, "
+            f"static pts = {sorted(static)}\nprogram:\n{src}")
+
+
+def fsam_pts(module):
+    result = FSAM(module).run()
+    return result.pts
+
+
+def nonsparse_pts(module):
+    result = NonSparseAnalysis(module).run()
+    return result.pts
+
+
+class TestFSAMSoundness:
+    @SETTINGS
+    @given(sequential_programs())
+    def test_sequential(self, src):
+        check_soundness(src, fsam_pts)
+
+    @SETTINGS
+    @given(multithreaded_programs())
+    def test_multithreaded(self, src):
+        check_soundness(src, fsam_pts)
+
+
+class TestNonSparseSoundness:
+    @SETTINGS
+    @given(sequential_programs())
+    def test_sequential(self, src):
+        check_soundness(src, nonsparse_pts)
+
+    @SETTINGS
+    @given(multithreaded_programs())
+    def test_multithreaded(self, src):
+        check_soundness(src, nonsparse_pts)

@@ -1,0 +1,19 @@
+"""Workload generators must be pure functions of their scale."""
+
+import pytest
+
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_generation_deterministic(name):
+    w = get_workload(name)
+    assert w.source(1) == w.source(1)
+    assert w.source(2) == w.source(2)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_default_scale_positive(name):
+    w = get_workload(name)
+    assert w.default_scale >= 1
+    assert w.source()  # default scale generates non-empty source

@@ -1,0 +1,81 @@
+"""Workload generator tests: every benchmark compiles and analyses."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+from repro.ir import Fork, Join, Lock, verify_module
+from repro.workloads import WORKLOADS, get_workload, source_loc, workload_names
+
+
+class TestRegistry:
+    def test_ten_programs_in_table1_order(self):
+        assert workload_names() == [
+            "word_count", "kmeans", "radiosity", "automount", "ferret",
+            "bodytrack", "httpd_server", "mt_daapd", "raytrace", "x264",
+        ]
+
+    def test_paper_loc_totals(self):
+        assert sum(w.paper_loc for w in WORKLOADS.values()) == 380659
+
+    def test_descriptions_match_table1(self):
+        assert get_workload("kmeans").description == "Iterative clustering of 3-D points"
+        assert get_workload("x264").description == "Media processing"
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestEveryWorkload:
+    def test_compiles_and_verifies(self, name):
+        src = get_workload(name).source(1)
+        module = compile_source(src, name=name)
+        verify_module(module)
+
+    def test_loc_grows_with_scale(self, name):
+        w = get_workload(name)
+        assert source_loc(w.source(2)) > source_loc(w.source(1))
+
+    def test_uses_threads(self, name):
+        src = get_workload(name).source(1)
+        module = compile_source(src, name=name)
+        assert any(isinstance(i, Fork) for i in module.all_instructions())
+
+    def test_fsam_analyzes(self, name):
+        src = get_workload(name).source(1)
+        module = compile_source(src, name=name)
+        result = FSAM(module).run()
+        assert result.points_to_entries() > 0
+        assert len(result.thread_model.threads) >= 2
+
+
+class TestIdioms:
+    def test_word_count_symmetric_loops(self):
+        module = compile_source(get_workload("word_count").source(1))
+        result = FSAM(module).run()
+        assert result.thread_model.symmetric_pairs
+
+    def test_radiosity_lock_heavy(self):
+        src = get_workload("radiosity").source(1)
+        module = compile_source(src)
+        locks = [i for i in module.all_instructions() if isinstance(i, Lock)]
+        assert len(locks) >= 8
+
+    def test_httpd_has_detached_workers(self):
+        module = compile_source(get_workload("httpd_server").source(1))
+        result = FSAM(module).run()
+        workers = [t for t in result.thread_model.threads
+                   if not t.is_main and t.routine.name == "connection_worker"]
+        assert workers and workers[0].multi_forked
+
+    def test_x264_lagged_joins_not_symmetric(self):
+        module = compile_source(get_workload("x264").source(1))
+        result = FSAM(module).run()
+        frame_threads = [t for t in result.thread_model.threads
+                         if not t.is_main and t.routine.name == "frame_encode"]
+        assert frame_threads and frame_threads[0].multi_forked
+
+    def test_ferret_pipeline_stage_threads(self):
+        module = compile_source(get_workload("ferret").source(1))
+        result = FSAM(module).run()
+        stages = {t.routine.name for t in result.thread_model.threads if not t.is_main}
+        assert len(stages) == 5
+        assert all(not t.multi_forked for t in result.thread_model.threads)
