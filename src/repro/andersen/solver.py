@@ -24,7 +24,10 @@ points-to facts; stop when nothing changes.
 
 Points-to sets hold :class:`MemObject` identities (not node indices),
 so collapsing a cycle that runs through an object's *content node*
-never destroys the object's identity as a points-to target.
+never destroys the object's identity as a points-to target. They are
+interned bitmask :class:`~repro.pts.PTSet`s over a per-run
+:class:`~repro.pts.PTUniverse`, which the whole downstream pipeline
+(memory SSA, FSAM, clients) shares via :attr:`AndersenResult.universe`.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ from repro.ir.instructions import (
 from repro.ir.module import Module
 from repro.ir.types import ArrayType, StructType, ThreadType
 from repro.ir.values import Constant, Function, MemObject, ObjectKind, Temp, Value
+from repro.pts import PTSet, PTUniverse
 
 # Field chains longer than this collapse onto the base object: the
 # positive-weight-cycle defence (a gep feeding itself would otherwise
@@ -55,9 +59,10 @@ class AndersenResult:
         self._solver = solver
         self.callgraph = solver.callgraph
         self.module = solver.module
+        self.universe = solver.universe
         self.thread_objects = dict(solver.thread_objects)
 
-    def pts(self, value: Value) -> Set[MemObject]:
+    def pts(self, value: Value) -> PTSet:
         """The points-to set of a temp, or the *content* points-to set
         of a memory object."""
         return self._solver.pts_of(value)
@@ -66,7 +71,7 @@ class AndersenResult:
         """Do the dereferences *p and *q possibly touch a common object?"""
         return bool(self.pts(p) & self.pts(q))
 
-    def alias_set(self, p: Value, q: Value) -> Set[MemObject]:
+    def alias_set(self, p: Value, q: Value) -> PTSet:
         """AS(*p, *q): the common pointed-to objects (paper 3.3.2)."""
         return self.pts(p) & self.pts(q)
 
@@ -81,9 +86,13 @@ class AndersenSolver:
     def __init__(self, module: Module) -> None:
         self.module = module
         self.callgraph = CallGraph(module)
-        self._index: Dict[int, int] = {}        # id(value) -> node
+        self.universe = PTUniverse()
+        # Keyed by the Value itself (identity hash). Keying by id()
+        # would let synthetic temps (e.g. tid.src) be collected and a
+        # later value reuse their address, silently merging nodes.
+        self._index: Dict[Value, int] = {}
         self._rep: List[int] = []               # union-find parents
-        self._pts: List[Set[MemObject]] = []
+        self._pts: List[PTSet] = []
         self._succ: List[Set[int]] = []         # copy edges
         self._loads: List[List[int]] = []       # q -> dst nodes  (p = *q)
         self._stores: List[List[int]] = []      # p -> src nodes  (*p = q)
@@ -99,13 +108,12 @@ class AndersenSolver:
     # -- node management --------------------------------------------------
 
     def _node(self, value: Value) -> int:
-        key = id(value)
-        node = self._index.get(key)
+        node = self._index.get(value)
         if node is None:
             node = len(self._rep)
-            self._index[key] = node
+            self._index[value] = node
             self._rep.append(node)
-            self._pts.append(set())
+            self._pts.append(self.universe.empty)
             self._succ.append(set())
             self._loads.append([])
             self._stores.append([])
@@ -119,6 +127,7 @@ class AndersenSolver:
         if id(obj) not in self._seen_objects:
             self._seen_objects.add(id(obj))
             self.objects.append(obj)
+            self.universe.index(obj)
 
     def _find(self, node: int) -> int:
         root = node
@@ -132,13 +141,13 @@ class AndersenSolver:
         if a == b:
             return a
         self._rep[b] = a
-        self._pts[a] |= self._pts[b]
+        self._pts[a] = self._pts[a] | self._pts[b]
         self._succ[a] |= self._succ[b]
         self._loads[a].extend(self._loads[b])
         self._stores[a].extend(self._stores[b])
         self._geps[a].extend(self._geps[b])
         self._call_watch[a].extend(self._call_watch[b])
-        self._pts[b] = set()
+        self._pts[b] = self.universe.empty
         self._succ[b] = set()
         self._loads[b] = []
         self._stores[b] = []
@@ -149,8 +158,9 @@ class AndersenSolver:
     def _add_pts(self, node: int, obj: MemObject) -> bool:
         node = self._find(node)
         self._register_object(obj)
-        if obj not in self._pts[node]:
-            self._pts[node].add(obj)
+        merged = self._pts[node] | self.universe.singleton(obj)
+        if merged is not self._pts[node]:
+            self._pts[node] = merged
             self._changed = True
             return True
         return False
@@ -334,29 +344,31 @@ class AndersenSolver:
                 succ = self._find(succ)
                 if succ == node:
                     continue
-                before = len(self._pts[succ])
-                self._pts[succ] |= pts
-                if len(self._pts[succ]) != before:
+                merged = self._pts[succ] | pts
+                if merged is not self._pts[succ]:
+                    self._pts[succ] = merged
                     self._changed = True
 
     def _evaluate_complex(self) -> None:
+        # PTSets are immutable, so iterating one while _add_pts rebinds
+        # self._pts entries is safe without snapshotting.
         for node in self._live_nodes():
             pts = self._pts[node]
             if not pts:
                 continue
             for dst in self._loads[node]:
-                for obj in list(pts):
+                for obj in pts:
                     self._add_copy(self._node(obj), dst)
             for src in self._stores[node]:
-                for obj in list(pts):
+                for obj in pts:
                     self._add_copy(src, self._node(obj))
             for field_index, dst in self._geps[node]:
-                for obj in list(pts):
+                for obj in pts:
                     derived = self._derive_field(obj, field_index)
                     if derived is not None:
                         self._add_pts(dst, derived)
             for site in self._call_watch[node]:
-                for obj in list(pts):
+                for obj in pts:
                     if obj.kind is ObjectKind.FUNCTION and obj.function is not None:
                         if self._link_call(site, obj.function):
                             self._changed = True
@@ -370,12 +382,11 @@ class AndersenSolver:
 
     # -- results ------------------------------------------------------------
 
-    def pts_of(self, value: Value) -> Set[MemObject]:
-        key = id(value)
-        if key not in self._index:
-            return set()
-        node = self._find(self._index[key])
-        return set(self._pts[node])
+    def pts_of(self, value: Value) -> PTSet:
+        node = self._index.get(value)
+        if node is None:
+            return self.universe.empty
+        return self._pts[self._find(node)]
 
 
 def run_andersen(module: Module) -> AndersenResult:

@@ -19,7 +19,7 @@ same way, so the comparison isolates the address-taken machinery).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.andersen import AndersenResult, run_andersen
 from repro.andersen.fields import derive_field
@@ -31,9 +31,12 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.values import Constant, Function, MemObject, Temp, Value
+from repro.pts import PTSet, PTUniverse
 
-# A memory state: object id -> frozenset of pointed-to objects.
-MemState = Dict[int, FrozenSet[MemObject]]
+# A memory state: object id -> interned points-to set. Because PTSets
+# are hash-consed, the per-ICFG-node states share set instances, which
+# is what keeps this deliberately-wasteful baseline runnable at all.
+MemState = Dict[int, PTSet]
 
 
 class NonSparseResult:
@@ -43,23 +46,23 @@ class NonSparseResult:
         self.analysis = analysis
         self.module = analysis.module
 
-    def pts(self, value: Value) -> Set[MemObject]:
+    def pts(self, value: Value) -> PTSet:
         return self.analysis.value_pts(value)
 
     def pts_names(self, value: Value) -> Set[str]:
         return {o.name for o in self.pts(value)}
 
-    def deref_pts_at_line(self, line: int) -> Set[MemObject]:
+    def deref_pts_at_line(self, line: int) -> PTSet:
         addr_defined: Set[int] = set()
         for instr in self.module.all_instructions():
             if isinstance(instr, AddrOf):
                 addr_defined.add(instr.dst.id)
-        result: Set[MemObject] = set()
+        result = self.analysis.universe.empty
         for instr in self.module.all_instructions():
             if isinstance(instr, Load) and instr.line == line:
                 if isinstance(instr.ptr, Temp) and instr.ptr.id in addr_defined:
                     continue
-                result |= self.pts(instr.dst)
+                result = result | self.pts(instr.dst)
         return result
 
     def deref_pts_names_at_line(self, line: int) -> Set[str]:
@@ -81,32 +84,37 @@ class NonSparseAnalysis:
         self.andersen: Optional[AndersenResult] = None
         self.icfg: Optional[ICFG] = None
         self.pcg: Optional[ProcedureConcurrencyGraph] = None
-        self.pts_top: Dict[int, Set[MemObject]] = {}
+        self.universe: Optional[PTUniverse] = None    # set from the pre-analysis
+        self.pts_top: Dict[int, PTSet] = {}
         self.out_state: Dict[int, MemState] = {}      # node uid -> state
         self.iterations = 0
         self.elapsed = 0.0
         # Per thread class: accumulated store effects (obj id -> values)
         # visible to concurrently-running procedures.
-        self._class_effects: Dict[int, Dict[int, Set[MemObject]]] = {}
+        self._class_effects: Dict[int, Dict[int, PTSet]] = {}
         self._objects_by_id: Dict[int, MemObject] = {}
+        # Lazily-built map: function -> object ids its loads/stores may
+        # touch (pre-analysis view), for interference demotion of
+        # strong updates when the config asks for it.
+        self._proc_access: Optional[Dict[Function, Set[int]]] = None
 
     # -- top-level helpers ------------------------------------------------
 
-    def value_pts(self, value: Optional[Value]) -> Set[MemObject]:
+    def value_pts(self, value: Optional[Value]) -> PTSet:
         if value is None or isinstance(value, Constant):
-            return set()
+            return self.universe.empty
         if isinstance(value, Function):
-            return {value.mem_object}
+            return self.universe.singleton(value.mem_object)
         if isinstance(value, Temp):
-            return self.pts_top.get(value.id, set())
-        return set()
+            return self.pts_top.get(value.id, self.universe.empty)
+        return self.universe.empty
 
-    def _set_top(self, temp: Temp, values: Set[MemObject]) -> bool:
-        current = self.pts_top.setdefault(temp.id, set())
-        new = values - current
-        if not new:
+    def _set_top(self, temp: Temp, values: PTSet) -> bool:
+        current = self.pts_top.get(temp.id, self.universe.empty)
+        merged = current | values
+        if merged is current:
             return False
-        current |= new
+        self.pts_top[temp.id] = merged
         return True
 
     # -- interference ---------------------------------------------------------
@@ -116,24 +124,48 @@ class NonSparseAnalysis:
         values = self.value_pts(instr.value)
         if not targets or not values:
             return
+        empty = self.universe.empty
         for cid in self.pcg.classes_of(instr.function):
             effects = self._class_effects.setdefault(cid, {})
             for obj in targets:
-                effects.setdefault(obj.id, set()).update(values)
+                effects[obj.id] = effects.get(obj.id, empty) | values
 
-    def _interference_values(self, instr, obj: MemObject) -> Set[MemObject]:
+    def _interference_values(self, instr, obj: MemObject) -> PTSet:
         """Concurrent stores' contributions to reads of *obj* at a
         statement of this procedure."""
-        result: Set[MemObject] = set()
+        empty = self.universe.empty
+        result = empty
         for cid in self.pcg.parallel_classes(instr.function):
-            result |= self._class_effects.get(cid, {}).get(obj.id, set())
+            result = result | self._class_effects.get(cid, {}).get(obj.id, empty)
         return result
+
+    def _is_interfering(self, instr: Store, obj: MemObject) -> bool:
+        """May a procedure running concurrently with this store touch
+        *obj*? The baseline analogue of the DUG's interference marking:
+        it gates strong updates when
+        ``strong_updates_at_interfering_stores`` is off, keeping the
+        FSAM-vs-NONSPARSE precision comparison aligned."""
+        if self._proc_access is None:
+            access: Dict[Function, Set[int]] = {}
+            for fn in self.module.functions.values():
+                ids: Set[int] = set()
+                for i in fn.instructions():
+                    if isinstance(i, (Load, Store)):
+                        ids.update(o.id for o in self.andersen.pts(i.ptr))
+                access[fn] = ids
+            self._proc_access = access
+        for cid in self.pcg.parallel_classes(instr.function):
+            for fn in self.pcg.class_procs.get(cid, ()):
+                if obj.id in self._proc_access.get(fn, ()):
+                    return True
+        return False
 
     # -- solving -----------------------------------------------------------------
 
     def run(self) -> NonSparseResult:
         deadline = Deadline(self.config.time_budget)
         self.andersen = run_andersen(self.module)
+        self.universe = self.andersen.universe
         self.icfg = ICFG(self.module, self.andersen.callgraph)
         self.pcg = ProcedureConcurrencyGraph(self.module, self.andersen)
         for obj in self.module.objects:
@@ -207,6 +239,8 @@ class NonSparseAnalysis:
                 continue
             for obj_id, values in pred_out.items():
                 existing = state.get(obj_id)
+                # Interned union: shared masks make the all-paths merge
+                # a dict-lookup + big-int OR instead of a set copy.
                 state[obj_id] = values if existing is None else (existing | values)
         return state
 
@@ -222,31 +256,44 @@ class NonSparseAnalysis:
         elif isinstance(instr, Copy):
             top_changed = self._set_top(instr.dst, self.value_pts(instr.src))
         elif isinstance(instr, Phi):
-            merged: Set[MemObject] = set()
+            merged = self.universe.empty
             for value, _b in instr.incomings:
-                merged |= self.value_pts(value)
+                merged = merged | self.value_pts(value)
             top_changed = self._set_top(instr.dst, merged)
         elif isinstance(instr, Gep):
-            derived = {derive_field(o, instr.field_index)
-                       for o in self.value_pts(instr.base)}
+            derived = self.universe.make(
+                derive_field(o, instr.field_index)
+                for o in self.value_pts(instr.base))
             top_changed = self._set_top(instr.dst, derived)
         elif isinstance(instr, Load):
-            values: Set[MemObject] = set()
+            empty = self.universe.empty
+            values = empty
             for obj in self.value_pts(instr.ptr):
-                values |= state.get(obj.id, frozenset())
-                values |= self._interference_values(instr, obj)
+                values = values | state.get(obj.id, empty)
+                values = values | self._interference_values(instr, obj)
             top_changed = self._set_top(instr.dst, values)
         elif isinstance(instr, Store):
+            empty = self.universe.empty
             targets = self.value_pts(instr.ptr)
-            stored = frozenset(self.value_pts(instr.value))
+            stored = self.value_pts(instr.value)
             if targets:
                 state = dict(state)
-                strong = len(targets) == 1 and next(iter(targets)).is_singleton
+                single = len(targets) == 1
                 for obj in targets:
+                    # Same strong-update gate as the sparse solver
+                    # (fsam/solver.py:_eval_store): the pointer must
+                    # resolve to exactly one object AND that object
+                    # must be a singleton — checked per object, not on
+                    # an arbitrary element of the target set — and the
+                    # belt-and-braces config demotes stores whose
+                    # target a concurrent procedure may touch.
+                    strong = single and obj.is_singleton
+                    if strong and not self.config.strong_updates_at_interfering_stores:
+                        strong = not self._is_interfering(instr, obj)
                     if strong:
                         state[obj.id] = stored
                     else:
-                        state[obj.id] = state.get(obj.id, frozenset()) | stored
+                        state[obj.id] = state.get(obj.id, empty) | stored
                 before = self._effect_sizes(instr)
                 self._record_store_effect(instr)
                 new_effects = self._effect_sizes(instr) != before
@@ -260,7 +307,7 @@ class NonSparseAnalysis:
                 if pre:
                     state = dict(state)
                     for obj in pre:
-                        state[obj.id] = frozenset()
+                        state[obj.id] = empty
         elif isinstance(instr, Fork):
             # The abstract thread id lands in the handle slot.
             if instr.handle_ptr is not None:
@@ -268,8 +315,9 @@ class NonSparseAnalysis:
                 slots = self.value_pts(instr.handle_ptr)
                 if tid is not None and slots:
                     state = dict(state)
+                    tid_set = self.universe.singleton(tid)
                     for obj in slots:
-                        state[obj.id] = state.get(obj.id, frozenset()) | {tid}
+                        state[obj.id] = state.get(obj.id, self.universe.empty) | tid_set
             for routine in self.andersen.callgraph.callees(instr):
                 if routine.blocks and instr.arg is not None and routine.params:
                     top_changed |= self._set_top(routine.params[0],

@@ -45,27 +45,28 @@ class FSAMResult:
 
     # -- points-to queries ------------------------------------------------
 
-    def pts(self, value: Value) -> Set[MemObject]:
-        """The points-to set of a top-level value."""
+    def pts(self, value: Value):
+        """The points-to set of a top-level value (an interned
+        :class:`~repro.pts.PTSet`, duck-typed as a set of objects)."""
         return self.solver.value_pts(value)
 
     def pts_names(self, value: Value) -> Set[str]:
         """Readable form: names of pointed-to objects."""
         return {obj.name for obj in self.pts(value)}
 
-    def load_pts_at_line(self, line: int) -> Set[MemObject]:
+    def load_pts_at_line(self, line: int):
         """pt() of the values read by loads on source *line* — the
         query the paper's examples pose (e.g. pt(c) for ``c = *p``)."""
-        result: Set[MemObject] = set()
+        result = self.solver.universe.empty
         for instr in self.module.all_instructions():
             if isinstance(instr, Load) and instr.line == line:
-                result |= self.pts(instr.dst)
+                result = result | self.pts(instr.dst)
         return result
 
     def load_pts_names_at_line(self, line: int) -> Set[str]:
         return {obj.name for obj in self.load_pts_at_line(line)}
 
-    def deref_pts_at_line(self, line: int) -> Set[MemObject]:
+    def deref_pts_at_line(self, line: int):
         """pt() of true dereferences on *line*: loads whose pointer is
         itself the result of a load/phi/copy rather than a direct
         ``&variable`` — i.e. ``*p`` in the source, not the implicit
@@ -75,37 +76,37 @@ class FSAMResult:
         for instr in self.module.all_instructions():
             if isinstance(instr, AddrOf):
                 addr_defined.add(instr.dst.id)
-        result: Set[MemObject] = set()
+        result = self.solver.universe.empty
         for instr in self.module.all_instructions():
             if isinstance(instr, Load) and instr.line == line:
                 if isinstance(instr.ptr, Temp) and instr.ptr.id in addr_defined:
                     continue
-                result |= self.pts(instr.dst)
+                result = result | self.pts(instr.dst)
         return result
 
     def deref_pts_names_at_line(self, line: int) -> Set[str]:
         return {obj.name for obj in self.deref_pts_at_line(line)}
 
-    def global_pts(self, name: str) -> Set[MemObject]:
+    def global_pts(self, name: str):
         """Everything ever stored into global *name* over the whole
         program (the union of its per-point states)."""
         obj = self.module.globals[name]
-        result: Set[MemObject] = set()
+        result = self.solver.universe.empty
         for (_uid, obj_id), values in self.solver.mem.items():
             if obj_id == obj.id:
-                result |= values
+                result = result | values
         return result
 
     def global_pts_names(self, name: str) -> Set[str]:
         return {obj.name for obj in self.global_pts(name)}
 
-    def store_out_at_line(self, line: int, obj: MemObject) -> Set[MemObject]:
+    def store_out_at_line(self, line: int, obj: MemObject):
         """The o-state immediately after stores on source *line*."""
-        result: Set[MemObject] = set()
+        result = self.solver.universe.empty
         for instr in self.module.all_instructions():
             if isinstance(instr, Store) and instr.line == line:
                 node = self.dug.stmt_node(instr)
-                result |= self.solver.mem_state(node, obj)
+                result = result | self.solver.mem_state(node, obj)
         return result
 
     # -- statistics ----------------------------------------------------------
@@ -125,6 +126,7 @@ class FSAMResult:
             "thread_aware_edges": len(self.dug.thread_edges),
             "threads": len(self.thread_model.threads) if self.thread_model else 1,
             "solver_iterations": self.solver.iterations,
+            "pts_universe": self.solver.universe.stats(),
         }
 
 

@@ -41,10 +41,18 @@ from repro.memssa.dug import (
     CallChiNode, CallMuNode, DUG, DUGNode, FormalInNode, FormalOutNode,
     MemPhiNode, StmtNode,
 )
+from repro.pts import PTSet, PTUniverse
 
 
 class SparseSolver:
-    """Worklist solver over the DUG."""
+    """Worklist solver over the DUG.
+
+    All per-variable (``pts_top``) and per-definition (``mem``) state
+    is held as interned :class:`~repro.pts.PTSet` bitmasks over the
+    pre-analysis universe, so the delta checks in ``_set_top`` /
+    ``_set_mem`` are O(1) subset tests on masks and unchanged unions
+    return the existing instance.
+    """
 
     def __init__(self, module: Module, dug: DUG, builder: MemorySSABuilder,
                  andersen: AndersenResult, config: Optional[FSAMConfig] = None,
@@ -53,37 +61,39 @@ class SparseSolver:
         self.dug = dug
         self.builder = builder
         self.andersen = andersen
+        self.universe: PTUniverse = andersen.universe
         self.config = config or FSAMConfig()
         self.deadline = deadline
-        self.pts_top: Dict[int, Set[MemObject]] = {}
-        self.mem: Dict[Tuple[int, int], Set[MemObject]] = {}
+        self.pts_top: Dict[int, PTSet] = {}
+        self.mem: Dict[Tuple[int, int], PTSet] = {}
         self._work: deque = deque()
         self._queued: Set[int] = set()
         self.iterations = 0
 
     # -- state access ----------------------------------------------------
 
-    def top(self, temp: Temp) -> Set[MemObject]:
-        return self.pts_top.get(temp.id, set())
+    def top(self, temp: Temp) -> PTSet:
+        return self.pts_top.get(temp.id, self.universe.empty)
 
-    def value_pts(self, value: Optional[Value]) -> Set[MemObject]:
+    def value_pts(self, value: Optional[Value]) -> PTSet:
         """Points-to set of any value operand."""
         if value is None or isinstance(value, Constant):
-            return set()
+            return self.universe.empty
         if isinstance(value, Function):
-            return {value.mem_object}
+            return self.universe.singleton(value.mem_object)
         if isinstance(value, Temp):
-            return self.pts_top.get(value.id, set())
-        return set()
+            return self.pts_top.get(value.id, self.universe.empty)
+        return self.universe.empty
 
-    def mem_state(self, node: DUGNode, obj: MemObject) -> Set[MemObject]:
+    def mem_state(self, node: DUGNode, obj: MemObject) -> PTSet:
         """The o-state defined at *node*."""
-        return self.mem.get((node.uid, obj.id), set())
+        return self.mem.get((node.uid, obj.id), self.universe.empty)
 
-    def _in_values(self, node: DUGNode, obj: MemObject) -> Set[MemObject]:
-        result: Set[MemObject] = set()
+    def _in_values(self, node: DUGNode, obj: MemObject) -> PTSet:
+        empty = self.universe.empty
+        result = empty
         for src in self.dug.mem_defs_of(node, obj):
-            result |= self.mem.get((src.uid, obj.id), set())
+            result = result | self.mem.get((src.uid, obj.id), empty)
         return result
 
     # -- state updates ------------------------------------------------------
@@ -93,29 +103,33 @@ class SparseSolver:
             self._queued.add(node.uid)
             self._work.append(node)
 
-    def _set_top(self, temp: Temp, values: Set[MemObject]) -> None:
+    def _set_top(self, temp: Temp, values: PTSet) -> None:
+        empty = self.universe.empty
         pending = [(temp, values)]
         while pending:
             target, vals = pending.pop()
-            current = self.pts_top.setdefault(target.id, set())
-            new = vals - current
-            if not new:
+            current = self.pts_top.get(target.id, empty)
+            merged = current | vals
+            if merged is current:  # vals ⊆ current: O(1) mask subset test
                 continue
-            current |= new
+            self.pts_top[target.id] = merged
             for user in self.dug.top_users(target):
                 self._push(user)
             for src, dst in self.dug.copies_from(target):
                 pending.append((dst, self.value_pts(src)))
 
-    def _set_mem(self, node: DUGNode, obj: MemObject, values: Set[MemObject]) -> None:
+    def _set_mem(self, node: DUGNode, obj: MemObject, values: PTSet) -> None:
         key = (node.uid, obj.id)
-        current = self.mem.setdefault(key, set())
-        new = values - current
-        if not new:
+        current = self.mem.get(key, self.universe.empty)
+        merged = current | values
+        if merged is current:
             return
-        current |= new
+        self.mem[key] = merged
         for out_obj, dst in self.dug.mem_out(node):
-            if out_obj is obj:
+            # Compare by object id: field-derived MemObjects can in
+            # principle be equal-but-distinct instances, and an
+            # identity miss here silently drops o-edge propagation.
+            if out_obj.id == obj.id:
                 self._push(dst)
 
     # -- solving ---------------------------------------------------------------
@@ -154,7 +168,7 @@ class SparseSolver:
             if obj in self.value_pts(site.handle_ptr):
                 tid = self.andersen.thread_objects.get(site.id)
                 if tid is not None:
-                    values = values | {tid}
+                    values = values | self.universe.singleton(tid)
         self._set_mem(node, obj, values)
 
     def _eval_stmt(self, node: StmtNode) -> None:
@@ -164,26 +178,28 @@ class SparseSolver:
         elif isinstance(instr, Copy):
             self._set_top(instr.dst, self.value_pts(instr.src))
         elif isinstance(instr, Phi):
-            merged: Set[MemObject] = set()
+            merged = self.universe.empty
             for value, _block in instr.incomings:
-                merged |= self.value_pts(value)
+                merged = merged | self.value_pts(value)
             self._set_top(instr.dst, merged)
         elif isinstance(instr, Gep):
-            derived = {derive_field(obj, instr.field_index)
-                       for obj in self.value_pts(instr.base)}
+            derived = self.universe.make(
+                derive_field(obj, instr.field_index)
+                for obj in self.value_pts(instr.base))
             self._set_top(instr.dst, derived)
         elif isinstance(instr, Load):
+            empty = self.universe.empty
             objs = self.value_pts(instr.ptr)
-            values: Set[MemObject] = set()
-            for obj in objs & self.builder.mus.get(instr.id, set()):
-                values |= self._in_values(node, obj)
+            values = empty
+            for obj in objs & self.builder.mus.get(instr.id, empty):
+                values = values | self._in_values(node, obj)
             # [THREAD-VF] edges are followed unconditionally, as the
             # paper's sparse analysis does: a spurious edge (e.g. with
             # the AS(*p,*q) premise disregarded in the No-Value-Flow
             # ablation) both costs propagation work and pollutes pt()
             # — exactly the Figure 1(e) effect.
             for obj, src in self.dug.thread_in_edges(node):
-                values |= self.mem.get((src.uid, obj.id), set())
+                values = values | self.mem.get((src.uid, obj.id), empty)
             self._set_top(instr.dst, values)
         elif isinstance(instr, Store):
             self._eval_store(node, instr)
@@ -193,7 +209,7 @@ class SparseSolver:
     def _eval_store(self, node: StmtNode, instr: Store) -> None:
         targets = self.value_pts(instr.ptr)
         stored = self.value_pts(instr.value)
-        for obj in self.builder.chis.get(instr.id, set()):
+        for obj in self.builder.chis.get(instr.id, self.universe.empty):
             if not targets:
                 # kill(s, p) = A for an empty pointer: the store goes
                 # nowhere known; nothing propagates (paper Figure 10).
@@ -214,7 +230,13 @@ class SparseSolver:
 
     def points_to_entries(self) -> int:
         """A memory-consumption proxy: the total number of (program
-        point, variable) -> target facts the solver materialised."""
+        point, variable) -> target facts the solver materialised.
+
+        Counted as bitmask popcounts over the interned sets, so the
+        number matches the pre-interning ``Set[MemObject]`` counting
+        and Table 2 stays comparable (the *storage* is shared, the
+        *fact count* is not deduplicated).
+        """
         total = sum(len(s) for s in self.pts_top.values())
         total += sum(len(s) for s in self.mem.values())
         return total

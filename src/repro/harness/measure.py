@@ -43,17 +43,23 @@ def _measured(name: str, analysis: str, thunk) -> Measurement:
     entries = 0
     thread_edges = 0
     try:
-        result = thunk()
-        entries = result.points_to_entries()
-        phase_times = getattr(result, "phase_times", None)
-        dug = getattr(result, "dug", None)
-        if dug is not None:
-            thread_edges = len(dug.thread_edges)
-    except AnalysisTimeout:
-        oot = True
-    seconds = time.perf_counter() - start
-    _current, peak = tracemalloc.get_traced_memory()
-    tracemalloc.stop()
+        try:
+            result = thunk()
+            entries = result.points_to_entries()
+            phase_times = getattr(result, "phase_times", None)
+            dug = getattr(result, "dug", None)
+            if dug is not None:
+                thread_edges = len(dug.thread_edges)
+        except AnalysisTimeout:
+            oot = True
+        seconds = time.perf_counter() - start
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        # Always tear down tracing: a thunk that raises anything other
+        # than AnalysisTimeout must not leave tracemalloc running for
+        # the rest of the process (it taxes every later allocation and
+        # skews subsequent measurements).
+        tracemalloc.stop()
     return Measurement(name=name, analysis=analysis, seconds=seconds,
                        peak_memory_mb=peak / (1024.0 * 1024.0),
                        points_to_entries=entries, oot=oot,

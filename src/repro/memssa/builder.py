@@ -31,6 +31,7 @@ from repro.memssa.dug import (
     MemPhiNode, StmtNode,
 )
 from repro.memssa.modref import ModRefAnalysis
+from repro.pts import PTSet
 
 
 def pointer_carrying_objects(module: Module, andersen: AndersenResult) -> Set[MemObject]:
@@ -54,16 +55,19 @@ class MemorySSABuilder:
                  relevant: Optional[Set[MemObject]] = None) -> None:
         self.module = module
         self.andersen = andersen
+        self.universe = andersen.universe
         self.relevant = relevant if relevant is not None else pointer_carrying_objects(module, andersen)
+        self._relevant_pts: PTSet = self.universe.make(self.relevant)
         self.modref = ModRefAnalysis(module, andersen, relevant=self.relevant)
         self.dug = DUG()
         self.formal_in: Dict[Tuple[str, int], FormalInNode] = {}
         self.formal_out: Dict[Tuple[str, int], FormalOutNode] = {}
         self.site_mus: Dict[Tuple[int, int], CallMuNode] = {}
         self.site_chis: Dict[Tuple[int, int], CallChiNode] = {}
-        # Per-instruction mu/chi sets (exposed for tests/debugging).
-        self.mus: Dict[int, Set[MemObject]] = {}
-        self.chis: Dict[int, Set[MemObject]] = {}
+        # Per-instruction mu/chi sets (exposed for tests/debugging);
+        # interned PTSets, so identical annotations share one instance.
+        self.mus: Dict[int, PTSet] = {}
+        self.chis: Dict[int, PTSet] = {}
         # The def of obj reaching each call/fork site, recorded during
         # renaming: feeds weak-chi fallbacks and fork bypass edges.
         self.site_old_def: Dict[Tuple[int, int], DUGNode] = {}
@@ -89,23 +93,23 @@ class MemorySSABuilder:
         """Compute mu/chi sets for every instruction of *fn*."""
         for instr in fn.instructions():
             if isinstance(instr, Load):
-                self.mus[instr.id] = self._pts(instr.ptr) & self.relevant
+                self.mus[instr.id] = self._pts(instr.ptr) & self._relevant_pts
             elif isinstance(instr, Store):
-                self.chis[instr.id] = self._pts(instr.ptr) & self.relevant
+                self.chis[instr.id] = self._pts(instr.ptr) & self._relevant_pts
             elif isinstance(instr, (Call, Fork)):
                 self.mus[instr.id] = self.modref.callsite_ref(instr)
-                chi = set(self.modref.callsite_mod(instr))
+                chi = self.modref.callsite_mod(instr)
                 if isinstance(instr, Fork) and instr.handle_ptr is not None:
                     # The fork writes the abstract thread id into the
                     # handle slot.
-                    chi |= self._pts(instr.handle_ptr) & self.relevant
+                    chi = chi | (self._pts(instr.handle_ptr) & self._relevant_pts)
                 self.chis[instr.id] = chi
             elif isinstance(instr, Join):
                 self.chis[instr.id] = self.modref.callsite_mod(instr)
 
-    def _pts(self, value: Value) -> Set[MemObject]:
+    def _pts(self, value: Value) -> PTSet:
         if value is None or isinstance(value, Constant):
-            return set()
+            return self.universe.empty
         return self.andersen.pts(value)
 
     def _build_function(self, fn: Function) -> None:
@@ -298,8 +302,8 @@ class MemorySSABuilder:
             cfg = _CFG(fn)
             succs = _instruction_successors(fn)
             for fork in forks:
-                mod_objs = self.modref.callsite_mod(fork) & set(
-                    self.chis.get(fork.id, ()))
+                mod_objs = self.modref.callsite_mod(fork) & \
+                    self.chis.get(fork.id, ())
                 if not mod_objs:
                     continue
                 tid = self.andersen.thread_objects.get(fork.id)

@@ -23,28 +23,37 @@ from repro.graphs.scc import tarjan_scc
 from repro.ir.instructions import Call, Fork, Instruction, Join, Load, Store
 from repro.ir.module import Module
 from repro.ir.values import Function, MemObject, Temp
+from repro.pts import PTSet
 
 
 class ModRefAnalysis:
-    """Computes MOD/REF per function and per callsite."""
+    """Computes MOD/REF per function and per callsite.
+
+    Summaries are interned :class:`~repro.pts.PTSet`s over the
+    pre-analysis universe, so the bottom-up union over the call graph
+    shares set instances instead of copying them per function.
+    """
 
     def __init__(self, module: Module, andersen: AndersenResult,
                  relevant: Optional[Set[MemObject]] = None) -> None:
         self.module = module
         self.andersen = andersen
         self.callgraph: CallGraph = andersen.callgraph
+        self.universe = andersen.universe
         # Restrict to pointer-carrying objects when a filter is given.
         self.relevant = relevant
-        self.mod: Dict[Function, Set[MemObject]] = {}
-        self.ref: Dict[Function, Set[MemObject]] = {}
+        self._relevant_pts: Optional[PTSet] = (
+            None if relevant is None else self.universe.make(relevant))
+        self.mod: Dict[Function, PTSet] = {}
+        self.ref: Dict[Function, PTSet] = {}
         # Join sites -> routines whose termination the join observes.
         self.joined_routines: Dict[int, Set[Function]] = {}
         self._compute()
 
-    def _filter(self, objs: Set[MemObject]) -> Set[MemObject]:
-        if self.relevant is None:
-            return set(objs)
-        return objs & self.relevant
+    def _filter(self, objs: PTSet) -> PTSet:
+        if self._relevant_pts is None:
+            return objs
+        return objs & self._relevant_pts
 
     def _routines_of_join(self, join: Join) -> Set[Function]:
         """Start routines of the threads *join* may join, correlated
@@ -57,10 +66,11 @@ class ModRefAnalysis:
         return routines
 
     def _compute(self) -> None:
+        empty = self.universe.empty
         fns = [fn for fn in self.module.functions.values()
                if not fn.is_declaration and fn.blocks]
-        local_mod: Dict[Function, Set[MemObject]] = {fn: set() for fn in fns}
-        local_ref: Dict[Function, Set[MemObject]] = {fn: set() for fn in fns}
+        local_mod: Dict[Function, PTSet] = {fn: empty for fn in fns}
+        local_ref: Dict[Function, PTSet] = {fn: empty for fn in fns}
         # Effect edges: caller depends on callee summaries.
         dep = DiGraph()
         for fn in fns:
@@ -68,9 +78,9 @@ class ModRefAnalysis:
         for fn in fns:
             for instr in fn.instructions():
                 if isinstance(instr, Load):
-                    local_ref[fn] |= self._filter(self.andersen.pts(instr.ptr))
+                    local_ref[fn] = local_ref[fn] | self._filter(self.andersen.pts(instr.ptr))
                 elif isinstance(instr, Store):
-                    local_mod[fn] |= self._filter(self.andersen.pts(instr.ptr))
+                    local_mod[fn] = local_mod[fn] | self._filter(self.andersen.pts(instr.ptr))
                 elif isinstance(instr, (Call, Fork)):
                     for callee in self.callgraph.callees(instr):
                         if callee in local_mod:
@@ -83,45 +93,49 @@ class ModRefAnalysis:
                             dep.add_edge(fn, routine)
 
         # Propagate bottom-up over the dependency graph's SCC DAG;
-        # Tarjan emits callees before callers.
-        self.mod = {fn: set(local_mod[fn]) for fn in fns}
-        self.ref = {fn: set(local_ref[fn]) for fn in fns}
+        # Tarjan emits callees before callers. Interned sets make the
+        # per-SCC copies free: every function of an SCC shares one
+        # instance.
+        self.mod = dict(local_mod)
+        self.ref = dict(local_ref)
         for scc in tarjan_scc(dep):
             # Merge within the SCC to a common fixpoint.
-            scc_mod: Set[MemObject] = set()
-            scc_ref: Set[MemObject] = set()
+            scc_mod = empty
+            scc_ref = empty
             for fn in scc:
-                scc_mod |= self.mod[fn]
-                scc_ref |= self.ref[fn]
+                scc_mod = scc_mod | self.mod[fn]
+                scc_ref = scc_ref | self.ref[fn]
                 for callee in dep.successors(fn):
-                    scc_mod |= self.mod[callee]
-                    scc_ref |= self.ref[callee]
+                    scc_mod = scc_mod | self.mod[callee]
+                    scc_ref = scc_ref | self.ref[callee]
             for fn in scc:
-                self.mod[fn] = set(scc_mod)
-                self.ref[fn] = set(scc_ref)
+                self.mod[fn] = scc_mod
+                self.ref[fn] = scc_ref
 
     # -- per-site queries -------------------------------------------------
 
-    def callsite_mod(self, site: Instruction) -> Set[MemObject]:
+    def callsite_mod(self, site: Instruction) -> PTSet:
         """Objects a call or fork site may modify (via its callees),
         or a join site may import from its joined routines."""
-        result: Set[MemObject] = set()
+        empty = self.universe.empty
+        result = empty
         if isinstance(site, Join):
             for routine in self.joined_routines.get(site.id, ()):
-                result |= self.mod.get(routine, set())
+                result = result | self.mod.get(routine, empty)
             return result
         for callee in self.callgraph.callees(site):
-            result |= self.mod.get(callee, set())
+            result = result | self.mod.get(callee, empty)
         return result
 
-    def callsite_ref(self, site: Instruction) -> Set[MemObject]:
+    def callsite_ref(self, site: Instruction) -> PTSet:
         """Objects a call or fork site may read (via its callees).
         Includes MOD because weak chi functions also read the old
         contents."""
-        result: Set[MemObject] = set()
+        empty = self.universe.empty
+        result = empty
         if isinstance(site, Join):
             return result
         for callee in self.callgraph.callees(site):
-            result |= self.ref.get(callee, set())
-            result |= self.mod.get(callee, set())
+            result = result | self.ref.get(callee, empty)
+            result = result | self.mod.get(callee, empty)
         return result

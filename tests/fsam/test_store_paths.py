@@ -1,0 +1,105 @@
+"""[P-STORE] edge-case tests: the empty-pointer and pass-through
+paths of ``_eval_store``, and o-edge propagation between distinct
+``gep`` instructions deriving the same field object."""
+
+from repro.fsam import analyze_source
+from repro.ir.instructions import Gep, Store
+
+
+def store_at_line(result, line):
+    return next(i for i in result.module.all_instructions()
+                if isinstance(i, Store) and i.line == line)
+
+
+class TestEmptyPointerStore:
+    SRC = """
+int y; int A;
+int *p; int *out;
+int main() {
+    *p = &y;
+    p = &A;
+    out = *p;
+    return 0;
+}
+"""
+
+    def test_nothing_propagates(self):
+        # At the store, p is flow-sensitively empty (it is assigned
+        # only afterwards): kill(s, p) = A, so the store defines no
+        # o-state at all and the later load through p sees nothing.
+        r = analyze_source(self.SRC)
+        assert r.deref_pts_names_at_line(7) == set()
+
+    def test_path_is_exercised(self):
+        # Guard against vacuity: Andersen (flow-insensitive) must give
+        # the store a chi on A while the sparse solver sees an empty
+        # pointer — otherwise the store body is never entered at all.
+        r = analyze_source(self.SRC)
+        store = store_at_line(r, 5)
+        A = r.module.globals["A"]
+        assert A in r.builder.chis.get(store.id, set())
+        assert len(r.solver.value_pts(store.ptr)) == 0
+
+
+class TestPassThroughStore:
+    SRC = """
+int x; int y; int A; int B;
+int *p; int *q; int *out;
+int main() {
+    q = &A;
+    *q = &x;
+    p = &B;
+    *p = &y;
+    out = *q;
+    p = &A;
+    return 0;
+}
+"""
+
+    def test_untouched_object_flows_through(self):
+        # The store at line 8 has chi functions on both A and B
+        # (Andersen sees the later p = &A), but flow-sensitively only
+        # targets B: A's state {x} must pass through unchanged — not
+        # be dropped, and not absorb y.
+        r = analyze_source(self.SRC)
+        assert r.deref_pts_names_at_line(9) == {"x"}
+
+    def test_path_is_exercised(self):
+        r = analyze_source(self.SRC)
+        store = store_at_line(r, 8)
+        A = r.module.globals["A"]
+        B = r.module.globals["B"]
+        assert A in r.builder.chis.get(store.id, set())
+        assert set(r.solver.value_pts(store.ptr)) == {B}
+
+
+class TestGepFieldPropagation:
+    SRC = """
+struct pair { int *fst; int *snd; };
+int x;
+struct pair g;
+int *out;
+int main() {
+    struct pair *p;
+    struct pair *q;
+    p = &g;
+    q = &g;
+    p->fst = &x;
+    out = q->fst;
+    return 0;
+}
+"""
+
+    def test_store_reaches_load_via_shared_field_object(self):
+        # Two distinct gep instructions derive g's fst field; the
+        # o-edge between the store's chi and the load's mu matches by
+        # object id, so the write through p is visible through q.
+        r = analyze_source(self.SRC)
+        assert r.global_pts_names("out") == {"x"}
+
+    def test_both_geps_resolve_to_one_object_id(self):
+        r = analyze_source(self.SRC)
+        geps = [i for i in r.module.all_instructions() if isinstance(i, Gep)]
+        assert len(geps) >= 2
+        ids = {obj.id for gep in geps for obj in r.pts(gep.dst)}
+        assert len(ids) == 1

@@ -1,0 +1,41 @@
+"""Regression tests: measurement teardown must not leak tracemalloc."""
+
+import tracemalloc
+
+import pytest
+
+from repro.fsam.config import AnalysisTimeout
+from repro.harness.measure import _measured
+
+
+def test_crashing_thunk_stops_tracemalloc():
+    # A thunk failure other than AnalysisTimeout used to skip the
+    # tracemalloc.stop() call, leaving tracing on (and every later
+    # allocation in the process taxed) for the rest of the run.
+    def boom():
+        raise ValueError("analysis crashed")
+
+    assert not tracemalloc.is_tracing()
+    with pytest.raises(ValueError):
+        _measured("crash", "fsam", boom)
+    assert not tracemalloc.is_tracing()
+
+
+def test_timeout_thunk_stops_tracemalloc_and_reports_oot():
+    def timeout():
+        raise AnalysisTimeout("budget exceeded")
+
+    m = _measured("slow", "fsam", timeout)
+    assert m.oot
+    assert not tracemalloc.is_tracing()
+
+
+def test_successful_thunk_stops_tracemalloc():
+    class FakeResult:
+        def points_to_entries(self):
+            return 7
+
+    m = _measured("ok", "fsam", FakeResult)
+    assert not tracemalloc.is_tracing()
+    assert m.points_to_entries == 7
+    assert not m.oot
