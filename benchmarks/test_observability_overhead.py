@@ -1,0 +1,73 @@
+"""Observability instrumentation must be (nearly) free.
+
+The obs layer keeps hot paths clean by accumulating plain int tallies
+on the analysis objects and flushing them once per run (see DESIGN.md
+"Observability"); the only per-phase work is a pair of perf_counter
+reads per pipeline stage. This benchmark pins that design down: on
+the largest registry workload, running FSAM with a live Observer must
+cost less than 5% over running with profiling disabled (NULL_OBS).
+
+Methodology: the workload is compiled once (re-analysis of a module is
+deterministic — see test_pts_representation's entry-count pin), the
+two configurations run interleaved so allocator/cache drift hits both
+equally, each round is preceded by a gc.collect(), and the comparison
+uses best-of-N CPU time (process_time, no tracemalloc) so scheduler
+noise cannot masquerade as instrumentation cost.
+"""
+
+import gc
+import time
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.harness.scales import BENCH_SCALES
+from repro.workloads import get_workload
+
+WORKLOAD = "x264"
+ROUNDS = 10
+MAX_OVERHEAD = 1.05  # enabled / disabled CPU-time ratio ceiling
+
+_RESULT = {}
+
+
+def _one_run(module, config):
+    """CPU time of a single analysis-only run."""
+    gc.collect()
+    start = time.process_time()
+    result = FSAM(module, config).run()
+    return time.process_time() - start, result
+
+
+def test_enabled_instrumentation_under_five_percent(benchmark):
+    source = get_workload(WORKLOAD).source(BENCH_SCALES[WORKLOAD])
+    module = compile_source(source, name=WORKLOAD)
+
+    def compare():
+        enabled_times, disabled_times = [], []
+        for _ in range(ROUNDS):
+            seconds, result = _one_run(module, FSAMConfig())
+            enabled_times.append(seconds)
+            _RESULT["profiled"] = result
+            seconds, _ = _one_run(module, FSAMConfig(profile=False))
+            disabled_times.append(seconds)
+        return min(enabled_times), min(disabled_times)
+
+    enabled, disabled = benchmark.pedantic(compare, rounds=1, iterations=1)
+    ratio = enabled / disabled
+    print(f"\nobs overhead: enabled {enabled:.3f}s vs "
+          f"disabled {disabled:.3f}s ({(ratio - 1) * 100:+.1f}%)")
+    assert ratio <= MAX_OVERHEAD, (
+        f"{WORKLOAD}: profiling costs {(ratio - 1) * 100:.1f}% "
+        f"(enabled {enabled:.3f}s, disabled {disabled:.3f}s)")
+
+
+def test_profiled_run_actually_instrumented():
+    """Guard against a vacuous comparison: the enabled run must have
+    produced a real profile, not silently fallen back to NULL_OBS."""
+    result = _RESULT.get("profiled")
+    if result is None:
+        import pytest
+        pytest.skip("overhead benchmark did not run")
+    doc = result.profile()
+    assert doc["phases"], "profiled run produced no phase records"
+    assert doc["counters"]["solver.iterations"] > 0

@@ -43,6 +43,7 @@ from repro.ir.instructions import (
 from repro.ir.module import Module
 from repro.ir.types import ArrayType, StructType, ThreadType
 from repro.ir.values import Constant, Function, MemObject, ObjectKind, Temp, Value
+from repro.obs import NULL_OBS, Observer
 from repro.pts import PTSet, PTUniverse
 
 # Field chains longer than this collapse onto the base object: the
@@ -104,6 +105,14 @@ class AndersenSolver:
         self._linked_calls: Set[Tuple[int, int]] = set()
         self._ret_values: Dict[Function, List[Value]] = {}
         self._changed = True
+        # Observability tallies, flushed into an Observer by
+        # flush_obs(); plain ints to keep the solving loops cheap.
+        self.waves = 0
+        self.constraint_evals = 0
+        self.pts_insertions = 0
+        self.copy_edges_added = 0
+        self.scc_collapsed_nodes = 0
+        self.field_collapses = 0
 
     # -- node management --------------------------------------------------
 
@@ -162,6 +171,7 @@ class AndersenSolver:
         if merged is not self._pts[node]:
             self._pts[node] = merged
             self._changed = True
+            self.pts_insertions += 1
             return True
         return False
 
@@ -171,6 +181,7 @@ class AndersenSolver:
             return False
         self._succ[src].add(dst)
         self._changed = True
+        self.copy_edges_added += 1
         return True
 
     # -- constraint generation --------------------------------------------
@@ -302,6 +313,7 @@ class AndersenSolver:
         """Run wave propagation to a fixpoint."""
         while self._changed:
             self._changed = False
+            self.waves += 1
             self._collapse_cycles()
             self._propagate_wave()
             self._evaluate_complex()
@@ -319,6 +331,7 @@ class AndersenSolver:
                     graph.add_edge(node, target)
         for scc in tarjan_scc(graph):
             if len(scc) > 1:
+                self.scc_collapsed_nodes += len(scc) - 1
                 root = self._find(scc[0])
                 for other in scc[1:]:
                     root = self._union(root, self._find(other))
@@ -352,10 +365,13 @@ class AndersenSolver:
     def _evaluate_complex(self) -> None:
         # PTSets are immutable, so iterating one while _add_pts rebinds
         # self._pts entries is safe without snapshotting.
+        evals = 0
         for node in self._live_nodes():
             pts = self._pts[node]
             if not pts:
                 continue
+            evals += (len(self._loads[node]) + len(self._stores[node])
+                      + len(self._geps[node]) + len(self._call_watch[node]))
             for dst in self._loads[node]:
                 for obj in pts:
                     self._add_copy(self._node(obj), dst)
@@ -372,13 +388,31 @@ class AndersenSolver:
                     if obj.kind is ObjectKind.FUNCTION and obj.function is not None:
                         if self._link_call(site, obj.function):
                             self._changed = True
+        self.constraint_evals += evals
 
     def _derive_field(self, obj: MemObject, field_index: Optional[int]) -> Optional[MemObject]:
         """The object denoted by ``gep obj, field_index``."""
         from repro.andersen.fields import derive_field
         field_obj = derive_field(obj, field_index)
+        if field_obj is obj and field_index is not None:
+            # Collapsed derivation: monolithic array, ill-typed gep, or
+            # the MAX_FIELD_DEPTH positive-weight-cycle defence.
+            self.field_collapses += 1
         self._register_object(field_obj)
         return field_obj
+
+    # -- observability -------------------------------------------------------
+
+    def flush_obs(self, obs: Observer) -> None:
+        """Flush the solving tallies into *obs* (``andersen.*``)."""
+        obs.count("andersen.waves", self.waves)
+        obs.count("andersen.constraint_evals", self.constraint_evals)
+        obs.count("andersen.pts_insertions", self.pts_insertions)
+        obs.count("andersen.copy_edges_added", self.copy_edges_added)
+        obs.count("andersen.scc_collapsed_nodes", self.scc_collapsed_nodes)
+        obs.count("andersen.pwc_field_collapses", self.field_collapses)
+        obs.gauge("andersen.nodes", len(self._rep))
+        obs.gauge("andersen.objects", len(self.objects))
 
     # -- results ------------------------------------------------------------
 
@@ -389,9 +423,11 @@ class AndersenSolver:
         return self._pts[self._find(node)]
 
 
-def run_andersen(module: Module) -> AndersenResult:
-    """Run the pre-analysis over *module*."""
+def run_andersen(module: Module, obs: Observer = NULL_OBS) -> AndersenResult:
+    """Run the pre-analysis over *module*; solving statistics land in
+    *obs* under ``andersen.*``."""
     solver = AndersenSolver(module)
     solver.generate()
     solver.solve()
+    solver.flush_obs(obs)
     return AndersenResult(solver)

@@ -31,6 +31,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.module import Module
 from repro.ir.values import Constant, Function, MemObject, Temp, Value
+from repro.obs import NULL_OBS, Observer
 from repro.pts import PTSet, PTUniverse
 
 # A memory state: object id -> interned points-to set. Because PTSets
@@ -78,9 +79,11 @@ class NonSparseResult:
 class NonSparseAnalysis:
     """The baseline solver."""
 
-    def __init__(self, module: Module, config: Optional[FSAMConfig] = None) -> None:
+    def __init__(self, module: Module, config: Optional[FSAMConfig] = None,
+                 obs: Observer = NULL_OBS) -> None:
         self.module = module
         self.config = config or FSAMConfig()
+        self.obs = obs
         self.andersen: Optional[AndersenResult] = None
         self.icfg: Optional[ICFG] = None
         self.pcg: Optional[ProcedureConcurrencyGraph] = None
@@ -88,6 +91,9 @@ class NonSparseAnalysis:
         self.pts_top: Dict[int, PTSet] = {}
         self.out_state: Dict[int, MemState] = {}      # node uid -> state
         self.iterations = 0
+        self.strong_updates = 0
+        self.weak_updates = 0
+        self.parallel_requeues = 0
         self.elapsed = 0.0
         # Per thread class: accumulated store effects (obj id -> values)
         # visible to concurrently-running procedures.
@@ -164,10 +170,14 @@ class NonSparseAnalysis:
 
     def run(self) -> NonSparseResult:
         deadline = Deadline(self.config.time_budget)
-        self.andersen = run_andersen(self.module)
+        obs = self.obs
+        with obs.phase("pre_analysis"):
+            self.andersen = run_andersen(self.module, obs=obs)
         self.universe = self.andersen.universe
-        self.icfg = ICFG(self.module, self.andersen.callgraph)
-        self.pcg = ProcedureConcurrencyGraph(self.module, self.andersen)
+        with obs.phase("icfg"):
+            self.icfg = ICFG(self.module, self.andersen.callgraph)
+        with obs.phase("pcg"):
+            self.pcg = ProcedureConcurrencyGraph(self.module, self.andersen)
         for obj in self.module.objects:
             self._objects_by_id[obj.id] = obj
 
@@ -197,31 +207,48 @@ class NonSparseAnalysis:
         for node in graph.nodes():
             push(node)
 
-        while work:
-            if self.iterations % 64 == 0:
-                deadline.check()
-            self.iterations += 1
-            node = work.popleft()
-            queued.discard(node.uid)
-            in_state = self._merge_in(node)
-            out_state, top_changed, effect_stores = self._transfer(node, in_state)
-            old = self.out_state.get(node.uid)
-            if old != out_state:
-                self.out_state[node.uid] = out_state
-                for succ in graph.successors(node):
-                    push(succ)
-            if top_changed or effect_stores:
-                # Top-level growth re-enables dependent statements; the
-                # traditional analysis simply reiterates — requeue the
-                # whole graph region lazily by requeuing users.
-                for succ in graph.successors(node):
-                    push(succ)
-                if effect_stores:
-                    # New interference effects become visible to every
-                    # node of every parallel procedure: requeue them.
-                    self._requeue_parallel(node, push)
+        with obs.phase("nonsparse_solve"):
+            while work:
+                if self.iterations % 64 == 0:
+                    deadline.check()
+                self.iterations += 1
+                node = work.popleft()
+                queued.discard(node.uid)
+                in_state = self._merge_in(node)
+                out_state, top_changed, effect_stores = self._transfer(node, in_state)
+                old = self.out_state.get(node.uid)
+                if old != out_state:
+                    self.out_state[node.uid] = out_state
+                    for succ in graph.successors(node):
+                        push(succ)
+                if top_changed or effect_stores:
+                    # Top-level growth re-enables dependent statements; the
+                    # traditional analysis simply reiterates — requeue the
+                    # whole graph region lazily by requeuing users.
+                    for succ in graph.successors(node):
+                        push(succ)
+                    if effect_stores:
+                        # New interference effects become visible to every
+                        # node of every parallel procedure: requeue them.
+                        self._requeue_parallel(node, push)
         self.elapsed = deadline.elapsed()
+        self.flush_obs(obs)
         return NonSparseResult(self)
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("nonsparse.iterations", self.iterations)
+        obs.count("nonsparse.strong_updates", self.strong_updates)
+        obs.count("nonsparse.weak_updates", self.weak_updates)
+        obs.count("nonsparse.parallel_requeues", self.parallel_requeues)
+        obs.gauge("nonsparse.icfg_nodes", len(list(self.icfg.graph.nodes())))
+        obs.gauge("nonsparse.points_to_entries", self.points_to_entries())
+        ustats = self.universe.stats()
+        obs.count("pts.set_references", int(ustats["set_references"]))
+        obs.count("pts.union_cache_hits", int(ustats["union_cache_hits"]))
+        obs.count("pts.intersect_cache_hits",
+                  int(ustats["intersect_cache_hits"]))
+        obs.gauge("pts.distinct_sets", int(ustats["distinct_sets"]))
+        obs.gauge("pts.objects", int(ustats["objects"]))
 
     def _requeue_parallel(self, node: ICFGNode, push) -> None:
         parallel = self.pcg.parallel_classes(node.function)
@@ -229,6 +256,7 @@ class NonSparseAnalysis:
             for fn in self.pcg.class_procs.get(cid, ()):
                 for instr in fn.instructions():
                     if isinstance(instr, Load):
+                        self.parallel_requeues += 1
                         push(self.icfg.node_of(instr))
 
     def _merge_in(self, node: ICFGNode) -> MemState:
@@ -291,8 +319,10 @@ class NonSparseAnalysis:
                     if strong and not self.config.strong_updates_at_interfering_stores:
                         strong = not self._is_interfering(instr, obj)
                     if strong:
+                        self.strong_updates += 1
                         state[obj.id] = stored
                     else:
+                        self.weak_updates += 1
                         state[obj.id] = state.get(obj.id, empty) | stored
                 before = self._effect_sizes(instr)
                 self._record_store_effect(instr)

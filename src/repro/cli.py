@@ -23,6 +23,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from typing import List, Optional
 
 from repro.baseline import NonSparseAnalysis
@@ -55,11 +56,47 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-lock", action="store_true")
     parser.add_argument("--budget", type=float, default=None,
                         help="time budget in seconds")
+    parser.add_argument("--profile", metavar="OUT", default=None,
+                        help="write the run's observability profile "
+                             "(repro.obs/1 JSON) to this file")
+
+
+def _maybe_write_profile(result, args) -> None:
+    """Write the FSAM result's profile document when --profile asked."""
+    path = getattr(args, "profile", None)
+    if not path or result is None:
+        return
+    obs = getattr(result, "obs", None)
+    if obs is None or not obs.enabled:
+        return
+    with open(path, "w") as handle:
+        handle.write(obs.to_json())
+        handle.write("\n")
+
+
+def _traced(args, thunk):
+    """Run *thunk* with tracemalloc tracing when --profile was asked,
+    so the profile's per-phase peak memory is populated."""
+    trace = getattr(args, "profile", None) is not None \
+        and not tracemalloc.is_tracing()
+    if trace:
+        tracemalloc.start()
+    try:
+        return thunk()
+    finally:
+        if trace:
+            tracemalloc.stop()
+
+
+def _run_fsam(module, args):
+    result = _traced(args, lambda: FSAM(module, _config_from(args)).run())
+    _maybe_write_profile(result, args)
+    return result
 
 
 def cmd_analyze(args) -> int:
     module = _load_module(args.file)
-    result = FSAM(module, _config_from(args)).run()
+    result = _run_fsam(module, args)
     if args.json:
         payload = {
             "stats": _jsonable(result.stats()),
@@ -93,8 +130,10 @@ def _jsonable(value):
 
 
 def cmd_races(args) -> int:
-    from repro.clients import detect_races
-    races = detect_races(_load_module(args.file), _config_from(args))
+    from repro.clients import RaceDetector
+    detector = RaceDetector(_load_module(args.file), _config_from(args))
+    races = _traced(args, detector.run)
+    _maybe_write_profile(detector.result, args)
     if args.json:
         print(json.dumps([{"object": r.obj.name,
                            "kind": "write-write" if r.is_write_write else "write-read",
@@ -108,8 +147,10 @@ def cmd_races(args) -> int:
 
 
 def cmd_deadlocks(args) -> int:
-    from repro.clients import detect_deadlocks
-    candidates = detect_deadlocks(_load_module(args.file), _config_from(args))
+    from repro.clients import DeadlockDetector
+    detector = DeadlockDetector(_load_module(args.file), _config_from(args))
+    candidates = _traced(args, detector.run)
+    _maybe_write_profile(detector.result, args)
     if args.json:
         print(json.dumps([{"first": c.first.name, "second": c.second.name,
                            "site1_line": c.site_holding_first.line,
@@ -123,8 +164,10 @@ def cmd_deadlocks(args) -> int:
 
 
 def cmd_tsan(args) -> int:
-    from repro.clients import AccessClass, reduce_instrumentation
-    report = reduce_instrumentation(_load_module(args.file), _config_from(args))
+    from repro.clients import AccessClass, InstrumentationReducer
+    reducer = InstrumentationReducer(_load_module(args.file), _config_from(args))
+    report = _traced(args, reducer.run)
+    _maybe_write_profile(reducer.result, args)
     if args.json:
         print(json.dumps({
             "total": report.total,
@@ -154,7 +197,7 @@ def cmd_escape(args) -> int:
 
 def cmd_threads(args) -> int:
     module = _load_module(args.file)
-    result = FSAM(module, _config_from(args)).run()
+    result = _run_fsam(module, args)
     model = result.thread_model
     print(f"{len(model.threads)} abstract thread(s)")
     for thread in model.threads:
@@ -176,7 +219,7 @@ def cmd_ir(args) -> int:
 def cmd_dot(args) -> int:
     from repro import viz
     module = _load_module(args.file)
-    result = FSAM(module, _config_from(args)).run()
+    result = _run_fsam(module, args)
     if args.what == "dug":
         print(viz.dug_to_dot(result.dug))
     elif args.what == "icfg":
@@ -190,7 +233,7 @@ def cmd_dot(args) -> int:
 def cmd_explain(args) -> int:
     from repro.fsam.explain import explain_at_line
     module = _load_module(args.file)
-    result = FSAM(module, _config_from(args)).run()
+    result = _run_fsam(module, args)
     provenances = explain_at_line(result, args.line, args.target)
     if not provenances:
         print(f"no load at line {args.line} reads {args.target!r}")
@@ -205,6 +248,7 @@ def cmd_compare(args) -> int:
     start = time.perf_counter()
     fsam = FSAM(module, _config_from(args)).run()
     fsam_time = time.perf_counter() - start
+    _maybe_write_profile(fsam, args)
     module2 = _load_module(args.file)
     start = time.perf_counter()
     baseline = NonSparseAnalysis(module2, _config_from(args)).run()
@@ -213,6 +257,35 @@ def cmd_compare(args) -> int:
     print(f"NONSPARSE: {base_time:8.3f}s  {baseline.points_to_entries():10d} entries")
     print(f"speedup {base_time / max(fsam_time, 1e-9):.1f}x, "
           f"state ratio {baseline.points_to_entries() / max(fsam.points_to_entries(), 1):.1f}x")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """Render an observability profile: either re-analyse a MiniC
+    source, or pretty-print an existing ``--profile`` JSON document."""
+    from repro.obs import profile_to_csv, render_profile, validate_profile
+    if args.file.endswith(".json"):
+        with open(args.file) as handle:
+            doc = json.load(handle)
+        validate_profile(doc)
+    else:
+        module = _load_module(args.file)
+        started = not tracemalloc.is_tracing()
+        if started:
+            tracemalloc.start()
+        try:
+            result = FSAM(module, _config_from(args)).run()
+        finally:
+            if started:
+                tracemalloc.stop()
+        _maybe_write_profile(result, args)
+        doc = result.profile()
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    elif args.csv:
+        sys.stdout.write(profile_to_csv(doc))
+    else:
+        print(render_profile(doc))
     return 0
 
 
@@ -264,6 +337,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--what", choices=["dug", "icfg", "threads"], default="dug")
     p.set_defaults(handler=cmd_dot)
+
+    p = sub.add_parser("stats",
+                       help="profile a run (or render a --profile JSON)")
+    _add_common(p)
+    p.add_argument("--csv", action="store_true",
+                   help="emit flattened kind,name,value CSV")
+    p.set_defaults(handler=cmd_stats)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument("--table", type=int, choices=[1, 2, 12], default=2,

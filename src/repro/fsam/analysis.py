@@ -22,6 +22,7 @@ from repro.mt.locks import LockAnalysis
 from repro.mt.mhp import CoarsePCGMhp, InterleavingAnalysis, MHPOracle
 from repro.mt.threads import ThreadModel
 from repro.mt.valueflow import ValueFlowStats, add_thread_aware_edges
+from repro.obs import NULL_OBS, Observer
 
 
 class FSAMResult:
@@ -32,7 +33,8 @@ class FSAMResult:
                  builder: MemorySSABuilder, model: Optional[ThreadModel],
                  mhp: Optional[MHPOracle],
                  vf_stats: Optional[ValueFlowStats],
-                 phase_times: Dict[str, float]) -> None:
+                 phase_times: Dict[str, float],
+                 obs: Observer = NULL_OBS) -> None:
         self.module = module
         self.solver = solver
         self.andersen = andersen
@@ -42,6 +44,7 @@ class FSAMResult:
         self.mhp = mhp
         self.vf_stats = vf_stats
         self.phase_times = phase_times
+        self.obs = obs
 
     # -- points-to queries ------------------------------------------------
 
@@ -117,6 +120,14 @@ class FSAMResult:
     def total_time(self) -> float:
         return sum(self.phase_times.values())
 
+    def profile(self) -> Dict[str, object]:
+        """The observability document for this run (schema
+        ``repro.obs/1``: phase timers, counters, gauges)."""
+        return self.obs.to_dict()
+
+    def profile_json(self, indent: int = 2) -> str:
+        return self.obs.to_json(indent=indent)
+
     def stats(self) -> Dict[str, object]:
         return {
             "phase_times": dict(self.phase_times),
@@ -127,31 +138,48 @@ class FSAMResult:
             "threads": len(self.thread_model.threads) if self.thread_model else 1,
             "solver_iterations": self.solver.iterations,
             "pts_universe": self.solver.universe.stats(),
+            "counters": dict(self.obs.counters),
+            "gauges": dict(self.obs.gauges),
         }
 
 
 class FSAM:
     """Runs the full pipeline on a module."""
 
-    def __init__(self, module: Module, config: Optional[FSAMConfig] = None) -> None:
+    def __init__(self, module: Module, config: Optional[FSAMConfig] = None,
+                 obs: Optional[Observer] = None) -> None:
         self.module = module
         self.config = config or FSAMConfig()
+        # An explicit observer wins; otherwise config.profile decides
+        # between a fresh Observer and the shared no-op one.
+        if obs is not None:
+            self.obs = obs
+        elif self.config.profile:
+            self.obs = Observer(name="fsam")
+        else:
+            self.obs = NULL_OBS
 
     def run(self) -> FSAMResult:
         deadline = Deadline(self.config.time_budget)
+        obs = self.obs
         times: Dict[str, float] = {}
 
         def timed(name: str, thunk):
+            # phase_times is kept alongside the observer's phase tree:
+            # it must stay populated even with profiling off (NULL_OBS
+            # records nothing), and harness consumers read it directly.
             start = time.perf_counter()
-            value = thunk()
+            with obs.phase(name):
+                value = thunk()
             times[name] = time.perf_counter() - start
             deadline.check()
             return value
 
-        andersen = timed("pre_analysis", lambda: run_andersen(self.module))
+        andersen = timed("pre_analysis",
+                         lambda: run_andersen(self.module, obs=obs))
         icfg = timed("icfg", lambda: ICFG(self.module, andersen.callgraph))
         dug, builder = timed("thread_oblivious_dug",
-                             lambda: build_dug(self.module, andersen))
+                             lambda: build_dug(self.module, andersen, obs=obs))
         model = timed("thread_model", lambda: ThreadModel(
             self.module, andersen, icfg,
             max_context_depth=self.config.max_context_depth))
@@ -165,12 +193,19 @@ class FSAM:
                           lambda: LockAnalysis(model, andersen, dug, builder))
         vf_stats = timed("value_flow", lambda: add_thread_aware_edges(
             dug, builder, mhp, locks=locks,
-            alias_filtering=self.config.value_flow))
+            alias_filtering=self.config.value_flow, obs=obs))
         solver = SparseSolver(self.module, dug, builder, andersen,
                               config=self.config, deadline=deadline)
         timed("sparse_solve", solver.solve)
+        # The MHP and lock oracles are queried across phases (value
+        # flow and downstream clients), so their tallies are flushed
+        # once here rather than inside any one phase.
+        mhp.flush_obs(obs)
+        if locks is not None:
+            locks.flush_obs(obs)
+        solver.flush_obs(obs)
         return FSAMResult(self.module, solver, andersen, dug, builder,
-                          model, mhp, vf_stats, times)
+                          model, mhp, vf_stats, times, obs=obs)
 
 
 def analyze_source(source: str, config: Optional[FSAMConfig] = None) -> FSAMResult:

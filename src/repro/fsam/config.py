@@ -50,6 +50,10 @@ class FSAMConfig:
     strong_updates_at_interfering_stores: bool = True
     # Wall-clock budget for the whole analysis (None = unbounded).
     time_budget: Optional[float] = None
+    # Collect observability data (phase timers, counters, gauges) in a
+    # repro.obs.Observer during the run. Cheap enough to default on;
+    # set False to run every hook against the shared no-op observer.
+    profile: bool = True
     # Calling-context depth for the thread interference analyses.
     # None = full context-sensitivity (the paper's setting, recursion
     # collapsed); an integer k caps the callsite stack — coarser MHP
@@ -65,6 +69,7 @@ class FSAMConfig:
             "lock_analysis": self.lock_analysis,
             "strong_updates_at_interfering_stores": self.strong_updates_at_interfering_stores,
             "time_budget": self.time_budget,
+            "profile": self.profile,
             "max_context_depth": self.max_context_depth,
         }
         if phase not in ("interleaving", "value_flow", "lock_analysis"):

@@ -41,6 +41,7 @@ from repro.memssa.dug import (
     CallChiNode, CallMuNode, DUG, DUGNode, FormalInNode, FormalOutNode,
     MemPhiNode, StmtNode,
 )
+from repro.obs import Observer
 from repro.pts import PTSet, PTUniverse
 
 
@@ -69,6 +70,8 @@ class SparseSolver:
         self._work: deque = deque()
         self._queued: Set[int] = set()
         self.iterations = 0
+        self.strong_updates = 0
+        self.weak_updates = 0
 
     # -- state access ----------------------------------------------------
 
@@ -222,8 +225,10 @@ class SparseSolver:
             if strong and not self.config.strong_updates_at_interfering_stores:
                 strong = not self.dug.is_interfering(node, obj)
             if strong:
+                self.strong_updates += 1
                 self._set_mem(node, obj, stored)
             else:
+                self.weak_updates += 1
                 self._set_mem(node, obj, stored | self._in_values(node, obj))
 
     # -- metrics ------------------------------------------------------------
@@ -240,3 +245,23 @@ class SparseSolver:
         total = sum(len(s) for s in self.pts_top.values())
         total += sum(len(s) for s in self.mem.values())
         return total
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("solver.iterations", self.iterations)
+        # Strong/weak tallies count store *evaluations*, so re-visits
+        # of the same store under new facts count again — a measure of
+        # work done, not of distinct update sites.
+        obs.count("solver.strong_updates", self.strong_updates)
+        obs.count("solver.weak_updates", self.weak_updates)
+        obs.count("solver.node_revisits",
+                  max(0, self.iterations - len(self.dug.nodes)))
+        obs.gauge("solver.dug_nodes", len(self.dug.nodes))
+        obs.gauge("solver.points_to_entries", self.points_to_entries())
+        ustats = self.universe.stats()
+        obs.count("pts.set_references", int(ustats["set_references"]))
+        obs.count("pts.union_cache_hits", int(ustats["union_cache_hits"]))
+        obs.count("pts.intersect_cache_hits",
+                  int(ustats["intersect_cache_hits"]))
+        obs.gauge("pts.distinct_sets", int(ustats["distinct_sets"]))
+        obs.gauge("pts.objects", int(ustats["objects"]))
+        obs.gauge("pts.dedup_ratio", round(float(ustats["dedup_ratio"]), 3))

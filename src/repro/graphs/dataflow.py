@@ -9,7 +9,7 @@ engine so their fixpoint machinery is shared and separately tested.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Generic, Hashable, Iterable, TypeVar
+from typing import Callable, Dict, Generic, Hashable, Iterable, Optional, TypeVar
 
 from repro.graphs.digraph import DiGraph
 
@@ -41,22 +41,36 @@ class DataflowProblem(Generic[Fact]):
 
 
 def solve_forward(
-    problem: DataflowProblem[Fact], entries: Iterable[Hashable]
+    problem: DataflowProblem[Fact], entries: Iterable[Hashable],
+    stats: Optional[Dict[str, int]] = None
 ) -> Dict[Hashable, Fact]:
     """Solve *problem* to a fixpoint; returns the OUT fact per node.
 
-    ``entries`` seeds the worklist; the IN fact of an entry node is its
-    ``entry_fact``; every other node's IN fact is the meet of its
-    predecessors' OUT facts (bottom when it has none yet).
+    ``entries`` seeds the worklist. An entry node's IN fact starts
+    from its ``entry_fact`` and — like every other node — still meets
+    in its predecessors' OUT facts: a back-edge into an entry (e.g. a
+    state-graph loop returning to a thread's entry state) must
+    contribute, or facts generated inside the loop would be silently
+    dropped on re-entry, under-approximating the solution. Non-entry
+    nodes start from ``bottom`` (the meet identity) until predecessor
+    OUTs exist.
+
+    When *stats* is given, the number of node evaluations is added to
+    its ``"iterations"`` entry (observability hook; this module stays
+    free of any :mod:`repro.obs` dependency).
     """
     graph = problem.graph
     out: Dict[Hashable, Fact] = {}
     entry_set = set(entries)
     work = deque(entry_set)
     queued = set(entry_set)
+    iterations = 0
     while work:
+        iterations += 1
         node = work.popleft()
         queued.discard(node)
+        # Entry nodes seed from entry_fact instead of bottom; the
+        # predecessor meet below applies to entries too.
         if node in entry_set:
             in_fact = problem.entry_fact(node)
         else:
@@ -72,4 +86,6 @@ def solve_forward(
             if succ not in queued:
                 queued.add(succ)
                 work.append(succ)
+    if stats is not None:
+        stats["iterations"] = stats.get("iterations", 0) + iterations
     return out

@@ -1,4 +1,10 @@
-"""Measurement wrappers: wall-clock time, peak memory, OOT handling."""
+"""Measurement wrappers: wall-clock time, peak memory, OOT handling.
+
+Each wrapper runs one analysis under a fresh :class:`repro.obs.Observer`
+and attaches the resulting profile document to the measurement, so the
+table/figure layer (and ``repro bench --profile``) reads per-phase
+times and counters from one source.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +18,7 @@ from repro.baseline import NonSparseAnalysis
 from repro.frontend import compile_source
 from repro.fsam import FSAM, FSAMConfig
 from repro.fsam.config import AnalysisTimeout
+from repro.obs import Observer
 
 
 @dataclass
@@ -26,6 +33,7 @@ class Measurement:
     oot: bool = False
     phase_times: Optional[Dict[str, float]] = None
     thread_edges: int = 0            # [THREAD-VF] def-use edges added
+    profile: Optional[Dict[str, object]] = None   # repro.obs/1 document
 
     def display_time(self) -> str:
         return "OOT" if self.oot else f"{self.seconds:.2f}"
@@ -34,24 +42,22 @@ class Measurement:
         return "OOT" if self.oot else f"{self.peak_memory_mb:.2f}"
 
 
-def _measured(name: str, analysis: str, thunk) -> Measurement:
+def _measured(name: str, analysis: str, thunk,
+              obs: Optional[Observer] = None) -> Measurement:
     gc.collect()
     tracemalloc.start()
-    start = time.perf_counter()
     oot = False
-    phase_times = None
-    entries = 0
-    thread_edges = 0
+    result = None
+    start = time.perf_counter()
     try:
         try:
             result = thunk()
-            entries = result.points_to_entries()
-            phase_times = getattr(result, "phase_times", None)
-            dug = getattr(result, "dug", None)
-            if dug is not None:
-                thread_edges = len(dug.thread_edges)
         except AnalysisTimeout:
             oot = True
+        # The measurement window closes the moment the analysis
+        # returns: snapshot the clock and traced memory *before* any
+        # stats extraction below, which walks every points-to set and
+        # used to be billed to the analysis.
         seconds = time.perf_counter() - start
         _current, peak = tracemalloc.get_traced_memory()
     finally:
@@ -60,16 +66,35 @@ def _measured(name: str, analysis: str, thunk) -> Measurement:
         # the rest of the process (it taxes every later allocation and
         # skews subsequent measurements).
         tracemalloc.stop()
+    entries = 0
+    phase_times = None
+    thread_edges = 0
+    profile = None
+    if result is not None:
+        entries = result.points_to_entries()
+        phase_times = getattr(result, "phase_times", None)
+        dug = getattr(result, "dug", None)
+        if dug is not None:
+            thread_edges = len(dug.thread_edges)
+    if obs is not None:
+        # Per-phase memory tracking resets tracemalloc's peak between
+        # phases; the observer folds segment peaks into the true
+        # run-wide maximum, which the raw snapshot may under-report.
+        peak = max(peak, obs.peak_traced_bytes)
+        profile = obs.to_dict()
     return Measurement(name=name, analysis=analysis, seconds=seconds,
                        peak_memory_mb=peak / (1024.0 * 1024.0),
                        points_to_entries=entries, oot=oot,
-                       phase_times=phase_times, thread_edges=thread_edges)
+                       phase_times=phase_times, thread_edges=thread_edges,
+                       profile=profile)
 
 
 def measure_fsam(name: str, source: str, config: Optional[FSAMConfig] = None) -> Measurement:
     """Compile and run FSAM under measurement."""
     module = compile_source(source, name=name)
-    return _measured(name, "fsam", lambda: FSAM(module, config).run())
+    obs = Observer(name=name)
+    return _measured(name, "fsam",
+                     lambda: FSAM(module, config, obs=obs).run(), obs=obs)
 
 
 def measure_nonsparse(name: str, source: str,
@@ -77,4 +102,7 @@ def measure_nonsparse(name: str, source: str,
     """Compile and run NONSPARSE under measurement, with OOT budget."""
     module = compile_source(source, name=name)
     config = FSAMConfig(time_budget=budget)
-    return _measured(name, "nonsparse", lambda: NonSparseAnalysis(module, config).run())
+    obs = Observer(name=name)
+    return _measured(name, "nonsparse",
+                     lambda: NonSparseAnalysis(module, config, obs=obs).run(),
+                     obs=obs)

@@ -135,7 +135,12 @@ def run_figure12(scales: Optional[Dict[str, int]] = None,
 
 def _resolution_time(m: Measurement) -> float:
     """The paper measures the impact on sparse points-to *resolution*
-    (the final solve over the def-use graph)."""
+    (the final solve over the def-use graph). Prefers the profile
+    document's phase tree; falls back to the legacy phase_times dict."""
+    if m.profile:
+        for phase in m.profile.get("phases", []):
+            if phase.get("name") == "sparse_solve":
+                return float(phase["seconds"])
     if m.phase_times:
         return m.phase_times.get("sparse_solve", m.seconds)
     return m.seconds

@@ -31,6 +31,7 @@ from repro.memssa.dug import (
     MemPhiNode, StmtNode,
 )
 from repro.memssa.modref import ModRefAnalysis
+from repro.obs import NULL_OBS, Observer
 from repro.pts import PTSet
 
 
@@ -74,10 +75,14 @@ class MemorySSABuilder:
         # Site-level fork/join correlation for bypass-region limits.
         from repro.mt.symmetry import find_symmetric_pairs
         self._symmetric = find_symmetric_pairs(module, andersen)
+        # Observability tallies (flushed into an Observer by build()).
+        self.functions_renamed = 0
+        self.memphi_nodes = 0
+        self.bypass_edges = 0
 
     # -- entry point --------------------------------------------------------
 
-    def build(self) -> DUG:
+    def build(self, obs: Observer = NULL_OBS) -> DUG:
         for fn in self.module.functions.values():
             if fn.is_declaration or not fn.blocks:
                 continue
@@ -85,7 +90,21 @@ class MemorySSABuilder:
         self._link_interprocedural()
         self._add_fork_bypass_edges()
         self._link_top_level()
+        self.flush_obs(obs)
         return self.dug
+
+    def flush_obs(self, obs: Observer) -> None:
+        """Flush construction tallies into *obs* (``memssa.*``)."""
+        obs.count("memssa.mu_annotations",
+                  sum(len(s) for s in self.mus.values()))
+        obs.count("memssa.chi_annotations",
+                  sum(len(s) for s in self.chis.values()))
+        obs.count("memssa.memphi_nodes", self.memphi_nodes)
+        obs.count("memssa.functions_renamed", self.functions_renamed)
+        obs.count("memssa.fork_bypass_edges", self.bypass_edges)
+        obs.gauge("memssa.dug_nodes", len(self.dug.nodes))
+        obs.gauge("memssa.dug_mem_edges", self.dug.num_mem_edges())
+        obs.gauge("memssa.relevant_objects", len(self.relevant))
 
     # -- per-function memory SSA ---------------------------------------------
 
@@ -152,9 +171,11 @@ class MemorySSABuilder:
                 phi = MemPhiNode(block, obj)
                 self.dug.add_node(phi)
                 memphis.setdefault(block, []).append(phi)
+                self.memphi_nodes += 1
 
         self._create_stmt_nodes(fn)
         self._rename(fn, cfg, tracked, memphis)
+        self.functions_renamed += 1
 
     def _create_stmt_nodes(self, fn: Function) -> None:
         for instr in fn.instructions():
@@ -336,21 +357,23 @@ class MemorySSABuilder:
             if isinstance(instr, Join) and stops(instr):
                 continue  # the thread has been joined: region ends
             if isinstance(instr, Load) and obj in self.mus.get(instr.id, ()):
-                self.dug.add_mem_edge(old, obj, self.dug.stmt_node(instr))
+                if self.dug.add_mem_edge(old, obj, self.dug.stmt_node(instr)):
+                    self.bypass_edges += 1
             elif isinstance(instr, Store) and obj in self.chis.get(instr.id, ()):
-                self.dug.add_mem_edge(old, obj, self.dug.stmt_node(instr))
+                if self.dug.add_mem_edge(old, obj, self.dug.stmt_node(instr)):
+                    self.bypass_edges += 1
             elif isinstance(instr, (Call, Fork)):
                 mu = self.site_mus.get((instr.id, obj.id))
-                if mu is not None:
-                    self.dug.add_mem_edge(old, obj, mu)
+                if mu is not None and self.dug.add_mem_edge(old, obj, mu):
+                    self.bypass_edges += 1
             elif isinstance(instr, Join):
                 chi = self.site_chis.get((instr.id, obj.id))
-                if chi is not None:
-                    self.dug.add_mem_edge(old, obj, chi)
+                if chi is not None and self.dug.add_mem_edge(old, obj, chi):
+                    self.bypass_edges += 1
             elif isinstance(instr, Ret):
                 out = self.formal_out.get((fn.name, obj.id))
-                if out is not None:
-                    self.dug.add_mem_edge(old, obj, out)
+                if out is not None and self.dug.add_mem_edge(old, obj, out):
+                    self.bypass_edges += 1
             work.extend(succs.get(instr.id, ()))
 
     # -- top-level def-use -----------------------------------------------------
@@ -400,8 +423,10 @@ def _instruction_successors(fn: Function) -> Dict[int, List]:
 
 
 def build_dug(module: Module, andersen: AndersenResult,
-              relevant: Optional[Set[MemObject]] = None) -> Tuple[DUG, MemorySSABuilder]:
-    """Build the thread-oblivious DUG; returns (dug, builder)."""
+              relevant: Optional[Set[MemObject]] = None,
+              obs: Observer = NULL_OBS) -> Tuple[DUG, MemorySSABuilder]:
+    """Build the thread-oblivious DUG; returns (dug, builder).
+    Construction statistics land in *obs* under ``memssa.*``."""
     builder = MemorySSABuilder(module, andersen, relevant=relevant)
-    dug = builder.build()
+    dug = builder.build(obs)
     return dug, builder

@@ -154,8 +154,13 @@ class DUG:
 
     def add_mem_edge(self, src: DUGNode, obj: MemObject, dst: DUGNode,
                      thread_aware: bool = False) -> bool:
-        """Add src --obj--> dst; returns False if already present."""
-        key = (src.uid, id(obj), dst.uid)
+        """Add src --obj--> dst; returns False if already present.
+
+        The dedup key uses ``obj.id`` (stable allocation-site id), not
+        ``id(obj)``: CPython reuses object addresses after GC, which
+        made id()-based keys nondeterministic (same bug class as the
+        Andersen node index fixed in PR 1)."""
+        key = (src.uid, obj.id, dst.uid)
         if key in self._mem_edge_set:
             return False
         self._mem_edge_set.add(key)
@@ -185,7 +190,7 @@ class DUG:
         return self._thread_in.get(node.uid, [])
 
     def is_thread_edge(self, src: DUGNode, obj: MemObject, dst: DUGNode) -> bool:
-        return (src.uid, id(obj), dst.uid) in self._thread_edge_keys
+        return (src.uid, obj.id, dst.uid) in self._thread_edge_keys
 
     # -- top-level def-use ----------------------------------------------------
 

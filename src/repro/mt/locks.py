@@ -19,6 +19,7 @@ from repro.memssa.builder import MemorySSABuilder
 from repro.memssa.dug import DUG, StmtNode
 from repro.mt.mhp import MHPOracle
 from repro.mt.threads import AbstractThread, ThreadModel
+from repro.obs import Observer
 
 
 class LockSpan:
@@ -53,6 +54,12 @@ class LockAnalysis:
         self.spans: List[LockSpan] = []
         # (thread id, sid) -> span indices covering that state.
         self._spans_by_state: Dict[Tuple[int, int], List[int]] = {}
+        # Tallies flushed to the observer at end of run (repro.obs).
+        self.head_cache_hits = 0
+        self.head_computed = 0
+        self.tail_cache_hits = 0
+        self.tail_computed = 0
+        self.filter_queries = 0
         self._build()
 
     # -- span construction ------------------------------------------------
@@ -113,7 +120,11 @@ class LockAnalysis:
                     # cond_wait releases the mutex: the span ends here
                     # (a fresh span is seeded at the wait itself).
                     released = self._lock_object(node.instr.mutex_ptr)
-                if released is lock_obj and released is not None:
+                # MemObjects are compared by allocation-site id, not
+                # Python identity: distinct MemObject instances can
+                # denote the same abstract object (e.g. after field
+                # derivation or re-materialisation).
+                if released is not None and released.id == lock_obj.id:
                     continue  # the span ends here (release included)
             for succ in graph.graph.successors(sid):
                 if succ not in members:
@@ -144,7 +155,9 @@ class LockAnalysis:
         predecessor on o inside the span."""
         cached = span._heads.get(obj.id)
         if cached is not None:
+            self.head_cache_hits += 1
             return cached
+        self.head_computed += 1
         accesses, _stores = self._accesses_on(span, obj)
         head: Set[int] = set()
         for instr_id in accesses:
@@ -166,7 +179,9 @@ class LockAnalysis:
         successor on o inside the span."""
         cached = span._tails.get(obj.id)
         if cached is not None:
+            self.tail_cache_hits += 1
             return cached
+        self.tail_computed += 1
         _accesses, stores = self._accesses_on(span, obj)
         tail: Set[int] = set()
         for instr_id in stores:
@@ -174,7 +189,7 @@ class LockAnalysis:
             node = self.dug.stmt_node(instr)
             overwritten = False
             for out_obj, dst in self.dug.mem_out(node):
-                if out_obj is not obj:
+                if out_obj.id != obj.id:
                     continue
                 if isinstance(dst, StmtNode) and isinstance(dst.instr, Store) \
                         and dst.instr.id in span.member_instrs and dst.instr.id != instr_id:
@@ -202,7 +217,7 @@ class LockAnalysis:
         protected = False
         for sp1 in spans1:
             for sp2 in spans2:
-                if sp1.lock_obj is not sp2.lock_obj:
+                if sp1.lock_obj.id != sp2.lock_obj.id:
                     continue
                 protected = True
                 tail = self.span_tail(sp1, obj)
@@ -218,7 +233,7 @@ class LockAnalysis:
         t2, sid2 = inst2
         for sp1 in self._spans_of(t1, sid1):
             for sp2 in self._spans_of(t2, sid2):
-                if sp1.lock_obj is sp2.lock_obj:
+                if sp1.lock_obj.id == sp2.lock_obj.id:
                     return True
         return False
 
@@ -226,9 +241,20 @@ class LockAnalysis:
                 mhp: MHPOracle) -> bool:
         """True when the would-be [THREAD-VF] edge store -obj-> target
         is spurious under lock protection for *every* MHP instance."""
+        self.filter_queries += 1
         any_pair = False
         for inst1, inst2 in mhp.parallel_instance_pairs(store, target):
             any_pair = True
             if not self._instance_non_interfering(inst1, inst2, store, target, obj):
                 return False
         return any_pair
+
+    # -- observability ---------------------------------------------------------
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("locks.spans_built", len(self.spans))
+        obs.count("locks.head_cache_hits", self.head_cache_hits)
+        obs.count("locks.head_computed", self.head_computed)
+        obs.count("locks.tail_cache_hits", self.tail_cache_hits)
+        obs.count("locks.tail_computed", self.tail_computed)
+        obs.count("locks.filter_queries", self.filter_queries)

@@ -28,10 +28,16 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 from repro.graphs.dataflow import DataflowProblem, solve_forward
 from repro.ir.instructions import Fork, Instruction
 from repro.mt.threads import AbstractThread, ThreadModel
+from repro.obs import NULL_OBS, Observer
 
 
 class MHPOracle:
     """The query interface the value-flow and lock phases consume."""
+
+    def __init__(self) -> None:
+        # Tallies flushed to the observer at end of run (repro.obs).
+        self.pair_queries = 0
+        self.pair_cache_hits = 0
 
     def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
         raise NotImplementedError
@@ -40,15 +46,21 @@ class MHPOracle:
         """Iterate MHP instance pairs ((t1, sid1), (t2, sid2))."""
         raise NotImplementedError
 
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("mhp.pair_queries", self.pair_queries)
+        obs.count("mhp.pair_cache_hits", self.pair_cache_hits)
+
 
 class InterleavingAnalysis(MHPOracle):
     """FSAM's flow- and context-sensitive interleaving analysis."""
 
     def __init__(self, model: ThreadModel) -> None:
+        super().__init__()
         self.model = model
         # thread id -> sid -> frozenset of concurrent thread ids.
         self.interleaving: Dict[int, Dict[int, FrozenSet[int]]] = {}
         self._pair_cache: Dict[Tuple[int, int], bool] = {}
+        self.dataflow_iterations = 0
         self._compute()
 
     # -- seeds ----------------------------------------------------------------
@@ -100,7 +112,10 @@ class InterleavingAnalysis(MHPOracle):
                 meet=lambda a, b: a | b,
                 equal=lambda a, b: a == b,
             )
-            self.interleaving[thread.id] = solve_forward(problem, [graph.entry_sid])
+            dstats: Dict[str, int] = {}
+            self.interleaving[thread.id] = solve_forward(
+                problem, [graph.entry_sid], stats=dstats)
+            self.dataflow_iterations += dstats.get("iterations", 0)
 
     # -- queries ----------------------------------------------------------------
 
@@ -130,14 +145,21 @@ class InterleavingAnalysis(MHPOracle):
                     yield (t1, sid1), (t2, sid2)
 
     def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
+        self.pair_queries += 1
         key = (s1.id, s2.id)
         cached = self._pair_cache.get(key)
         if cached is not None:
+            self.pair_cache_hits += 1
             return cached
         result = next(iter(self.parallel_instance_pairs(s1, s2)), None) is not None
         self._pair_cache[key] = result
         self._pair_cache[(s2.id, s1.id)] = result
         return result
+
+    def flush_obs(self, obs: Observer) -> None:
+        super().flush_obs(obs)
+        obs.count("mhp.dataflow_iterations", self.dataflow_iterations)
+        obs.gauge("mhp.threads", len(self.model.threads))
 
 
 class CoarsePCGMhp(MHPOracle):
@@ -149,6 +171,7 @@ class CoarsePCGMhp(MHPOracle):
     parallel."""
 
     def __init__(self, model: ThreadModel) -> None:
+        super().__init__()
         self.model = model
         self._pair_cache: Dict[Tuple[int, int], bool] = {}
 
@@ -161,9 +184,11 @@ class CoarsePCGMhp(MHPOracle):
         return result
 
     def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
+        self.pair_queries += 1
         key = (s1.id, s2.id)
         cached = self._pair_cache.get(key)
         if cached is not None:
+            self.pair_cache_hits += 1
             return cached
         result = False
         for t1 in self._threads_of(s1):

@@ -20,10 +20,16 @@ from repro.memssa.builder import MemorySSABuilder
 from repro.memssa.dug import DUG
 from repro.mt.locks import LockAnalysis
 from repro.mt.mhp import MHPOracle
+from repro.obs import NULL_OBS, Observer
 
 
 class ValueFlowStats:
-    """Counters surfaced in benchmark output (Figure 12 analysis)."""
+    """Counters surfaced in benchmark output (Figure 12 analysis).
+
+    Kept as a compatibility shim over the ``valueflow.*`` observer
+    counters: existing consumers (harness tables, result API) read
+    these attributes, while new code should prefer
+    ``Observer.counter("valueflow.edges_added")`` etc."""
 
     def __init__(self) -> None:
         self.candidate_pairs = 0
@@ -59,7 +65,8 @@ def _index_accesses(builder: MemorySSABuilder):
 
 def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
                            locks: Optional[LockAnalysis] = None,
-                           alias_filtering: bool = True) -> ValueFlowStats:
+                           alias_filtering: bool = True,
+                           obs: Observer = NULL_OBS) -> ValueFlowStats:
     """Run [THREAD-VF]; returns statistics.
 
     ``alias_filtering=False`` is the No-Value-Flow ablation (paper
@@ -107,4 +114,8 @@ def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
                     continue
                 for obj in builder.chis.get(store.id, ()):
                     consider(store, target, obj)
+    obs.count("valueflow.candidate_pairs", stats.candidate_pairs)
+    obs.count("valueflow.mhp_pairs", stats.mhp_pairs)
+    obs.count("valueflow.lock_filtered", stats.lock_filtered)
+    obs.count("valueflow.edges_added", stats.edges_added)
     return stats

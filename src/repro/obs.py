@@ -1,0 +1,382 @@
+"""Unified observability layer for the analysis pipeline.
+
+Every stage of the pipeline used to report on itself through a
+different side channel — ``FSAMResult.phase_times`` for wall-clock,
+``ValueFlowStats`` for [THREAD-VF] counters, ad-hoc ``stats()`` dicts
+elsewhere — which made "why is this phase slow?" unanswerable. This
+module replaces the patchwork with one :class:`Observer` that the
+whole pipeline shares:
+
+- **hierarchical timers** — ``with obs.phase("sparse_solve"): ...``
+  scopes nest, producing a tree of per-phase (and sub-phase) wall
+  times;
+- **named counters** — ``obs.count("solver.strong_updates", n)``,
+  flat ``stage.metric`` names (see DESIGN.md for the naming scheme);
+- **gauges** — point-in-time snapshots such as graph sizes, recorded
+  with ``obs.gauge("memssa.dug_nodes", n)``;
+- **per-phase memory** — when ``tracemalloc`` is tracing, each phase
+  records its own peak traced size (not just the run-wide peak), and
+  each phase snapshot includes the process peak RSS where the
+  ``resource`` module is available;
+- **export** — :meth:`Observer.to_dict` produces the one JSON
+  document (schema ``repro.obs/1``) that the CLI ``--profile`` flag,
+  the ``repro stats`` subcommand, and the measurement harness all
+  consume; :func:`profile_to_csv` flattens it for spreadsheets and
+  :func:`validate_profile` checks a document against the schema.
+
+Stages that sit on hot paths accumulate plain integer tallies locally
+and flush them into the observer once per phase, so the instrumented
+pipeline stays within a few percent of the uninstrumented one
+(guarded by ``benchmarks/test_observability_overhead.py``).
+
+This module is a leaf: it imports nothing from the rest of
+``repro``, so any stage (including :mod:`repro.graphs`) may depend
+on it without cycles.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+import tracemalloc
+from typing import Dict, Iterator, List, Optional, Tuple
+
+try:  # pragma: no cover - platform dependent
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-unix
+    _resource = None
+
+PROFILE_SCHEMA = "repro.obs/1"
+
+_HAVE_RESET_PEAK = hasattr(tracemalloc, "reset_peak")
+
+
+def _rss_kb() -> Optional[int]:
+    """Current peak RSS of the process in KiB (None if unavailable)."""
+    if _resource is None:
+        return None
+    usage = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    return usage // 1024 if usage > 1 << 32 else usage
+
+
+class PhaseRecord:
+    """One timed phase: wall time, memory snapshots, children."""
+
+    __slots__ = ("name", "seconds", "peak_traced_bytes", "rss_kb",
+                 "children", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        # Peak tracemalloc traced size observed while the phase was
+        # open (0 when tracemalloc was not tracing).
+        self.peak_traced_bytes = 0
+        self.rss_kb: Optional[int] = None
+        self.children: List["PhaseRecord"] = []
+        self._start = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "seconds": self.seconds,
+            "peak_traced_kb": (self.peak_traced_bytes / 1024.0
+                               if self.peak_traced_bytes else 0.0),
+            "rss_kb": self.rss_kb,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+
+class _PhaseScope:
+    """Context manager returned by :meth:`Observer.phase`."""
+
+    __slots__ = ("_obs", "_record")
+
+    def __init__(self, obs: "Observer", record: PhaseRecord) -> None:
+        self._obs = obs
+        self._record = record
+
+    def __enter__(self) -> PhaseRecord:
+        self._obs._enter_phase(self._record)
+        return self._record
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._obs._exit_phase(self._record)
+        return False  # propagate exceptions (deadlines must still fire)
+
+
+class Observer:
+    """Collects timers, counters, and gauges for one pipeline run.
+
+    One observer lives for one analysis run (like the
+    :class:`~repro.pts.PTUniverse`); mixing runs in one observer would
+    conflate their phases.
+    """
+
+    enabled = True
+
+    def __init__(self, name: str = "", track_memory: bool = True) -> None:
+        self.name = name
+        self.track_memory = track_memory
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self.phases: List[PhaseRecord] = []   # completed top-level phases
+        self._stack: List[PhaseRecord] = []
+        # Run-wide peak traced size, folded across the reset_peak
+        # segments (see _fold_peak); harnesses read this instead of a
+        # raw tracemalloc peak, which per-phase tracking resets.
+        self.peak_traced_bytes = 0
+
+    # -- counters and gauges ----------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to counter *name* (created at 0 on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest snapshot of gauge *name*."""
+        self.gauges[name] = value
+
+    # -- hierarchical timers ----------------------------------------------
+
+    def phase(self, name: str) -> _PhaseScope:
+        """A timing scope; nest freely for sub-phases."""
+        return _PhaseScope(self, PhaseRecord(name))
+
+    def _fold_peak(self) -> None:
+        """Fold the tracemalloc peak of the segment since the last fold
+        into every open phase and the run maximum, then start a fresh
+        segment. Peaks are absolute traced sizes, so taking the max of
+        segment peaks per phase yields that phase's true peak."""
+        if not (self.track_memory and tracemalloc.is_tracing()):
+            return
+        _current, peak = tracemalloc.get_traced_memory()
+        if peak > self.peak_traced_bytes:
+            self.peak_traced_bytes = peak
+        for record in self._stack:
+            if peak > record.peak_traced_bytes:
+                record.peak_traced_bytes = peak
+        if _HAVE_RESET_PEAK:
+            tracemalloc.reset_peak()
+
+    def _enter_phase(self, record: PhaseRecord) -> None:
+        self._fold_peak()  # the preceding segment belongs to outer phases
+        self._stack.append(record)
+        record._start = time.perf_counter()
+
+    def _exit_phase(self, record: PhaseRecord) -> None:
+        record.seconds = time.perf_counter() - record._start
+        self._fold_peak()  # this segment belongs to record too
+        record.rss_kb = _rss_kb()
+        popped = self._stack.pop()
+        assert popped is record, "mismatched phase nesting"
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self.phases.append(record)
+
+    # -- derived views ------------------------------------------------------
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Flattened ``path -> seconds`` map; nested phases use
+        ``outer/inner`` paths (counter names use dots, phase paths use
+        slashes, so the two namespaces cannot collide)."""
+        result: Dict[str, float] = {}
+
+        def walk(records: List[PhaseRecord], prefix: str) -> None:
+            for record in records:
+                path = f"{prefix}/{record.name}" if prefix else record.name
+                result[path] = result.get(path, 0.0) + record.seconds
+                walk(record.children, path)
+
+        walk(self.phases, "")
+        return result
+
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.phases)
+
+    # -- export -------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """The profile document (schema ``repro.obs/1``)."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "name": self.name,
+            "total_seconds": self.total_seconds(),
+            "peak_traced_kb": (self.peak_traced_bytes / 1024.0
+                               if self.peak_traced_bytes else 0.0),
+            "phases": [record.to_dict() for record in self.phases],
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_csv(self) -> str:
+        return profile_to_csv(self.to_dict())
+
+
+class _NullScope:
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SCOPE = _NullScope()
+
+
+class NullObserver(Observer):
+    """A no-op observer: every hook is free, so stages can call the
+    observer unconditionally and profiling off costs nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(name="", track_memory=False)
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def phase(self, name: str) -> _NullScope:  # type: ignore[override]
+        return _NULL_SCOPE
+
+
+#: Shared no-op instance; stages default to it when no observer is given.
+NULL_OBS = NullObserver()
+
+
+# -- schema ----------------------------------------------------------------
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid profile document: {message}")
+
+
+def _validate_phase(phase: object, path: str) -> None:
+    _check(isinstance(phase, dict), f"phase at {path} is not an object")
+    assert isinstance(phase, dict)
+    _check(isinstance(phase.get("name"), str) and phase["name"] != "",
+           f"phase at {path} lacks a name")
+    _check(isinstance(phase.get("seconds"), (int, float))
+           and phase["seconds"] >= 0,
+           f"phase {phase.get('name')!r} has no non-negative seconds")
+    _check(isinstance(phase.get("peak_traced_kb"), (int, float)),
+           f"phase {phase.get('name')!r} lacks peak_traced_kb")
+    rss = phase.get("rss_kb")
+    _check(rss is None or isinstance(rss, int),
+           f"phase {phase.get('name')!r} has non-integer rss_kb")
+    children = phase.get("children")
+    _check(isinstance(children, list),
+           f"phase {phase.get('name')!r} lacks a children list")
+    assert isinstance(children, list)
+    for i, child in enumerate(children):
+        _validate_phase(child, f"{path}/{phase['name']}[{i}]")
+
+
+def validate_profile(doc: object) -> Dict[str, object]:
+    """Check *doc* against the ``repro.obs/1`` schema.
+
+    Returns the document unchanged; raises :class:`ValueError` with a
+    pointed message on the first violation. Used by tests and the CI
+    profile-artifact step (no external jsonschema dependency).
+    """
+    _check(isinstance(doc, dict), "top level is not an object")
+    assert isinstance(doc, dict)
+    _check(doc.get("schema") == PROFILE_SCHEMA,
+           f"schema is {doc.get('schema')!r}, expected {PROFILE_SCHEMA!r}")
+    _check(isinstance(doc.get("name"), str), "name is not a string")
+    _check(isinstance(doc.get("total_seconds"), (int, float))
+           and doc["total_seconds"] >= 0, "total_seconds missing or negative")
+    _check(isinstance(doc.get("peak_traced_kb"), (int, float)),
+           "peak_traced_kb missing")
+    phases = doc.get("phases")
+    _check(isinstance(phases, list), "phases is not a list")
+    assert isinstance(phases, list)
+    for i, phase in enumerate(phases):
+        _validate_phase(phase, f"[{i}]")
+    counters = doc.get("counters")
+    _check(isinstance(counters, dict), "counters is not an object")
+    assert isinstance(counters, dict)
+    for key, value in counters.items():
+        _check(isinstance(key, str) and isinstance(value, int) and value >= 0,
+               f"counter {key!r} is not a non-negative integer")
+    gauges = doc.get("gauges")
+    _check(isinstance(gauges, dict), "gauges is not an object")
+    assert isinstance(gauges, dict)
+    for key, value in gauges.items():
+        _check(isinstance(key, str) and isinstance(value, (int, float)),
+               f"gauge {key!r} is not numeric")
+    return doc
+
+
+# -- renderers -------------------------------------------------------------
+
+
+def _walk_phases(phases: List[Dict[str, object]], prefix: str = ""
+                 ) -> Iterator[Tuple[str, Dict[str, object]]]:
+    for phase in phases:
+        path = f"{prefix}/{phase['name']}" if prefix else str(phase["name"])
+        yield path, phase
+        yield from _walk_phases(phase.get("children", []), path)  # type: ignore[arg-type]
+
+
+def profile_to_csv(doc: Dict[str, object]) -> str:
+    """Flatten a profile document to ``kind,name,value`` CSV rows."""
+    import csv
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["kind", "name", "value"])
+    for path, phase in _walk_phases(doc.get("phases", [])):  # type: ignore[arg-type]
+        writer.writerow(["phase_seconds", path, f"{phase['seconds']:.6f}"])
+        writer.writerow(["phase_peak_traced_kb", path,
+                         f"{phase['peak_traced_kb']:.1f}"])
+    for name, value in doc.get("counters", {}).items():  # type: ignore[union-attr]
+        writer.writerow(["counter", name, value])
+    for name, value in doc.get("gauges", {}).items():  # type: ignore[union-attr]
+        writer.writerow(["gauge", name, value])
+    return buffer.getvalue()
+
+
+def render_profile(doc: Dict[str, object]) -> str:
+    """Human-readable profile (the ``repro stats`` text output)."""
+    lines = []
+    name = doc.get("name") or "analysis"
+    lines.append(f"profile of {name}: {doc['total_seconds']:.3f}s total")
+    lines.append("phases:")
+
+    def emit(phases, depth):
+        for phase in phases:
+            mem = ""
+            if phase.get("peak_traced_kb"):
+                mem = f"  peak {phase['peak_traced_kb']:.0f} KiB"
+            lines.append(f"  {'  ' * depth}{phase['name']:<{28 - 2 * depth}} "
+                         f"{phase['seconds']:>9.4f}s{mem}")
+            emit(phase.get("children", []), depth + 1)
+
+    emit(doc.get("phases", []), 0)
+    counters = doc.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(k) for k in counters)
+        for key in sorted(counters):
+            lines.append(f"  {key:<{width}} {counters[key]:>12}")
+    gauges = doc.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(k) for k in gauges)
+        for key in sorted(gauges):
+            lines.append(f"  {key:<{width}} {gauges[key]:>12}")
+    return "\n".join(lines)

@@ -156,6 +156,8 @@ class PTUniverse:
         # Dedup statistics: every time a set reference is handed out
         # (interned-table hit or miss) counts as one reference.
         self.set_references = 0
+        self.union_cache_hits = 0
+        self.intersect_cache_hits = 0
         self.empty = self.from_mask(0)
 
     # -- object numbering -------------------------------------------------
@@ -221,6 +223,7 @@ class PTUniverse:
                 self._union_cache[key] = hit
             else:
                 self.set_references += 1
+                self.union_cache_hits += 1
             return hit
         return self.from_mask(mask)
 
@@ -241,6 +244,7 @@ class PTUniverse:
                 self._intersect_cache[key] = hit
             else:
                 self.set_references += 1
+                self.intersect_cache_hits += 1
             return hit
         return self.from_mask(mask)
 
@@ -268,4 +272,6 @@ class PTUniverse:
             "dedup_ratio": self.dedup_ratio(),
             "union_cache_entries": len(self._union_cache),
             "intersect_cache_entries": len(self._intersect_cache),
+            "union_cache_hits": self.union_cache_hits,
+            "intersect_cache_hits": self.intersect_cache_hits,
         }

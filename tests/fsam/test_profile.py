@@ -1,0 +1,139 @@
+"""End-to-end observability: one FSAM run -> one profile document."""
+
+import tracemalloc
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.obs import NULL_OBS, Observer, validate_profile
+
+# A workload exercising every pipeline stage: a fork, an MHP aliased
+# store/load pair (value flow), and lock spans.
+SRC = """
+int x_t; int A; int B;
+int *p; int *q;
+mutex_t m;
+void *writer(void *arg) {
+    lock(&m);
+    *p = &x_t;
+    unlock(&m);
+    return null;
+}
+int main() {
+    thread_t t;
+    p = &A; q = &B;
+    fork(&t, writer, null);
+    q = *p;
+    *q = &x_t;
+    join(t);
+    return 0;
+}
+"""
+
+PIPELINE_PHASES = ["pre_analysis", "icfg", "thread_oblivious_dug",
+                   "thread_model", "interleaving", "lock_analysis",
+                   "value_flow", "sparse_solve"]
+
+
+def run_profiled():
+    module = compile_source(SRC)
+    result = FSAM(module).run()
+    return result
+
+
+class TestProfileDocument:
+    def test_single_run_produces_valid_document(self):
+        doc = run_profiled().profile()
+        validate_profile(doc)
+
+    def test_every_pipeline_phase_timed(self):
+        doc = run_profiled().profile()
+        names = [p["name"] for p in doc["phases"]]
+        assert names == PIPELINE_PHASES
+        assert all(p["seconds"] >= 0 for p in doc["phases"])
+
+    def test_counters_from_at_least_five_stages(self):
+        doc = run_profiled().profile()
+        counters = doc["counters"]
+        stages_hit = {name.split(".")[0]
+                      for name, value in counters.items() if value > 0}
+        assert {"andersen", "memssa", "mhp", "valueflow",
+                "solver"} <= stages_hit
+
+    def test_per_phase_peak_memory_with_tracemalloc(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            doc = run_profiled().profile()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+        assert any(p["peak_traced_kb"] > 0 for p in doc["phases"])
+        assert doc["peak_traced_kb"] >= max(
+            p["peak_traced_kb"] for p in doc["phases"])
+
+    def test_profile_json_round_trips(self):
+        import json
+        doc = json.loads(run_profiled().profile_json())
+        validate_profile(doc)
+
+    def test_phase_times_match_observer(self):
+        result = run_profiled()
+        assert set(result.phase_times) == set(PIPELINE_PHASES)
+        for name, seconds in result.obs.phase_seconds().items():
+            if "/" not in name:
+                # timed() wraps the obs scope, so its reading is the
+                # outer (slightly larger) one.
+                assert result.phase_times[name] >= seconds
+
+
+class TestValueFlowShim:
+    def test_stats_object_matches_counters(self):
+        result = run_profiled()
+        counters = result.obs.counters
+        assert result.vf_stats.candidate_pairs == counters["valueflow.candidate_pairs"]
+        assert result.vf_stats.mhp_pairs == counters["valueflow.mhp_pairs"]
+        assert result.vf_stats.lock_filtered == counters["valueflow.lock_filtered"]
+        assert result.vf_stats.edges_added == counters["valueflow.edges_added"]
+        assert result.vf_stats.edges_added >= 1
+
+
+class TestProfileToggle:
+    def test_profile_off_uses_null_observer(self):
+        module = compile_source(SRC)
+        fsam = FSAM(module, FSAMConfig(profile=False))
+        assert fsam.obs is NULL_OBS
+        result = fsam.run()
+        assert result.obs is NULL_OBS
+        assert result.profile()["phases"] == []
+        # phase_times stays populated regardless (harness compat).
+        assert set(result.phase_times) == set(PIPELINE_PHASES)
+
+    def test_explicit_observer_wins(self):
+        module = compile_source(SRC)
+        obs = Observer(name="mine")
+        result = FSAM(module, FSAMConfig(profile=False), obs=obs).run()
+        assert result.obs is obs
+        assert obs.counter("solver.iterations") > 0
+
+    def test_ablated_preserves_profile_flag(self):
+        config = FSAMConfig(profile=False)
+        assert config.ablated("value_flow").profile is False
+
+    def test_stats_includes_counters_and_gauges(self):
+        stats = run_profiled().stats()
+        assert stats["counters"]["solver.iterations"] > 0
+        assert stats["gauges"]["solver.dug_nodes"] > 0
+
+    def test_nonsparse_baseline_flushes_counters(self):
+        from repro.baseline import NonSparseAnalysis
+        module = compile_source(SRC)
+        obs = Observer(name="base")
+        NonSparseAnalysis(module, obs=obs).run()
+        assert obs.counter("nonsparse.iterations") > 0
+        assert obs.counter("nonsparse.strong_updates") \
+            + obs.counter("nonsparse.weak_updates") > 0
+        assert [p["name"] for p in obs.to_dict()["phases"]] == \
+            ["pre_analysis", "icfg", "pcg", "nonsparse_solve"]

@@ -78,3 +78,90 @@ class TestMustAnalysis:
         out = solve_forward(problem, [1])
         assert "a" in out[4]
         assert "b" not in out[4]
+
+
+class TestEntryBackEdge:
+    """An entry node's IN fact must meet predecessor OUTs too.
+
+    A back-edge into the entry (e.g. a state-graph loop returning to a
+    thread's entry state) contributes facts generated inside the loop;
+    an engine that seeded entries from entry_fact alone would drop
+    them on re-entry and under-approximate the fixpoint.
+    """
+
+    def test_back_edge_into_entry_contributes(self):
+        # 1 -> 2 -> 1: the label generated at 2 must flow back into 1.
+        g = build([(1, 2), (2, 1)])
+        out = reaching_labels(g, 1, {2: frozenset("x")})
+        assert out[1] == {"x"}
+
+    def test_entry_fact_and_loop_facts_both_survive(self):
+        g = build([(1, 2), (2, 3), (3, 1), (2, 4)])
+        problem = DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset("e"),
+            bottom=lambda: frozenset(),
+            transfer=lambda n, fact: fact | {"g3"} if n == 3 else fact,
+            meet=lambda a, b: a | b,
+            equal=lambda a, b: a == b,
+        )
+        out = solve_forward(problem, [1])
+        # The seed reaches everywhere; the loop-generated label flows
+        # back through the entry and out of the exit.
+        assert out[1] == {"e", "g3"}
+        assert out[4] == {"e", "g3"}
+
+    def test_self_loop_on_entry(self):
+        g = build([(1, 1), (1, 2)])
+        out = reaching_labels(g, 1, {1: frozenset("s")})
+        assert out[1] == {"s"}
+        assert out[2] == {"s"}
+
+    def test_two_entries_with_cross_edges(self):
+        g = build([(1, 3), (2, 3), (3, 1), (3, 2)])
+        problem_out = solve_forward(DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset(),
+            bottom=lambda: frozenset(),
+            transfer=lambda n, fact: fact | {1: frozenset("a"),
+                                             2: frozenset("b")}.get(n, frozenset()),
+            meet=lambda a, b: a | b,
+            equal=lambda a, b: a == b,
+        ), [1, 2])
+        assert problem_out[1] == {"a", "b"}
+        assert problem_out[2] == {"a", "b"}
+
+
+class TestIterationStats:
+    def test_stats_counts_node_evaluations(self):
+        g = build([(1, 2), (2, 3)])
+        stats = {}
+        problem = DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset(),
+            bottom=lambda: frozenset(),
+            transfer=lambda n, fact: fact | {"x"},
+            meet=lambda a, b: a | b,
+            equal=lambda a, b: a == b,
+        )
+        solve_forward(problem, [1], stats=stats)
+        assert stats["iterations"] >= 3
+
+    def test_stats_accumulates_across_calls(self):
+        g = build([(1, 2)])
+        stats = {"iterations": 5}
+        problem = DataflowProblem(
+            g,
+            entry_fact=lambda n: frozenset(),
+            bottom=lambda: frozenset(),
+            transfer=lambda n, fact: fact,
+            meet=lambda a, b: a | b,
+            equal=lambda a, b: a == b,
+        )
+        solve_forward(problem, [1], stats=stats)
+        assert stats["iterations"] > 5
+
+    def test_stats_optional(self):
+        g = build([(1, 2)])
+        out = reaching_labels(g, 1, {1: frozenset("x")})
+        assert out[2] == {"x"}

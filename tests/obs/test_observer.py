@@ -1,0 +1,201 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import json
+import tracemalloc
+
+import pytest
+
+from repro.obs import (
+    NULL_OBS, NullObserver, Observer, PROFILE_SCHEMA, profile_to_csv,
+    render_profile, validate_profile,
+)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        obs = Observer()
+        obs.count("a.x")
+        obs.count("a.x", 4)
+        assert obs.counter("a.x") == 5
+
+    def test_unknown_counter_is_zero(self):
+        assert Observer().counter("never.seen") == 0
+
+    def test_gauge_keeps_latest(self):
+        obs = Observer()
+        obs.gauge("g", 1)
+        obs.gauge("g", 7)
+        assert obs.gauges["g"] == 7
+
+
+class TestPhases:
+    def test_nested_phases_build_a_tree(self):
+        obs = Observer()
+        with obs.phase("outer"):
+            with obs.phase("inner"):
+                pass
+        assert [p.name for p in obs.phases] == ["outer"]
+        assert [c.name for c in obs.phases[0].children] == ["inner"]
+
+    def test_phase_seconds_flattens_paths(self):
+        obs = Observer()
+        with obs.phase("outer"):
+            with obs.phase("inner"):
+                pass
+        seconds = obs.phase_seconds()
+        assert set(seconds) == {"outer", "outer/inner"}
+        assert seconds["outer"] >= seconds["outer/inner"] >= 0.0
+
+    def test_repeated_phase_names_accumulate_in_flat_view(self):
+        obs = Observer()
+        with obs.phase("p"):
+            pass
+        with obs.phase("p"):
+            pass
+        assert len(obs.phases) == 2
+        assert len(obs.phase_seconds()) == 1
+
+    def test_total_seconds_sums_top_level(self):
+        obs = Observer()
+        with obs.phase("a"):
+            pass
+        with obs.phase("b"):
+            pass
+        assert obs.total_seconds() == pytest.approx(
+            sum(p.seconds for p in obs.phases))
+
+    def test_exceptions_propagate_out_of_phase(self):
+        obs = Observer()
+        with pytest.raises(ValueError):
+            with obs.phase("boom"):
+                raise ValueError("x")
+        # The phase still closed cleanly.
+        assert [p.name for p in obs.phases] == ["boom"]
+        assert obs._stack == []
+
+
+class TestMemoryTracking:
+    def test_per_phase_peaks_with_tracemalloc(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            obs = Observer()
+            with obs.phase("alloc"):
+                blob = ["x" * 64 for _ in range(2000)]
+            assert obs.phases[0].peak_traced_bytes > 0
+            assert obs.peak_traced_bytes >= obs.phases[0].peak_traced_bytes
+            del blob
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+
+    def test_run_peak_survives_per_phase_resets(self):
+        """reset_peak between phases must not lose the run maximum."""
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            obs = Observer()
+            with obs.phase("big"):
+                blob = ["y" * 64 for _ in range(4000)]
+                del blob
+            big_peak = obs.phases[0].peak_traced_bytes
+            with obs.phase("small"):
+                pass
+            assert obs.peak_traced_bytes >= big_peak
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+
+    def test_no_tracemalloc_is_fine(self):
+        assert not tracemalloc.is_tracing()
+        obs = Observer()
+        with obs.phase("p"):
+            pass
+        assert obs.phases[0].peak_traced_bytes == 0
+
+
+class TestExport:
+    def _sample(self):
+        obs = Observer(name="sample")
+        with obs.phase("solve"):
+            with obs.phase("inner"):
+                pass
+        obs.count("stage.events", 3)
+        obs.gauge("stage.size", 11)
+        return obs
+
+    def test_to_dict_matches_schema(self):
+        doc = self._sample().to_dict()
+        assert validate_profile(doc) is doc
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["name"] == "sample"
+        assert doc["counters"] == {"stage.events": 3}
+        assert doc["gauges"] == {"stage.size": 11}
+
+    def test_to_json_round_trips(self):
+        doc = json.loads(self._sample().to_json())
+        validate_profile(doc)
+
+    def test_csv_has_all_rows(self):
+        csv_text = profile_to_csv(self._sample().to_dict())
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "kind,name,value"
+        kinds = {line.split(",")[0] for line in lines[1:]}
+        assert kinds == {"phase_seconds", "phase_peak_traced_kb",
+                         "counter", "gauge"}
+        assert any(line.startswith("phase_seconds,solve/inner,")
+                   for line in lines)
+
+    def test_render_profile_mentions_everything(self):
+        text = render_profile(self._sample().to_dict())
+        assert "solve" in text
+        assert "stage.events" in text
+        assert "stage.size" in text
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self):
+        doc = Observer().to_dict()
+        doc["schema"] = "bogus/9"
+        with pytest.raises(ValueError, match="schema"):
+            validate_profile(doc)
+
+    def test_rejects_negative_counter(self):
+        doc = Observer().to_dict()
+        doc["counters"] = {"x": -1}
+        with pytest.raises(ValueError, match="counter"):
+            validate_profile(doc)
+
+    def test_rejects_phase_without_name(self):
+        doc = Observer().to_dict()
+        doc["phases"] = [{"seconds": 0.0, "peak_traced_kb": 0.0,
+                          "rss_kb": None, "children": []}]
+        with pytest.raises(ValueError, match="name"):
+            validate_profile(doc)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_profile([])
+
+
+class TestNullObserver:
+    def test_is_disabled_and_free(self):
+        assert NULL_OBS.enabled is False
+        assert isinstance(NULL_OBS, NullObserver)
+        NULL_OBS.count("anything", 5)
+        NULL_OBS.gauge("anything", 5)
+        with NULL_OBS.phase("p"):
+            pass
+        assert NULL_OBS.counters == {}
+        assert NULL_OBS.gauges == {}
+        assert NULL_OBS.phases == []
+
+    def test_phase_scope_is_shared(self):
+        assert NULL_OBS.phase("a") is NULL_OBS.phase("b")
+
+    def test_exceptions_propagate(self):
+        with pytest.raises(RuntimeError):
+            with NULL_OBS.phase("p"):
+                raise RuntimeError("x")
