@@ -71,3 +71,16 @@ def test_profiled_run_actually_instrumented():
     doc = result.profile()
     assert doc["phases"], "profiled run produced no phase records"
     assert doc["counters"]["solver.iterations"] > 0
+
+
+def test_profiled_run_has_tracing_off():
+    """The 5%% bound covers the obs-on + trace-off configuration: the
+    default config must not silently enable the tracer (provenance
+    recording touches the per-fact hot path and has its own budget)."""
+    from repro.trace import NULL_TRACER
+    result = _RESULT.get("profiled")
+    if result is None:
+        import pytest
+        pytest.skip("overhead benchmark did not run")
+    assert result.tracer is NULL_TRACER
+    assert result.provenance is None

@@ -12,6 +12,9 @@
     python -m repro dot       prog.mc --what dug > out.dot
     python -m repro bench     --table 2      # regenerate a paper table
     python -m repro compare   prog.mc        # FSAM vs NONSPARSE
+    python -m repro explain   prog.mc x      # derivation chain for x
+    python -m repro trace     prog.mc        # repro.trace/1 JSONL dump
+    python -m repro diff-profile A.json B.json   # profile regression diff
 
 Reports can also be emitted as JSON (``--json``) for downstream
 tooling.
@@ -39,12 +42,13 @@ def _load_module(path: str):
     return compile_source(source, name=path)
 
 
-def _config_from(args) -> FSAMConfig:
+def _config_from(args, trace: bool = False) -> FSAMConfig:
     return FSAMConfig(
         interleaving=not getattr(args, "no_interleaving", False),
         value_flow=not getattr(args, "no_value_flow", False),
         lock_analysis=not getattr(args, "no_lock", False),
         time_budget=getattr(args, "budget", None),
+        trace=trace or getattr(args, "trace", None) is not None,
     )
 
 
@@ -59,6 +63,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", metavar="OUT", default=None,
                         help="write the run's observability profile "
                              "(repro.obs/1 JSON) to this file")
+    parser.add_argument("--trace", metavar="OUT", default=None,
+                        help="enable event tracing and write the run's "
+                             "repro.trace/1 JSONL to this file")
 
 
 def _maybe_write_profile(result, args) -> None:
@@ -72,6 +79,18 @@ def _maybe_write_profile(result, args) -> None:
     with open(path, "w") as handle:
         handle.write(obs.to_json())
         handle.write("\n")
+
+
+def _maybe_write_trace(result, args) -> None:
+    """Write the FSAM result's event trace when --trace asked."""
+    path = getattr(args, "trace", None)
+    if not path or result is None:
+        return
+    tracer = getattr(result, "tracer", None)
+    if tracer is None or not tracer.enabled:
+        return
+    with open(path, "w") as handle:
+        tracer.write_jsonl(handle)
 
 
 def _traced(args, thunk):
@@ -88,9 +107,11 @@ def _traced(args, thunk):
             tracemalloc.stop()
 
 
-def _run_fsam(module, args):
-    result = _traced(args, lambda: FSAM(module, _config_from(args)).run())
+def _run_fsam(module, args, trace: bool = False):
+    result = _traced(args,
+                     lambda: FSAM(module, _config_from(args, trace=trace)).run())
     _maybe_write_profile(result, args)
+    _maybe_write_trace(result, args)
     return result
 
 
@@ -231,8 +252,25 @@ def cmd_dot(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    from repro.fsam.explain import explain_at_line
     module = _load_module(args.file)
+    if args.var is not None:
+        # Recorded-provenance mode: rerun with tracing forced on and
+        # walk the derivation chains the solver logged.
+        from repro.fsam.explain import explain_fact
+        result = _run_fsam(module, args, trace=True)
+        chains = explain_fact(result, args.var, obj_name=args.obj)
+        if not chains:
+            wanted = f" pointing to {args.obj!r}" if args.obj else ""
+            print(f"no recorded fact for {args.var!r}{wanted}")
+            return 1
+        print("\n\n".join(chains))
+        return 0
+    if args.line is None or args.target is None:
+        print("explain needs either a variable name or --line/--target",
+              file=sys.stderr)
+        return 2
+    # Legacy post-hoc mode: backwards BFS, no tracing required.
+    from repro.fsam.explain import explain_at_line
     result = _run_fsam(module, args)
     provenances = explain_at_line(result, args.line, args.target)
     if not provenances:
@@ -240,6 +278,55 @@ def cmd_explain(args) -> int:
         return 1
     for prov in provenances:
         print(prov.describe())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Run FSAM with tracing on; dump the repro.trace/1 JSONL."""
+    module = _load_module(args.file)
+    result = _run_fsam(module, args, trace=True)
+    text = result.trace_jsonl()
+    out = getattr(args, "out", None)
+    if out:
+        with open(out, "w") as handle:
+            handle.write(text)
+        kinds = result.tracer.kinds()
+        print(f"wrote {sum(kinds.values())} event(s) to {out}")
+        for kind in sorted(kinds):
+            print(f"  {kind}: {kinds[kind]}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_diff_profile(args) -> int:
+    """Compare two repro.obs/1 profile documents (report-only)."""
+    from repro.harness import diff_profiles, render_profile_diff
+    with open(args.baseline) as handle:
+        a = json.load(handle)
+    with open(args.current) as handle:
+        b = json.load(handle)
+    diff = diff_profiles(a, b)
+    if args.json:
+        print(json.dumps({
+            "name_a": diff.name_a, "name_b": diff.name_b,
+            "total_seconds_a": diff.total_seconds_a,
+            "total_seconds_b": diff.total_seconds_b,
+            "phases": [{
+                "path": d.path, "status": d.status,
+                "seconds_a": d.seconds_a, "seconds_b": d.seconds_b,
+                "peak_kb_a": d.peak_kb_a, "peak_kb_b": d.peak_kb_b,
+                "seconds_ratio": d.seconds_ratio,
+            } for d in diff.phases],
+            "counter_drift": {k: list(v)
+                              for k, v in diff.changed_counters().items()},
+            "gauge_drift": {k: list(v)
+                            for k, v in diff.changed_gauges().items()},
+        }, indent=2))
+    else:
+        print(render_profile_diff(diff))
+    # Report-only by design: regressions are for a human (or the CI
+    # log reader) to judge, so the exit code never blocks.
     return 0
 
 
@@ -280,7 +367,10 @@ def cmd_stats(args) -> int:
                 tracemalloc.stop()
         _maybe_write_profile(result, args)
         doc = result.profile()
-    if args.json:
+    if args.chrome:
+        from repro.trace import profile_to_chrome
+        print(json.dumps(profile_to_chrome(doc), indent=2))
+    elif args.json:
         print(json.dumps(doc, indent=2))
     elif args.csv:
         sys.stdout.write(profile_to_csv(doc))
@@ -325,13 +415,36 @@ def build_parser() -> argparse.ArgumentParser:
         p.set_defaults(handler=fn)
 
     p = sub.add_parser("explain",
-                       help="provenance: why does a load read an object?")
+                       help="provenance: why does a variable point to "
+                            "an object?")
     _add_common(p)
-    p.add_argument("--line", type=int, required=True,
-                   help="source line of the load")
-    p.add_argument("--target", required=True,
-                   help="name of the pointed-to object to explain")
+    p.add_argument("var", nargs="?", default=None,
+                   help="variable to explain from recorded provenance "
+                        "(walks the derivation chain to its AddrOf root)")
+    p.add_argument("--obj", default=None,
+                   help="restrict to this pointed-to object")
+    p.add_argument("--line", type=int, default=None,
+                   help="legacy mode: source line of the load")
+    p.add_argument("--target", default=None,
+                   help="legacy mode: name of the pointed-to object")
     p.set_defaults(handler=cmd_explain)
+
+    p = sub.add_parser("trace",
+                       help="run with event tracing on; dump "
+                            "repro.trace/1 JSONL")
+    _add_common(p)
+    p.add_argument("--out", metavar="OUT", default=None,
+                   help="write JSONL here instead of stdout "
+                        "(prints a per-kind summary)")
+    p.set_defaults(handler=cmd_trace)
+
+    p = sub.add_parser("diff-profile",
+                       help="compare two repro.obs/1 profiles "
+                            "(report-only)")
+    p.add_argument("baseline", help="baseline profile JSON (A)")
+    p.add_argument("current", help="current profile JSON (B)")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.set_defaults(handler=cmd_diff_profile)
 
     p = sub.add_parser("dot", help="export DOT graphs")
     _add_common(p)
@@ -343,6 +456,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--csv", action="store_true",
                    help="emit flattened kind,name,value CSV")
+    p.add_argument("--chrome", action="store_true",
+                   help="emit Chrome trace-event JSON of the phase "
+                        "tree (chrome://tracing / Perfetto)")
     p.set_defaults(handler=cmd_stats)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure")

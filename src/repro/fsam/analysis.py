@@ -23,6 +23,7 @@ from repro.mt.mhp import CoarsePCGMhp, InterleavingAnalysis, MHPOracle
 from repro.mt.threads import ThreadModel
 from repro.mt.valueflow import ValueFlowStats, add_thread_aware_edges
 from repro.obs import NULL_OBS, Observer
+from repro.trace import NULL_TRACER, Tracer
 
 
 class FSAMResult:
@@ -34,7 +35,8 @@ class FSAMResult:
                  mhp: Optional[MHPOracle],
                  vf_stats: Optional[ValueFlowStats],
                  phase_times: Dict[str, float],
-                 obs: Observer = NULL_OBS) -> None:
+                 obs: Observer = NULL_OBS,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.module = module
         self.solver = solver
         self.andersen = andersen
@@ -45,6 +47,7 @@ class FSAMResult:
         self.vf_stats = vf_stats
         self.phase_times = phase_times
         self.obs = obs
+        self.tracer = tracer
 
     # -- points-to queries ------------------------------------------------
 
@@ -128,6 +131,18 @@ class FSAMResult:
     def profile_json(self, indent: int = 2) -> str:
         return self.obs.to_json(indent=indent)
 
+    # -- tracing & provenance -----------------------------------------------
+
+    @property
+    def provenance(self):
+        """Fact key -> :class:`~repro.trace.Derivation` map recorded
+        by the solver (None when tracing was off)."""
+        return self.solver.provenance
+
+    def trace_jsonl(self) -> str:
+        """The run's event trace as ``repro.trace/1`` JSONL."""
+        return self.tracer.to_jsonl()
+
     def stats(self) -> Dict[str, object]:
         return {
             "phase_times": dict(self.phase_times),
@@ -147,7 +162,8 @@ class FSAM:
     """Runs the full pipeline on a module."""
 
     def __init__(self, module: Module, config: Optional[FSAMConfig] = None,
-                 obs: Optional[Observer] = None) -> None:
+                 obs: Optional[Observer] = None,
+                 tracer: Optional[Tracer] = None) -> None:
         self.module = module
         self.config = config or FSAMConfig()
         # An explicit observer wins; otherwise config.profile decides
@@ -158,10 +174,19 @@ class FSAM:
             self.obs = Observer(name="fsam")
         else:
             self.obs = NULL_OBS
+        # Same shape for the tracer: explicit instance wins, otherwise
+        # config.trace picks between a fresh Tracer and the no-op one.
+        if tracer is not None:
+            self.tracer = tracer
+        elif self.config.trace:
+            self.tracer = Tracer(name="fsam")
+        else:
+            self.tracer = NULL_TRACER
 
     def run(self) -> FSAMResult:
         deadline = Deadline(self.config.time_budget)
         obs = self.obs
+        tracer = self.tracer
         times: Dict[str, float] = {}
 
         def timed(name: str, thunk):
@@ -184,18 +209,22 @@ class FSAM:
             self.module, andersen, icfg,
             max_context_depth=self.config.max_context_depth))
         if self.config.interleaving:
-            mhp: MHPOracle = timed("interleaving", lambda: InterleavingAnalysis(model))
+            mhp: MHPOracle = timed(
+                "interleaving",
+                lambda: InterleavingAnalysis(model, tracer=tracer))
         else:
             mhp = timed("interleaving", lambda: CoarsePCGMhp(model))
         locks: Optional[LockAnalysis] = None
         if self.config.lock_analysis:
             locks = timed("lock_analysis",
-                          lambda: LockAnalysis(model, andersen, dug, builder))
+                          lambda: LockAnalysis(model, andersen, dug, builder,
+                                               tracer=tracer))
         vf_stats = timed("value_flow", lambda: add_thread_aware_edges(
             dug, builder, mhp, locks=locks,
-            alias_filtering=self.config.value_flow, obs=obs))
+            alias_filtering=self.config.value_flow, obs=obs, tracer=tracer))
         solver = SparseSolver(self.module, dug, builder, andersen,
-                              config=self.config, deadline=deadline)
+                              config=self.config, deadline=deadline,
+                              tracer=tracer)
         timed("sparse_solve", solver.solve)
         # The MHP and lock oracles are queried across phases (value
         # flow and downstream clients), so their tallies are flushed
@@ -205,7 +234,8 @@ class FSAM:
             locks.flush_obs(obs)
         solver.flush_obs(obs)
         return FSAMResult(self.module, solver, andersen, dug, builder,
-                          model, mhp, vf_stats, times, obs=obs)
+                          model, mhp, vf_stats, times, obs=obs,
+                          tracer=tracer)
 
 
 def analyze_source(source: str, config: Optional[FSAMConfig] = None) -> FSAMResult:

@@ -54,6 +54,13 @@ class FSAMConfig:
     # repro.obs.Observer during the run. Cheap enough to default on;
     # set False to run every hook against the shared no-op observer.
     profile: bool = True
+    # Record derivation provenance and typed events in a
+    # repro.trace.Tracer during the run (why each points-to fact
+    # holds, per-pair [THREAD-VF] verdicts, lock-span decisions).
+    # Unlike profile this defaults off: provenance touches the
+    # solver's per-fact hot path, and the overhead benchmark's budget
+    # is stated for the trace-off configuration.
+    trace: bool = False
     # Calling-context depth for the thread interference analyses.
     # None = full context-sensitivity (the paper's setting, recursion
     # collapsed); an integer k caps the callsite stack — coarser MHP
@@ -70,6 +77,7 @@ class FSAMConfig:
             "strong_updates_at_interfering_stores": self.strong_updates_at_interfering_stores,
             "time_budget": self.time_budget,
             "profile": self.profile,
+            "trace": self.trace,
             "max_context_depth": self.max_context_depth,
         }
         if phase not in ("interleaving", "value_flow", "lock_analysis"):

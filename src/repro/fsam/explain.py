@@ -1,11 +1,24 @@
 """Points-to provenance: *why* does this load see this object?
 
-Walks the def-use graph backwards from a load, following only edges
-whose source state actually carries the queried object, until the
-store that introduced the value. The resulting chain is the sparse
-analysis' own reasoning — for Figure 1(a), asking why ``c = *p`` sees
-``z`` yields the ``*p = r`` store; asking why it sees ``y`` yields
-the thread-aware edge from ``*p = q`` in the other thread.
+Two complementary mechanisms live here:
+
+1. **Recorded provenance** (preferred, needs ``FSAMConfig(trace=True)``):
+   the sparse solver logs, for every fact, the rule/node/trigger that
+   first introduced it (:mod:`repro.trace`). :func:`derivation_chain`
+   walks those trigger links from any fact down to its root — an
+   ``AddrOf`` for ordinary values — and :func:`explain_fact` renders
+   the chain for a named variable, annotating steps that travelled a
+   [THREAD-VF] edge with the MHP/lock verdict that admitted the edge.
+   This is the ``repro explain <program> <var>`` surface.
+
+2. **Post-hoc search** (:func:`explain_load`): a backwards BFS over
+   the def-use graph following only edges whose source state carries
+   the queried object. Works on untraced results, but reconstructs a
+   plausible chain rather than reporting the recorded one.
+
+For Figure 1(a), asking why ``c = *p`` sees ``z`` yields the
+``*p = r`` store; asking why it sees ``y`` yields the thread-aware
+edge from ``*p = q`` in the other thread.
 """
 
 from __future__ import annotations
@@ -17,6 +30,7 @@ from repro.fsam.analysis import FSAMResult
 from repro.ir.instructions import Load, Store
 from repro.ir.values import MemObject, Temp
 from repro.memssa.dug import DUGNode, StmtNode
+from repro.trace import Derivation
 
 
 @dataclass
@@ -119,6 +133,169 @@ def _introduces(result: FSAMResult, node: DUGNode, obj: MemObject,
     if not isinstance(node, StmtNode) or not isinstance(node.instr, Store):
         return False
     return target in result.solver.value_pts(node.instr.value)
+
+
+# -- recorded-provenance chains (repro.trace) -------------------------------
+
+#: Display tags mapping internal rule names to the paper's rules.
+RULE_TAGS = {
+    "addr": "P-ADDR",
+    "copy": "P-COPY",
+    "phi": "P-PHI",
+    "gep": "P-GEP",
+    "load": "P-LOAD",
+    "store-strong": "P-SU",
+    "store-weak": "P-WU",
+    "store-through": "P-WU pass-through",
+    "mem-phi": "MEM-PHI",
+    "formal-in": "FORMAL-IN",
+    "formal-out": "FORMAL-OUT",
+    "call-mu": "CALL-MU",
+    "call-chi": "CALL-CHI",
+    "fork-handle": "FORK",
+}
+
+
+def _object_by_id(result: FSAMResult, obj_id: int) -> Optional[MemObject]:
+    universe = result.solver.universe
+    index = universe._indices.get(obj_id)
+    return universe.object_at(index) if index is not None else None
+
+
+def _temps_by_id(result: FSAMResult) -> Dict[int, Temp]:
+    temps: Dict[int, Temp] = {}
+    for fn in result.module.functions.values():
+        for param in fn.params:
+            temps[param.id] = param
+        for instr in fn.instructions():
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, Temp):
+                temps[dst.id] = dst
+    return temps
+
+
+def derivation_chain(result: FSAMResult, key: Tuple,
+                     limit: int = 128) -> List[Tuple[Tuple, Derivation]]:
+    """The recorded derivation chain from fact *key* to its root.
+
+    Follows first-introduction trigger links, so the walk terminates
+    (a fact's trigger always predates it); *limit* is a belt-and-
+    braces bound. Raises :class:`ValueError` when the result carries
+    no provenance (run with ``FSAMConfig(trace=True)``)."""
+    provenance = result.provenance
+    if provenance is None:
+        raise ValueError("no provenance recorded: re-run the analysis "
+                         "with FSAMConfig(trace=True)")
+    chain: List[Tuple[Tuple, Derivation]] = []
+    seen: Set[Tuple] = set()
+    while key is not None and key not in seen and len(chain) < limit:
+        seen.add(key)
+        derivation = provenance.get(key)
+        if derivation is None:
+            break
+        chain.append((key, derivation))
+        key = derivation.trigger
+    return chain
+
+
+def _describe_fact(result: FSAMResult, key: Tuple,
+                   temps: Dict[int, Temp],
+                   nodes: Dict[int, DUGNode]) -> str:
+    obj = _object_by_id(result, key[-1])
+    obj_name = obj.name if obj is not None else f"obj#{key[-1]}"
+    if key[0] == "top":
+        temp = temps.get(key[1])
+        var = repr(temp) if temp is not None else f"%t{key[1]}"
+        return f"{obj_name} in pt({var})"
+    container = _object_by_id(result, key[2])
+    container_name = container.name if container is not None else f"obj#{key[2]}"
+    node = nodes.get(key[1])
+    return f"{obj_name} in state({container_name}) at {node!r}"
+
+
+def _describe_derivation(result: FSAMResult, key: Tuple, d: Derivation,
+                         temps: Dict[int, Temp],
+                         nodes: Dict[int, DUGNode]) -> List[str]:
+    tag = RULE_TAGS.get(d.rule, d.rule)
+    location = ""
+    if isinstance(d.origin, StmtNode) and d.origin.instr.line:
+        location = f" (line {d.origin.instr.line})"
+    head = f"{_describe_fact(result, key, temps, nodes)}" \
+           f"   [{tag}]{location}"
+    if d.is_root:
+        head += "  <- root"
+    lines = [head]
+    if d.thread_edge and d.edge is not None:
+        src_uid, container_id, _dst_uid = d.edge
+        source = nodes.get(src_uid)
+        container = _object_by_id(result, container_id)
+        container_name = container.name if container is not None \
+            else f"obj#{container_id}"
+        source_line = ""
+        if isinstance(source, StmtNode) and source.instr.line:
+            source_line = f" (line {source.instr.line})"
+        lines.append(f"    via [THREAD-VF] edge {source!r}{source_line} "
+                     f"--{container_name}--> this load")
+        verdict = result.dug.thread_edge_verdict(*d.edge)
+        if verdict is not None:
+            lines.append(f"    admitted: MHP {verdict.get('mhp', '?')}; "
+                         f"{verdict.get('lock', '?')}")
+    return lines
+
+
+def render_derivation(result: FSAMResult, key: Tuple) -> str:
+    """A human-readable derivation chain for fact *key*, from the
+    queried fact down to its root."""
+    temps = _temps_by_id(result)
+    nodes = {n.uid: n for n in result.dug.nodes}
+    chain = derivation_chain(result, key)
+    if not chain:
+        return f"no recorded derivation for {key!r}"
+    out = [f"why {_describe_fact(result, key, temps, nodes)}?"]
+    for i, (fact_key, derivation) in enumerate(chain):
+        prefix = "  " if i == 0 else "  <- "
+        described = _describe_derivation(result, fact_key, derivation,
+                                         temps, nodes)
+        out.append(prefix + described[0])
+        out.extend("  " + extra for extra in described[1:])
+    return "\n".join(out)
+
+
+def explain_fact(result: FSAMResult, name: str,
+                 obj_name: Optional[str] = None) -> List[str]:
+    """Rendered derivation chains for variable *name*.
+
+    *name* may be a global (its memory states are explained, one chain
+    per pointed-to object, anchored at the first store that introduced
+    the fact) or a top-level temp name. ``obj_name`` restricts the
+    explanation to one pointed-to object."""
+    provenance = result.provenance
+    if provenance is None:
+        raise ValueError("no provenance recorded: re-run the analysis "
+                         "with FSAMConfig(trace=True)")
+    temps = _temps_by_id(result)
+    keys: List[Tuple] = []
+    module = result.module
+    if name in module.globals:
+        container = module.globals[name]
+        first_per_obj: Set[int] = set()
+        for key in provenance:
+            if key[0] == "mem" and key[2] == container.id \
+                    and key[3] not in first_per_obj:
+                first_per_obj.add(key[3])
+                keys.append(key)
+    matching_temp_ids = {tid for tid, t in temps.items() if t.name == name}
+    if matching_temp_ids:
+        for key in provenance:
+            if key[0] == "top" and key[1] in matching_temp_ids:
+                keys.append(key)
+    out: List[str] = []
+    for key in keys:
+        obj = _object_by_id(result, key[-1])
+        if obj_name is not None and (obj is None or obj.name != obj_name):
+            continue
+        out.append(render_derivation(result, key))
+    return out
 
 
 def explain_at_line(result: FSAMResult, line: int,

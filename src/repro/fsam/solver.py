@@ -43,6 +43,7 @@ from repro.memssa.dug import (
 )
 from repro.obs import Observer
 from repro.pts import PTSet, PTUniverse
+from repro.trace import Derivation, NULL_TRACER, Tracer, mem_fact, top_fact
 
 
 class SparseSolver:
@@ -53,11 +54,20 @@ class SparseSolver:
     pre-analysis universe, so the delta checks in ``_set_top`` /
     ``_set_mem`` are O(1) subset tests on masks and unchanged unions
     return the existing instance.
+
+    When constructed with an enabled :class:`~repro.trace.Tracer`, the
+    solver additionally records **derivation provenance**: for every
+    ``(variable, object)`` and ``(memory state, object)`` fact, the
+    rule, node, and trigger fact that *first* introduced it (stored in
+    :attr:`provenance`, emitted as ``derive`` events). With the
+    default :data:`~repro.trace.NULL_TRACER` the hot paths pay only a
+    ``provenance is None`` check per state change.
     """
 
     def __init__(self, module: Module, dug: DUG, builder: MemorySSABuilder,
                  andersen: AndersenResult, config: Optional[FSAMConfig] = None,
-                 deadline: Optional[Deadline] = None) -> None:
+                 deadline: Optional[Deadline] = None,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.module = module
         self.dug = dug
         self.builder = builder
@@ -65,6 +75,11 @@ class SparseSolver:
         self.universe: PTUniverse = andersen.universe
         self.config = config or FSAMConfig()
         self.deadline = deadline
+        self.tracer = tracer
+        # Fact key -> Derivation; None when tracing is off so the hot
+        # path's guard is a single identity test.
+        self.provenance: Optional[Dict[Tuple, Derivation]] = \
+            {} if tracer.enabled else None
         self.pts_top: Dict[int, PTSet] = {}
         self.mem: Dict[Tuple[int, int], PTSet] = {}
         self._work: deque = deque()
@@ -106,27 +121,34 @@ class SparseSolver:
             self._queued.add(node.uid)
             self._work.append(node)
 
-    def _set_top(self, temp: Temp, values: PTSet) -> None:
+    def _set_top(self, temp: Temp, values: PTSet, prov=None) -> None:
         empty = self.universe.empty
-        pending = [(temp, values)]
+        tracing = self.provenance is not None
+        pending = [(temp, values, prov)]
         while pending:
-            target, vals = pending.pop()
+            target, vals, p = pending.pop()
             current = self.pts_top.get(target.id, empty)
             merged = current | vals
             if merged is current:  # vals ⊆ current: O(1) mask subset test
                 continue
+            if tracing:
+                self._record_top(target, current, vals, p)
             self.pts_top[target.id] = merged
             for user in self.dug.top_users(target):
                 self._push(user)
             for src, dst in self.dug.copies_from(target):
-                pending.append((dst, self.value_pts(src)))
+                pending.append((dst, self.value_pts(src),
+                                ("copy-chain", src) if tracing else None))
 
-    def _set_mem(self, node: DUGNode, obj: MemObject, values: PTSet) -> None:
+    def _set_mem(self, node: DUGNode, obj: MemObject, values: PTSet,
+                 prov=None) -> None:
         key = (node.uid, obj.id)
         current = self.mem.get(key, self.universe.empty)
         merged = current | values
         if merged is current:
             return
+        if self.provenance is not None:
+            self._record_mem(node, obj, current, values, prov)
         self.mem[key] = merged
         for out_obj, dst in self.dug.mem_out(node):
             # Compare by object id: field-derived MemObjects can in
@@ -138,10 +160,12 @@ class SparseSolver:
     # -- solving ---------------------------------------------------------------
 
     def solve(self) -> None:
+        tracing = self.provenance is not None
         # Interprocedural top-level copies whose sources are constants
         # or function values never re-trigger; evaluate them up front.
         for src, dst in self.dug.top_copies:
-            self._set_top(dst, self.value_pts(src))
+            self._set_top(dst, self.value_pts(src),
+                          ("copy-chain", src) if tracing else None)
         for node in self.dug.nodes:
             self._push(node)
         while self._work:
@@ -152,12 +176,22 @@ class SparseSolver:
             self._queued.discard(node.uid)
             self._eval(node)
 
+    _MERGE_RULES = {
+        MemPhiNode: "mem-phi",
+        FormalInNode: "formal-in",
+        FormalOutNode: "formal-out",
+        CallMuNode: "call-mu",
+    }
+
     def _eval(self, node: DUGNode) -> None:
         if isinstance(node, StmtNode):
             self._eval_stmt(node)
         elif isinstance(node, (MemPhiNode, FormalInNode, FormalOutNode, CallMuNode)):
             obj = node.obj
-            self._set_mem(node, obj, self._in_values(node, obj))
+            prov = None
+            if self.provenance is not None:
+                prov = (self._MERGE_RULES[type(node)], node)
+            self._set_mem(node, obj, self._in_values(node, obj), prov)
         elif isinstance(node, CallChiNode):
             self._eval_call_chi(node)
 
@@ -172,24 +206,30 @@ class SparseSolver:
                 tid = self.andersen.thread_objects.get(site.id)
                 if tid is not None:
                     values = values | self.universe.singleton(tid)
-        self._set_mem(node, obj, values)
+        prov = ("call-chi", node) if self.provenance is not None else None
+        self._set_mem(node, obj, values, prov)
 
     def _eval_stmt(self, node: StmtNode) -> None:
         instr = node.instr
+        tracing = self.provenance is not None
         if isinstance(instr, AddrOf):
-            self._set_top(instr.dst, {instr.obj})
+            self._set_top(instr.dst, {instr.obj},
+                          ("addr", node) if tracing else None)
         elif isinstance(instr, Copy):
-            self._set_top(instr.dst, self.value_pts(instr.src))
+            self._set_top(instr.dst, self.value_pts(instr.src),
+                          ("copy", node) if tracing else None)
         elif isinstance(instr, Phi):
             merged = self.universe.empty
             for value, _block in instr.incomings:
                 merged = merged | self.value_pts(value)
-            self._set_top(instr.dst, merged)
+            self._set_top(instr.dst, merged,
+                          ("phi", node) if tracing else None)
         elif isinstance(instr, Gep):
             derived = self.universe.make(
                 derive_field(obj, instr.field_index)
                 for obj in self.value_pts(instr.base))
-            self._set_top(instr.dst, derived)
+            self._set_top(instr.dst, derived,
+                          ("gep", node) if tracing else None)
         elif isinstance(instr, Load):
             empty = self.universe.empty
             objs = self.value_pts(instr.ptr)
@@ -203,7 +243,8 @@ class SparseSolver:
             # — exactly the Figure 1(e) effect.
             for obj, src in self.dug.thread_in_edges(node):
                 values = values | self.mem.get((src.uid, obj.id), empty)
-            self._set_top(instr.dst, values)
+            self._set_top(instr.dst, values,
+                          ("load", node) if tracing else None)
         elif isinstance(instr, Store):
             self._eval_store(node, instr)
         # Call / Fork / Join: top-level linking flows through
@@ -212,6 +253,7 @@ class SparseSolver:
     def _eval_store(self, node: StmtNode, instr: Store) -> None:
         targets = self.value_pts(instr.ptr)
         stored = self.value_pts(instr.value)
+        tracing = self.provenance is not None
         for obj in self.builder.chis.get(instr.id, self.universe.empty):
             if not targets:
                 # kill(s, p) = A for an empty pointer: the store goes
@@ -219,17 +261,161 @@ class SparseSolver:
                 continue
             if obj not in targets:
                 # Pass-through: the store cannot touch obj.
-                self._set_mem(node, obj, self._in_values(node, obj))
+                self._set_mem(node, obj, self._in_values(node, obj),
+                              ("store-through", node) if tracing else None)
                 continue
             strong = len(targets) == 1 and obj.is_singleton
             if strong and not self.config.strong_updates_at_interfering_stores:
                 strong = not self.dug.is_interfering(node, obj)
             if strong:
                 self.strong_updates += 1
-                self._set_mem(node, obj, stored)
+                self._set_mem(node, obj, stored,
+                              ("store-strong", node) if tracing else None)
             else:
                 self.weak_updates += 1
-                self._set_mem(node, obj, stored | self._in_values(node, obj))
+                self._set_mem(node, obj, stored | self._in_values(node, obj),
+                              ("store-weak", node) if tracing else None)
+
+    # -- derivation provenance ----------------------------------------------
+    #
+    # Only reached when tracing is on. For every object newly added to
+    # a points-to state, record the Derivation that first introduced
+    # the fact ("first-introduction semantics": later re-derivations
+    # of the same fact are not recorded, so walking trigger links
+    # always terminates at roots). Triggers are found by re-scanning
+    # the *pre-update* solver state, which still holds exactly the
+    # facts the transfer rule read.
+
+    def _record_top(self, target: Temp, current: PTSet, vals,
+                    prov: Optional[Tuple]) -> None:
+        rule, origin = prov if prov is not None else ("seed", None)
+        assert self.provenance is not None
+        for obj in vals:
+            if obj in current:
+                continue
+            key = top_fact(target.id, obj.id)
+            if key in self.provenance:
+                continue
+            derivation = self._derive_top(rule, origin, obj)
+            self.provenance[key] = derivation
+            self._emit_derive(key, derivation, f"pt(%{target.name})", obj)
+
+    def _derive_top(self, rule: str, origin, obj: MemObject) -> Derivation:
+        if rule == "addr":
+            return Derivation("addr", origin, None)
+        if rule == "copy-chain":
+            # origin is the *source value* of an interprocedural copy.
+            if isinstance(origin, Temp) and obj in self.value_pts(origin):
+                return Derivation("copy", origin, top_fact(origin.id, obj.id))
+            return Derivation("copy", origin, None)  # function/constant root
+        if rule == "copy":
+            src = origin.instr.src
+            if isinstance(src, Temp) and obj in self.value_pts(src):
+                return Derivation("copy", origin, top_fact(src.id, obj.id))
+            return Derivation("copy", origin, None)
+        if rule == "phi":
+            for value, _block in origin.instr.incomings:
+                if isinstance(value, Temp) and obj in self.value_pts(value):
+                    return Derivation("phi", origin,
+                                      top_fact(value.id, obj.id))
+            return Derivation("phi", origin, None)
+        if rule == "gep":
+            base = origin.instr.base
+            if isinstance(base, Temp):
+                for base_obj in self.value_pts(base):
+                    derived = derive_field(base_obj, origin.instr.field_index)
+                    if derived.id == obj.id:
+                        return Derivation("gep", origin,
+                                          top_fact(base.id, base_obj.id))
+            return Derivation("gep", origin, None)
+        if rule == "load":
+            return self._derive_load(origin, obj)
+        return Derivation(rule, origin, None)
+
+    def _derive_load(self, node: StmtNode, obj: MemObject) -> Derivation:
+        """Which incoming memory state handed *obj* to this load —
+        checking the sparse (sequential) in-edges first, then the
+        [THREAD-VF] edges, so a fact only explicable through thread
+        interference is attributed to its thread-aware edge."""
+        empty = self.universe.empty
+        instr = node.instr
+        containers = self.value_pts(instr.ptr) & \
+            self.builder.mus.get(instr.id, empty)
+        for container in containers:
+            for src in self.dug.mem_defs_of(node, container):
+                # Thread-aware edges also live in _mem_in; defer them
+                # to the second pass so they carry their annotation.
+                if self.dug.is_thread_edge(src, container, node):
+                    continue
+                if obj in self.mem.get((src.uid, container.id), empty):
+                    return Derivation(
+                        "load", node,
+                        mem_fact(src.uid, container.id, obj.id))
+        for container, src in self.dug.thread_in_edges(node):
+            if obj in self.mem.get((src.uid, container.id), empty):
+                return Derivation(
+                    "load", node,
+                    mem_fact(src.uid, container.id, obj.id),
+                    thread_edge=True,
+                    edge=(src.uid, container.id, node.uid))
+        return Derivation("load", node, None)
+
+    def _record_mem(self, node: DUGNode, container: MemObject,
+                    current: PTSet, vals, prov: Optional[Tuple]) -> None:
+        rule, origin = prov if prov is not None else ("seed", node)
+        assert self.provenance is not None
+        for obj in vals:
+            if obj in current:
+                continue
+            key = mem_fact(node.uid, container.id, obj.id)
+            if key in self.provenance:
+                continue
+            derivation = self._derive_mem(rule, node, container, obj)
+            self.provenance[key] = derivation
+            self._emit_derive(key, derivation,
+                              f"state({container.name})", obj)
+
+    def _derive_mem(self, rule: str, node: DUGNode, container: MemObject,
+                    obj: MemObject) -> Derivation:
+        if rule in ("store-strong", "store-weak"):
+            value = node.instr.value
+            if isinstance(value, (Temp, Function)) and \
+                    obj in self.value_pts(value):
+                trigger = top_fact(value.id, obj.id) \
+                    if isinstance(value, Temp) else None
+                return Derivation(rule, node, trigger)
+            # Weak update: the object survived from the incoming state.
+        incoming = self._find_mem_trigger(node, container, obj)
+        if incoming is not None:
+            return Derivation(rule, node, incoming)
+        if rule == "call-chi" and isinstance(node, CallChiNode) \
+                and isinstance(node.site, Fork):
+            # The abstract thread id written into the fork handle has
+            # no def-use predecessor: it is a provenance root.
+            return Derivation("fork-handle", node, None)
+        return Derivation(rule, node, None)
+
+    def _find_mem_trigger(self, node: DUGNode, container: MemObject,
+                          obj: MemObject) -> Optional[Tuple]:
+        empty = self.universe.empty
+        for src in self.dug.mem_defs_of(node, container):
+            if obj in self.mem.get((src.uid, container.id), empty):
+                return mem_fact(src.uid, container.id, obj.id)
+        return None
+
+    def _emit_derive(self, key: Tuple, derivation: Derivation,
+                     subject: str, obj: MemObject) -> None:
+        origin = derivation.origin
+        line = None
+        if isinstance(origin, StmtNode) and origin.instr.line:
+            line = origin.instr.line
+        self.tracer.emit(
+            "derive", kind=key[0], fact=list(key), subject=subject,
+            obj=obj.name, obj_id=obj.id, rule=derivation.rule,
+            origin=repr(origin) if origin is not None else None,
+            line=line,
+            trigger=list(derivation.trigger) if derivation.trigger else None,
+            thread_edge=derivation.thread_edge)
 
     # -- metrics ------------------------------------------------------------
 
@@ -257,6 +443,8 @@ class SparseSolver:
                   max(0, self.iterations - len(self.dug.nodes)))
         obs.gauge("solver.dug_nodes", len(self.dug.nodes))
         obs.gauge("solver.points_to_entries", self.points_to_entries())
+        if self.provenance is not None:
+            obs.gauge("trace.provenance_facts", len(self.provenance))
         ustats = self.universe.stats()
         obs.count("pts.set_references", int(ustats["set_references"]))
         obs.count("pts.union_cache_hits", int(ustats["union_cache_hits"]))

@@ -14,6 +14,9 @@ from repro.harness.tables import (
     run_table2,
 )
 from repro.harness.export import figure12_to_csv, table2_to_csv, table2_to_json
+from repro.harness.profdiff import (
+    PhaseDelta, ProfileDiff, diff_profiles, render_profile_diff,
+)
 
 __all__ = [
     "Measurement", "measure_fsam", "measure_nonsparse",
@@ -21,4 +24,5 @@ __all__ = [
     "run_table1", "run_table2", "run_figure12",
     "render_table1", "render_table2", "render_figure12",
     "table2_to_csv", "table2_to_json", "figure12_to_csv",
+    "PhaseDelta", "ProfileDiff", "diff_profiles", "render_profile_diff",
 ]

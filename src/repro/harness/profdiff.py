@@ -1,0 +1,171 @@
+"""Profile regression comparison: ``repro diff-profile A.json B.json``.
+
+Compares two ``repro.obs/1`` documents (typically the previous CI
+run's profile artifact against the current one): per-phase wall time
+and peak traced memory deltas over the flattened phase paths, plus
+counter and gauge drift. The comparison is report-only — thresholds
+and gating policy belong to whoever reads the report, not here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import _walk_phases, validate_profile
+
+
+class PhaseDelta:
+    """One flattened phase path's change from A to B."""
+
+    __slots__ = ("path", "seconds_a", "seconds_b", "peak_kb_a", "peak_kb_b")
+
+    def __init__(self, path: str, seconds_a: Optional[float],
+                 seconds_b: Optional[float], peak_kb_a: Optional[float],
+                 peak_kb_b: Optional[float]) -> None:
+        self.path = path
+        self.seconds_a = seconds_a
+        self.seconds_b = seconds_b
+        self.peak_kb_a = peak_kb_a
+        self.peak_kb_b = peak_kb_b
+
+    @property
+    def status(self) -> str:
+        if self.seconds_a is None:
+            return "added"
+        if self.seconds_b is None:
+            return "removed"
+        return "common"
+
+    @property
+    def seconds_ratio(self) -> Optional[float]:
+        """B/A wall-time ratio; None unless the phase is in both and A
+        took measurable time."""
+        if self.seconds_a is None or self.seconds_b is None:
+            return None
+        if self.seconds_a <= 0:
+            return None
+        return self.seconds_b / self.seconds_a
+
+
+class ProfileDiff:
+    """The structured comparison :func:`diff_profiles` returns."""
+
+    def __init__(self, name_a: str, name_b: str,
+                 total_seconds_a: float, total_seconds_b: float,
+                 phases: List[PhaseDelta],
+                 counters: Dict[str, Tuple[Optional[int], Optional[int]]],
+                 gauges: Dict[str, Tuple[Optional[float], Optional[float]]]
+                 ) -> None:
+        self.name_a = name_a
+        self.name_b = name_b
+        self.total_seconds_a = total_seconds_a
+        self.total_seconds_b = total_seconds_b
+        self.phases = phases
+        self.counters = counters
+        self.gauges = gauges
+
+    def changed_counters(self) -> Dict[str, Tuple[Optional[int], Optional[int]]]:
+        return {k: v for k, v in self.counters.items() if v[0] != v[1]}
+
+    def changed_gauges(self) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
+        return {k: v for k, v in self.gauges.items() if v[0] != v[1]}
+
+
+def _flat_phases(doc: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+    flat: Dict[str, Dict[str, object]] = {}
+    for path, phase in _walk_phases(doc.get("phases", [])):  # type: ignore[arg-type]
+        # Repeated paths (a phase re-entered under the same parent)
+        # accumulate, matching how a reader sums a rendered profile.
+        if path in flat:
+            merged = dict(flat[path])
+            merged["seconds"] = float(merged["seconds"]) + float(phase["seconds"])  # type: ignore[arg-type]
+            merged["peak_traced_kb"] = max(
+                float(merged["peak_traced_kb"]), float(phase["peak_traced_kb"]))  # type: ignore[arg-type]
+            flat[path] = merged
+        else:
+            flat[path] = phase
+    return flat
+
+
+def diff_profiles(a: Dict[str, object], b: Dict[str, object]) -> ProfileDiff:
+    """Compare profile document *a* (baseline) against *b* (current).
+
+    Both documents are validated against ``repro.obs/1`` first, so a
+    malformed artifact fails loudly rather than diffing as empty.
+    """
+    validate_profile(a)
+    validate_profile(b)
+    flat_a = _flat_phases(a)
+    flat_b = _flat_phases(b)
+    phases: List[PhaseDelta] = []
+    for path in list(flat_a) + [p for p in flat_b if p not in flat_a]:
+        pa = flat_a.get(path)
+        pb = flat_b.get(path)
+        phases.append(PhaseDelta(
+            path,
+            float(pa["seconds"]) if pa else None,  # type: ignore[arg-type]
+            float(pb["seconds"]) if pb else None,  # type: ignore[arg-type]
+            float(pa["peak_traced_kb"]) if pa else None,  # type: ignore[arg-type]
+            float(pb["peak_traced_kb"]) if pb else None))  # type: ignore[arg-type]
+
+    def _drift(key: str):
+        da = a.get(key, {})
+        db = b.get(key, {})
+        names = sorted(set(da) | set(db))  # type: ignore[arg-type]
+        return {name: (da.get(name), db.get(name)) for name in names}  # type: ignore[union-attr]
+
+    return ProfileDiff(
+        name_a=str(a.get("name", "")), name_b=str(b.get("name", "")),
+        total_seconds_a=float(a["total_seconds"]),  # type: ignore[arg-type]
+        total_seconds_b=float(b["total_seconds"]),  # type: ignore[arg-type]
+        phases=phases,
+        counters=_drift("counters"),
+        gauges=_drift("gauges"))
+
+
+def _fmt_ratio(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "      "
+    return f"{ratio:5.2f}x"
+
+
+def render_profile_diff(diff: ProfileDiff) -> str:
+    """Human-readable report (``repro diff-profile`` text output)."""
+    lines = [f"profile diff: {diff.name_a or 'A'} -> {diff.name_b or 'B'}",
+             f"  total {diff.total_seconds_a:.3f}s -> "
+             f"{diff.total_seconds_b:.3f}s "
+             f"({_fmt_ratio(diff.total_seconds_b / diff.total_seconds_a if diff.total_seconds_a > 0 else None).strip() or 'n/a'})",
+             "phases (seconds A -> B, peak KiB A -> B):"]
+    width = max((len(d.path) for d in diff.phases), default=8)
+    for delta in diff.phases:
+        if delta.status == "added":
+            lines.append(f"  {delta.path:<{width}}   (added)    -> "
+                         f"{delta.seconds_b:8.4f}s")
+            continue
+        if delta.status == "removed":
+            lines.append(f"  {delta.path:<{width}} {delta.seconds_a:8.4f}s "
+                         f"-> (removed)")
+            continue
+        lines.append(
+            f"  {delta.path:<{width}} {delta.seconds_a:8.4f}s -> "
+            f"{delta.seconds_b:8.4f}s {_fmt_ratio(delta.seconds_ratio)}  "
+            f"{delta.peak_kb_a:8.0f} -> {delta.peak_kb_b:8.0f}")
+    changed = diff.changed_counters()
+    if changed:
+        lines.append("counter drift:")
+        cwidth = max(len(k) for k in changed)
+        for name, (va, vb) in changed.items():
+            lines.append(f"  {name:<{cwidth}} "
+                         f"{'-' if va is None else va} -> "
+                         f"{'-' if vb is None else vb}")
+    else:
+        lines.append("counters: no drift")
+    changed_g = diff.changed_gauges()
+    if changed_g:
+        lines.append("gauge drift:")
+        gwidth = max(len(k) for k in changed_g)
+        for name, (va, vb) in changed_g.items():
+            lines.append(f"  {name:<{gwidth}} "
+                         f"{'-' if va is None else va} -> "
+                         f"{'-' if vb is None else vb}")
+    return "\n".join(lines)

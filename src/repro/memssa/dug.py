@@ -123,6 +123,12 @@ class DUG:
         # separately so ablations and statistics can distinguish them.
         self.thread_edges: List[Tuple[DUGNode, MemObject, DUGNode]] = []
         self._thread_edge_keys: Set[Tuple[int, int, int]] = set()
+        # Admission verdicts for thread-aware edges, recorded by the
+        # value-flow phase when tracing is on: edge key -> a JSON-able
+        # dict naming the MHP witness threads and the lock status that
+        # let the edge through. `repro explain` surfaces these on
+        # derivation chains that travel a [THREAD-VF] edge.
+        self.thread_edge_info: Dict[Tuple[int, int, int], Dict[str, object]] = {}
         # Thread-aware in-edges per node, for the solver's blind
         # propagation along [THREAD-VF] edges.
         self._thread_in: Dict[int, List[Tuple[MemObject, DUGNode]]] = {}
@@ -191,6 +197,16 @@ class DUG:
 
     def is_thread_edge(self, src: DUGNode, obj: MemObject, dst: DUGNode) -> bool:
         return (src.uid, obj.id, dst.uid) in self._thread_edge_keys
+
+    def set_thread_edge_info(self, src: DUGNode, obj: MemObject, dst: DUGNode,
+                             info: Dict[str, object]) -> None:
+        self.thread_edge_info[(src.uid, obj.id, dst.uid)] = info
+
+    def thread_edge_verdict(self, src_uid: int, obj_id: int,
+                            dst_uid: int) -> Optional[Dict[str, object]]:
+        """The recorded admission verdict for a thread-aware edge, or
+        None when value flow ran untraced."""
+        return self.thread_edge_info.get((src_uid, obj_id, dst_uid))
 
     # -- top-level def-use ----------------------------------------------------
 

@@ -20,6 +20,7 @@ from repro.memssa.dug import DUG, StmtNode
 from repro.mt.mhp import MHPOracle
 from repro.mt.threads import AbstractThread, ThreadModel
 from repro.obs import Observer
+from repro.trace import NULL_TRACER, Tracer
 
 
 class LockSpan:
@@ -46,11 +47,13 @@ class LockAnalysis:
     """Builds all spans and answers non-interference queries."""
 
     def __init__(self, model: ThreadModel, andersen: AndersenResult,
-                 dug: DUG, builder: MemorySSABuilder) -> None:
+                 dug: DUG, builder: MemorySSABuilder,
+                 tracer: Tracer = NULL_TRACER) -> None:
         self.model = model
         self.andersen = andersen
         self.dug = dug
         self.builder = builder
+        self.tracer = tracer
         self.spans: List[LockSpan] = []
         # (thread id, sid) -> span indices covering that state.
         self._spans_by_state: Dict[Tuple[int, int], List[int]] = {}
@@ -99,6 +102,11 @@ class LockAnalysis:
                 self.spans.append(span)
                 for member in span.members:
                     self._spans_by_state.setdefault((thread.id, member), []).append(index)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "lock.span", lock=lock_obj.name, thread=thread.id,
+                        acquire_line=node.instr.line, states=len(span.members),
+                        instrs=len(span.member_instrs))
 
     def _trace_span(self, thread: AbstractThread, graph, lock_sid: int,
                     lock_obj: MemObject) -> LockSpan:
@@ -172,6 +180,10 @@ class LockAnalysis:
             if not preceded:
                 head.add(instr_id)
         span._heads[obj.id] = head
+        if self.tracer.enabled:
+            self.tracer.emit("lock.head", lock=span.lock_obj.name,
+                             thread=span.thread.id, obj=obj.name,
+                             lines=self._lines_of(head))
         return head
 
     def span_tail(self, span: LockSpan, obj: MemObject) -> Set[int]:
@@ -198,7 +210,19 @@ class LockAnalysis:
             if not overwritten:
                 tail.add(instr_id)
         span._tails[obj.id] = tail
+        if self.tracer.enabled:
+            self.tracer.emit("lock.tail", lock=span.lock_obj.name,
+                             thread=span.thread.id, obj=obj.name,
+                             lines=self._lines_of(tail))
         return tail
+
+    def _lines_of(self, instr_ids: Set[int]) -> List[int]:
+        lines = []
+        for instr_id in instr_ids:
+            instr = self.model._instr_by_id.get(instr_id)
+            if instr is not None and instr.line:
+                lines.append(instr.line)
+        return sorted(lines)
 
     # -- non-interference filtering ---------------------------------------------
 
@@ -248,6 +272,20 @@ class LockAnalysis:
             if not self._instance_non_interfering(inst1, inst2, store, target, obj):
                 return False
         return any_pair
+
+    def filter_witness(self, store: Store, target: Instruction,
+                       obj: MemObject, mhp: MHPOracle) -> Optional[MemObject]:
+        """The lock object whose spans protect the pair — the witness
+        cited by ``vf.pair`` lock-filtered trace events. Only
+        meaningful right after :meth:`filters` returned True (every
+        instance is then known non-interfering, so the first common
+        lock found is a genuine protector)."""
+        for inst1, inst2 in mhp.parallel_instance_pairs(store, target):
+            for sp1 in self._spans_of(*inst1):
+                for sp2 in self._spans_of(*inst2):
+                    if sp1.lock_obj.id == sp2.lock_obj.id:
+                        return sp1.lock_obj
+        return None
 
     # -- observability ---------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.graphs.dataflow import DataflowProblem, solve_forward
 from repro.ir.instructions import Fork, Instruction
 from repro.mt.threads import AbstractThread, ThreadModel
 from repro.obs import NULL_OBS, Observer
+from repro.trace import NULL_TRACER, Tracer
 
 
 class MHPOracle:
@@ -52,11 +53,20 @@ class MHPOracle:
 
 
 class InterleavingAnalysis(MHPOracle):
-    """FSAM's flow- and context-sensitive interleaving analysis."""
+    """FSAM's flow- and context-sensitive interleaving analysis.
 
-    def __init__(self, model: ThreadModel) -> None:
+    With an enabled tracer, the per-thread classifications behind the
+    I-sets are emitted as events: ``mhp.seed`` (the [I-DESCENDANT]
+    ancestors and [I-SIBLING] unordered siblings seeding each thread's
+    entry), ``mhp.spawn`` (threads a fork state adds), and
+    ``mhp.kill`` (the certainly-joined closure an [I-JOIN] state
+    removes)."""
+
+    def __init__(self, model: ThreadModel,
+                 tracer: Tracer = NULL_TRACER) -> None:
         super().__init__()
         self.model = model
+        self.tracer = tracer
         # thread id -> sid -> frozenset of concurrent thread ids.
         self.interleaving: Dict[int, Dict[int, FrozenSet[int]]] = {}
         self._pair_cache: Dict[Tuple[int, int], bool] = {}
@@ -80,10 +90,17 @@ class InterleavingAnalysis(MHPOracle):
     # -- data-flow --------------------------------------------------------------
 
     def _compute(self) -> None:
+        tracing = self.tracer.enabled
         for thread in self.model.threads:
             graph = self.model.state_graphs[thread.id]
             kills = self.model.kills_at.get(thread.id, {})
             seed = self._entry_seed(thread)
+            if tracing:
+                ancestors = {t.id for t in thread.ancestors()}
+                self.tracer.emit(
+                    "mhp.seed", thread=thread.id,
+                    ancestors=sorted(ancestors),
+                    siblings=sorted(set(seed) - ancestors))
 
             spawn_adds: Dict[int, FrozenSet[int]] = {}
             for sid, fork in graph.fork_states():
@@ -94,6 +111,13 @@ class InterleavingAnalysis(MHPOracle):
                     added.update(t.id for t in child.descendants())
                 if added:
                     spawn_adds[sid] = frozenset(added)
+            if tracing:
+                for sid, added_ids in sorted(spawn_adds.items()):
+                    self.tracer.emit("mhp.spawn", thread=thread.id, sid=sid,
+                                     spawned=sorted(added_ids))
+                for sid, killed in sorted(kills.items()):
+                    self.tracer.emit("mhp.kill", thread=thread.id, sid=sid,
+                                     joined=sorted(killed))
 
             def transfer(sid: int, fact: FrozenSet[int]) -> FrozenSet[int]:
                 add = spawn_adds.get(sid)

@@ -8,6 +8,12 @@ prove the pair a non-interference lock pair.
 The stores participating in such interference are recorded on the
 DUG: the sparse solver demotes their strong updates on the contested
 object (a concurrent reader may observe the pre-store value).
+
+With an enabled :class:`~repro.trace.Tracer`, every candidate pair's
+verdict is emitted as a ``vf.pair`` event — ``mhp-refuted``,
+``lock-filtered`` (with the witnessing lock), or ``edge-added`` (with
+the MHP witness threads) — and admission verdicts for added edges are
+recorded on the DUG for ``repro explain`` to cite.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.memssa.dug import DUG
 from repro.mt.locks import LockAnalysis
 from repro.mt.mhp import MHPOracle
 from repro.obs import NULL_OBS, Observer
+from repro.trace import NULL_TRACER, Tracer
 
 
 class ValueFlowStats:
@@ -29,13 +36,17 @@ class ValueFlowStats:
     Kept as a compatibility shim over the ``valueflow.*`` observer
     counters: existing consumers (harness tables, result API) read
     these attributes, while new code should prefer
-    ``Observer.counter("valueflow.edges_added")`` etc."""
+    ``Observer.counter("valueflow.edges_added")`` etc. The attributes
+    are assigned exactly once, from the same local tallies that feed
+    ``obs.count`` — one source of truth, so the shim and the observer
+    can never drift (pinned by ``tests/fsam/test_profile.py``)."""
 
-    def __init__(self) -> None:
-        self.candidate_pairs = 0
-        self.mhp_pairs = 0
-        self.lock_filtered = 0
-        self.edges_added = 0
+    def __init__(self, candidate_pairs: int = 0, mhp_pairs: int = 0,
+                 lock_filtered: int = 0, edges_added: int = 0) -> None:
+        self.candidate_pairs = candidate_pairs
+        self.mhp_pairs = mhp_pairs
+        self.lock_filtered = lock_filtered
+        self.edges_added = edges_added
 
     def __repr__(self) -> str:
         return (f"<value-flow: {self.candidate_pairs} candidates, "
@@ -63,10 +74,40 @@ def _index_accesses(builder: MemorySSABuilder):
     return stores_on, accesses_on, objects
 
 
+def _pair_fields(store: Store, target: Instruction,
+                 obj: MemObject) -> Dict[str, object]:
+    return {"store_id": store.id, "store_line": store.line,
+            "target_id": target.id, "target_line": target.line,
+            "obj": obj.name, "obj_id": obj.id}
+
+
+def _admission_verdict(mhp: MHPOracle, locks: Optional[LockAnalysis],
+                       store: Store, target: Instruction,
+                       obj: MemObject) -> Dict[str, object]:
+    """Why this [THREAD-VF] edge was admitted: the witnessing MHP
+    instance pair plus the lock status that failed to filter it."""
+    info = _pair_fields(store, target, obj)
+    pair = next(iter(mhp.parallel_instance_pairs(store, target)), None)
+    if pair is not None:
+        (t1, _sid1), (t2, _sid2) = pair
+        info["mhp"] = f"t{t1.id}||t{t2.id}"
+        if locks is None:
+            info["lock"] = "lock analysis off"
+        elif locks.commonly_protected(pair[0], pair[1]):
+            # Both sides hold a common lock, yet the pair survived
+            # Definition 6: the store is a span tail and the target a
+            # span head, so the value really crosses the lock.
+            info["lock"] = "common lock, but span tail->head (real flow)"
+        else:
+            info["lock"] = "no common lock"
+    return info
+
+
 def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
                            locks: Optional[LockAnalysis] = None,
                            alias_filtering: bool = True,
-                           obs: Observer = NULL_OBS) -> ValueFlowStats:
+                           obs: Observer = NULL_OBS,
+                           tracer: Tracer = NULL_TRACER) -> ValueFlowStats:
     """Run [THREAD-VF]; returns statistics.
 
     ``alias_filtering=False`` is the No-Value-Flow ablation (paper
@@ -75,21 +116,35 @@ def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
     the store may write — exactly the spurious-edge blowup the paper
     measures.
     """
-    stats = ValueFlowStats()
     stores_on, accesses_on, objects = _index_accesses(builder)
+    tracing = tracer.enabled
+    candidate_pairs = mhp_pairs = lock_filtered = edges_added = 0
 
     def consider(store: Store, target: Instruction, obj: MemObject) -> None:
-        stats.candidate_pairs += 1
+        nonlocal candidate_pairs, mhp_pairs, lock_filtered, edges_added
+        candidate_pairs += 1
         if not mhp.may_happen_in_parallel(store, target):
+            if tracing:
+                tracer.emit("vf.pair", verdict="mhp-refuted",
+                            **_pair_fields(store, target, obj))
             return
-        stats.mhp_pairs += 1
+        mhp_pairs += 1
         if locks is not None and locks.filters(store, target, obj, mhp):
-            stats.lock_filtered += 1
+            lock_filtered += 1
+            if tracing:
+                witness = locks.filter_witness(store, target, obj, mhp)
+                tracer.emit("vf.pair", verdict="lock-filtered",
+                            lock=witness.name if witness is not None else None,
+                            **_pair_fields(store, target, obj))
             return
         src = dug.stmt_node(store)
         dst = dug.stmt_node(target)
         if dug.add_mem_edge(src, obj, dst, thread_aware=True):
-            stats.edges_added += 1
+            edges_added += 1
+            if tracing:
+                info = _admission_verdict(mhp, locks, store, target, obj)
+                dug.set_thread_edge_info(src, obj, dst, info)
+                tracer.emit("vf.pair", verdict="edge-added", **info)
         dug.mark_interfering(src, obj)
         if isinstance(target, Store) and obj in builder.chis.get(target.id, ()):
             dug.mark_interfering(dst, obj)
@@ -114,6 +169,12 @@ def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
                     continue
                 for obj in builder.chis.get(store.id, ()):
                     consider(store, target, obj)
+    # One source of truth: the shim and the observer counters are both
+    # assigned from the same locals, in one place.
+    stats = ValueFlowStats(candidate_pairs=candidate_pairs,
+                           mhp_pairs=mhp_pairs,
+                           lock_filtered=lock_filtered,
+                           edges_added=edges_added)
     obs.count("valueflow.candidate_pairs", stats.candidate_pairs)
     obs.count("valueflow.mhp_pairs", stats.mhp_pairs)
     obs.count("valueflow.lock_filtered", stats.lock_filtered)

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import io
 import json
+import sys
 import time
 import tracemalloc
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -57,8 +58,12 @@ def _rss_kb() -> Optional[int]:
     if _resource is None:
         return None
     usage = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
-    # Linux reports KiB; macOS reports bytes.
-    return usage // 1024 if usage > 1 << 32 else usage
+    # ru_maxrss units are platform-defined: bytes on macOS, KiB on
+    # Linux (and the BSDs we care about). Decide by platform, not by
+    # magnitude — a >4 GiB RSS on Linux is real and must stay exact.
+    if sys.platform == "darwin":
+        return usage // 1024
+    return usage
 
 
 class PhaseRecord:
@@ -362,7 +367,11 @@ def render_profile(doc: Dict[str, object]) -> str:
             mem = ""
             if phase.get("peak_traced_kb"):
                 mem = f"  peak {phase['peak_traced_kb']:.0f} KiB"
-            lines.append(f"  {'  ' * depth}{phase['name']:<{28 - 2 * depth}} "
+            # Clamp the name column: at depth >= 14 the shrinking
+            # field width would go non-positive, and a negative width
+            # is a ValueError in format().
+            width = max(1, 28 - 2 * depth)
+            lines.append(f"  {'  ' * depth}{phase['name']:<{width}} "
                          f"{phase['seconds']:>9.4f}s{mem}")
             emit(phase.get("children", []), depth + 1)
 

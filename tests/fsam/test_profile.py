@@ -137,3 +137,51 @@ class TestProfileToggle:
             + obs.counter("nonsparse.weak_updates") > 0
         assert [p["name"] for p in obs.to_dict()["phases"]] == \
             ["pre_analysis", "icfg", "pcg", "nonsparse_solve"]
+
+
+class TestValueFlowSingleSource:
+    def test_shim_and_counters_share_one_source(self):
+        # The shim attributes and the valueflow.* counters must both
+        # be assigned from the same local tallies: pin the idiom by
+        # checking every obs.count("valueflow.X", ...) call passes the
+        # shim's own attribute, so the two can never drift.
+        import inspect
+        import re
+        from repro.mt import valueflow
+        source = inspect.getsource(valueflow.add_thread_aware_edges)
+        calls = re.findall(r'obs\.count\("valueflow\.(\w+)",\s*([\w.]+)\)',
+                           source)
+        assert sorted(name for name, _ in calls) == \
+            ["candidate_pairs", "edges_added", "lock_filtered", "mhp_pairs"]
+        for name, value_expr in calls:
+            assert value_expr == f"stats.{name}"
+
+
+class TestTraceToggle:
+    def test_trace_off_uses_null_tracer(self):
+        from repro.trace import NULL_TRACER
+        module = compile_source(SRC)
+        fsam = FSAM(module, FSAMConfig())
+        assert fsam.tracer is NULL_TRACER
+        result = fsam.run()
+        assert result.tracer is NULL_TRACER
+        assert result.provenance is None
+
+    def test_trace_on_builds_tracer(self):
+        module = compile_source(SRC)
+        result = FSAM(module, FSAMConfig(trace=True)).run()
+        assert result.tracer.enabled
+        assert result.tracer.emitted > 0
+        assert result.provenance
+
+    def test_explicit_tracer_wins(self):
+        from repro.trace import Tracer
+        module = compile_source(SRC)
+        tracer = Tracer(name="mine")
+        result = FSAM(module, FSAMConfig(trace=False), tracer=tracer).run()
+        assert result.tracer is tracer
+        assert tracer.emitted > 0
+
+    def test_ablated_preserves_trace_flag(self):
+        config = FSAMConfig(trace=True)
+        assert config.ablated("interleaving").trace is True

@@ -1,0 +1,76 @@
+"""Profile regression comparison (repro diff-profile)."""
+
+import pytest
+
+from repro.harness import diff_profiles, render_profile_diff
+from repro.obs import Observer
+
+
+def make_profile(name="run", counters=None, gauges=None, phases=("a", "b")):
+    obs = Observer(name=name)
+    for phase in phases:
+        with obs.phase(phase):
+            pass
+    for key, value in (counters or {}).items():
+        obs.count(key, value)
+    for key, value in (gauges or {}).items():
+        obs.gauge(key, value)
+    return obs.to_dict()
+
+
+class TestDiff:
+    def test_common_phases_get_ratios(self):
+        diff = diff_profiles(make_profile(), make_profile())
+        assert {d.path for d in diff.phases} == {"a", "b"}
+        for delta in diff.phases:
+            assert delta.status == "common"
+            assert delta.seconds_ratio is None or delta.seconds_ratio > 0
+
+    def test_added_and_removed_phases(self):
+        diff = diff_profiles(make_profile(phases=("a", "old")),
+                             make_profile(phases=("a", "new")))
+        by_path = {d.path: d for d in diff.phases}
+        assert by_path["old"].status == "removed"
+        assert by_path["new"].status == "added"
+        assert by_path["a"].status == "common"
+
+    def test_counter_drift(self):
+        diff = diff_profiles(
+            make_profile(counters={"x": 1, "same": 5, "gone": 2}),
+            make_profile(counters={"x": 3, "same": 5, "fresh": 7}))
+        drift = diff.changed_counters()
+        assert drift == {"x": (1, 3), "gone": (2, None), "fresh": (None, 7)}
+        assert "same" not in drift
+
+    def test_gauge_drift(self):
+        diff = diff_profiles(make_profile(gauges={"g": 1.0}),
+                             make_profile(gauges={"g": 2.5}))
+        assert diff.changed_gauges() == {"g": (1.0, 2.5)}
+
+    def test_rejects_malformed_document(self):
+        with pytest.raises(ValueError):
+            diff_profiles({"schema": "bogus"}, make_profile())
+
+    def test_nested_phases_flatten_to_paths(self):
+        obs = Observer(name="n")
+        with obs.phase("outer"):
+            with obs.phase("inner"):
+                pass
+        diff = diff_profiles(obs.to_dict(), obs.to_dict())
+        assert {d.path for d in diff.phases} == {"outer", "outer/inner"}
+
+
+class TestRender:
+    def test_mentions_everything(self):
+        diff = diff_profiles(
+            make_profile(name="old", counters={"c": 1}, phases=("a", "gone")),
+            make_profile(name="new", counters={"c": 2}, phases=("a", "born")))
+        text = render_profile_diff(diff)
+        assert "old" in text and "new" in text
+        assert "(removed)" in text and "(added)" in text
+        assert "c" in text and "1 -> 2" in text
+
+    def test_no_drift_is_stated(self):
+        text = render_profile_diff(diff_profiles(make_profile(),
+                                                 make_profile()))
+        assert "no drift" in text

@@ -103,3 +103,100 @@ class TestCLI:
 
     def test_ablation_flags(self, sample, capsys):
         assert main(["analyze", sample, "--no-lock", "--no-interleaving"]) == 0
+
+
+FIG1A = """
+int x; int y; int z;
+int *p = &x;
+int *q = &y;
+int *r = &z;
+int *c;
+void foo(void *arg) {
+    *p = q;
+}
+int main() {
+    thread_t t;
+    fork(&t, foo, null);
+    *p = r;
+    c = *p;
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def fig1a(tmp_path):
+    path = tmp_path / "fig1a.mc"
+    path.write_text(FIG1A)
+    return str(path)
+
+
+class TestTracingCLI:
+    def test_explain_variable(self, fig1a, capsys):
+        assert main(["explain", fig1a, "c"]) == 0
+        out = capsys.readouterr().out
+        assert "THREAD-VF" in out
+        assert "MHP" in out
+        assert "P-ADDR" in out
+
+    def test_explain_variable_restricted_to_object(self, fig1a, capsys):
+        assert main(["explain", fig1a, "c", "--obj", "z"]) == 0
+        out = capsys.readouterr().out
+        assert "z in" in out
+        assert "THREAD-VF" not in out
+
+    def test_explain_unknown_fact_fails(self, fig1a, capsys):
+        assert main(["explain", fig1a, "c", "--obj", "nothing"]) == 1
+        assert "no recorded fact" in capsys.readouterr().out
+
+    def test_explain_legacy_line_mode(self, fig1a, capsys):
+        assert main(["explain", fig1a, "--line", "14", "--target", "y"]) == 0
+        assert "read y" in capsys.readouterr().out
+
+    def test_explain_without_var_or_line_errors(self, fig1a, capsys):
+        assert main(["explain", fig1a]) == 2
+
+    def test_trace_stdout_validates(self, fig1a, capsys):
+        from repro.trace import validate_trace_jsonl
+        assert main(["trace", fig1a]) == 0
+        out = capsys.readouterr().out
+        assert validate_trace_jsonl(out) > 0
+
+    def test_trace_to_file(self, fig1a, tmp_path, capsys):
+        from repro.trace import validate_trace_jsonl
+        out_path = tmp_path / "out.jsonl"
+        assert main(["trace", fig1a, "--out", str(out_path)]) == 0
+        assert validate_trace_jsonl(out_path.read_text()) > 0
+        assert "derive" in capsys.readouterr().out
+
+    def test_trace_flag_on_analyze(self, fig1a, tmp_path):
+        from repro.trace import validate_trace_jsonl
+        out_path = tmp_path / "t.jsonl"
+        assert main(["analyze", fig1a, "--trace", str(out_path)]) == 0
+        assert validate_trace_jsonl(out_path.read_text()) > 0
+
+    def test_diff_profile(self, fig1a, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["stats", fig1a, "--profile", str(a)]) == 0
+        assert main(["stats", fig1a, "--profile", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["diff-profile", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "profile diff" in out
+        assert "sparse_solve" in out
+
+    def test_diff_profile_json(self, fig1a, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(["stats", fig1a, "--profile", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["diff-profile", str(a), str(a), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counter_drift"] == {}
+        assert {p["status"] for p in payload["phases"]} == {"common"}
+
+    def test_stats_chrome(self, fig1a, capsys):
+        assert main(["stats", fig1a, "--chrome"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "sparse_solve" in names

@@ -1,0 +1,147 @@
+"""Unit tests for the event-tracing layer (repro.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro.trace import (
+    NULL_TRACER, Derivation, NullTracer, TRACE_SCHEMA, Tracer, mem_fact,
+    profile_to_chrome, top_fact, validate_trace, validate_trace_jsonl,
+)
+
+
+class TestFactKeys:
+    def test_keys_are_hashable_and_distinct(self):
+        assert top_fact(1, 2) == ("top", 1, 2)
+        assert mem_fact(1, 2, 3) == ("mem", 1, 2, 3)
+        assert len({top_fact(1, 2), mem_fact(1, 2, 3)}) == 2
+
+    def test_derivation_root(self):
+        assert Derivation("addr", None, None).is_root
+        assert not Derivation("load", None, top_fact(1, 2)).is_root
+
+
+class TestTracer:
+    def test_emit_assigns_kind_and_seq(self):
+        tracer = Tracer(name="t")
+        tracer.emit("a", x=1)
+        tracer.emit("b", y=2)
+        events = list(tracer.events)
+        assert [e["ev"] for e in events] == ["a", "b"]
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            tracer.emit("e", i=i)
+        assert tracer.emitted == 5
+        assert tracer.dropped == 2
+        assert [e["i"] for e in tracer.events] == [2, 3, 4]
+
+    def test_kinds_summary(self):
+        tracer = Tracer()
+        tracer.emit("a")
+        tracer.emit("a")
+        tracer.emit("b")
+        assert tracer.kinds() == {"a": 2, "b": 1}
+
+    def test_streaming_sink_never_drops(self):
+        sink = io.StringIO()
+        tracer = Tracer(capacity=2, sink=sink)
+        for i in range(5):
+            tracer.emit("e", i=i)
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [e["i"] for e in lines] == [0, 1, 2, 3, 4]
+
+    def test_jsonl_round_trip_validates(self):
+        tracer = Tracer(name="t")
+        tracer.emit("a", x=1)
+        tracer.emit("b")
+        text = tracer.to_jsonl()
+        assert validate_trace_jsonl(text) == 2
+        header = json.loads(text.splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["name"] == "t"
+
+
+class TestNullTracer:
+    def test_disabled_and_free(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        NULL_TRACER.emit("anything", huge=list(range(3)))
+        assert NULL_TRACER.emitted == 0
+        assert len(NULL_TRACER.events) == 0
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer().enabled is True
+
+
+class TestValidation:
+    def _doc(self, **overrides):
+        header = {"schema": TRACE_SCHEMA, "name": "", "events": 1,
+                  "emitted": 1, "dropped": 0}
+        header.update(overrides)
+        return [header, {"ev": "a", "seq": 1}]
+
+    def test_accepts_valid(self):
+        assert validate_trace(self._doc()) == 1
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_trace(self._doc(schema="nope/9"))
+
+    def test_rejects_missing_header(self):
+        with pytest.raises(ValueError, match="header"):
+            validate_trace([])
+
+    def test_rejects_event_count_mismatch(self):
+        with pytest.raises(ValueError, match="events"):
+            validate_trace(self._doc(events=7))
+
+    def test_rejects_non_increasing_seq(self):
+        doc = [{"schema": TRACE_SCHEMA, "name": "", "events": 2,
+                "emitted": 2, "dropped": 0},
+               {"ev": "a", "seq": 2}, {"ev": "b", "seq": 2}]
+        with pytest.raises(ValueError, match="increasing"):
+            validate_trace(doc)
+
+    def test_rejects_event_without_kind(self):
+        doc = [{"schema": TRACE_SCHEMA, "name": "", "events": 1,
+                "emitted": 1, "dropped": 0}, {"seq": 1}]
+        with pytest.raises(ValueError, match="ev kind"):
+            validate_trace(doc)
+
+    def test_rejects_broken_json_line(self):
+        with pytest.raises(ValueError, match="not JSON"):
+            validate_trace_jsonl('{"schema": "x"}\n{oops\n')
+
+
+class TestChromeExport:
+    def _profile(self):
+        from repro.obs import Observer
+        obs = Observer(name="x")
+        with obs.phase("outer"):
+            with obs.phase("inner"):
+                pass
+        with obs.phase("second"):
+            pass
+        return obs.to_dict()
+
+    def test_layout_is_sequential_and_nested(self):
+        doc = self._profile()
+        chrome = profile_to_chrome(doc)
+        events = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+        by_name = {e["name"]: e for e in events}
+        assert set(by_name) == {"outer", "inner", "second"}
+        # Children start at the parent's start; siblings are serial.
+        assert by_name["inner"]["ts"] == by_name["outer"]["ts"]
+        assert by_name["second"]["ts"] >= \
+            by_name["outer"]["ts"] + by_name["outer"]["dur"] - 1e-6
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_has_process_metadata_and_serialises(self):
+        chrome = profile_to_chrome(self._profile())
+        meta = [e for e in chrome["traceEvents"] if e.get("ph") == "M"]
+        assert meta and meta[0]["args"]["name"] == "x"
+        json.dumps(chrome)  # must be plain JSON-able
