@@ -1,0 +1,166 @@
+"""Machine-readable benchmark snapshots: ``BENCH_<n>.json``.
+
+Runs every workload under both solver engines (the optimised delta/
+topological engine and the retained naive reference engine) and emits
+one ``repro.bench/1`` JSON document with wall time, solver work
+counters (``solver.iterations``, ``solver.node_revisits``,
+``solver.delta_propagations``, ``solver.seeded_nodes``), peak traced
+memory, and points-to entry counts per workload — so every future PR
+has a perf baseline to diff against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --pr 4 --out BENCH_4.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_ci.json \
+        --workloads radiosity,word_count --compare BENCH_4.json
+
+``--compare`` re-reads a previous snapshot and flags any workload
+whose delta-engine ``solver.iterations`` grew by more than the
+threshold (default 20%); the process exits non-zero so CI can surface
+the regression (the bench job itself is non-blocking).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.fsam.config import FSAMConfig
+from repro.harness.measure import Measurement, measure_fsam
+from repro.harness.scales import BENCH_SCALES, SMOKE_SCALES
+from repro.workloads import get_workload, source_loc, workload_names
+
+SCHEMA = "repro.bench/1"
+ENGINES = ("delta", "reference")
+
+# The counters/gauges a snapshot records per engine run.
+COUNTERS = ("solver.iterations", "solver.node_revisits",
+            "solver.delta_propagations", "solver.seeded_nodes",
+            "valueflow.mhp_cache_hits", "mhp.pair_queries")
+GAUGES = ("solver.sccs",)
+
+
+def _engine_record(m: Measurement) -> dict:
+    counters = (m.profile or {}).get("counters", {})
+    gauges = (m.profile or {}).get("gauges", {})
+    record = {
+        "seconds": round(m.seconds, 4),
+        "peak_memory_mb": round(m.peak_memory_mb, 3),
+        "points_to_entries": m.points_to_entries,
+        "oot": m.oot,
+    }
+    for name in COUNTERS:
+        if name in counters:
+            record[name] = counters[name]
+    for name in GAUGES:
+        if name in gauges:
+            record[name] = gauges[name]
+    return record
+
+
+def run_snapshot(names, scales, engines=ENGINES, verbose=True) -> dict:
+    workloads = {}
+    for name in names:
+        scale = scales[name]
+        source = get_workload(name).source(scale)
+        entry = {"scale": scale, "loc": source_loc(source), "engines": {}}
+        for engine in engines:
+            m = measure_fsam(name, source,
+                             config=FSAMConfig(solver_engine=engine))
+            entry["engines"][engine] = _engine_record(m)
+            if verbose:
+                rec = entry["engines"][engine]
+                print(f"  {name:>14} [{engine:>9}] "
+                      f"{rec['seconds']:>8.3f}s "
+                      f"iters={rec.get('solver.iterations', '-'):>7} "
+                      f"revisits={rec.get('solver.node_revisits', '-'):>7} "
+                      f"pts={rec['points_to_entries']}")
+        if "delta" in entry["engines"] and "reference" in entry["engines"]:
+            d, r = entry["engines"]["delta"], entry["engines"]["reference"]
+            if d["seconds"] > 0:
+                entry["speedup"] = round(r["seconds"] / d["seconds"], 2)
+            entry["iteration_ratio"] = round(
+                d["solver.iterations"] / max(r["solver.iterations"], 1), 3)
+        workloads[name] = entry
+    return workloads
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list:
+    """Workloads whose delta-engine solver.iterations regressed."""
+    regressions = []
+    for name, entry in sorted(current.items()):
+        old = baseline.get("workloads", {}).get(name, {})
+        old_rec = old.get("engines", {}).get("delta")
+        new_rec = entry.get("engines", {}).get("delta")
+        if not old_rec or not new_rec:
+            continue
+        if old.get("scale") != entry.get("scale"):
+            continue  # different problem size — not comparable
+        old_it = old_rec.get("solver.iterations")
+        new_it = new_rec.get("solver.iterations")
+        if not old_it or new_it is None:
+            continue
+        ratio = new_it / old_it
+        if ratio > 1.0 + threshold:
+            regressions.append((name, old_it, new_it, ratio))
+    return regressions
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH.json",
+                        help="output JSON path")
+    parser.add_argument("--pr", default=None,
+                        help="PR number recorded in the snapshot")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated subset (default: all)")
+    parser.add_argument("--scales", choices=("smoke", "bench"),
+                        default="smoke",
+                        help="generator scales: smoke (CI-sized, default) "
+                             "or bench (Table 2-sized)")
+    parser.add_argument("--engines", default="delta,reference",
+                        help="comma-separated engines to run")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="flag delta-engine solver.iterations "
+                             "regressions against a previous snapshot")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="regression threshold for --compare "
+                             "(default 0.20 = +20%%)")
+    args = parser.parse_args(argv)
+
+    names = (args.workloads.split(",") if args.workloads
+             else list(workload_names()))
+    scales = SMOKE_SCALES if args.scales == "smoke" else BENCH_SCALES
+    engines = tuple(args.engines.split(","))
+
+    print(f"bench: {len(names)} workloads, scales={args.scales}, "
+          f"engines={','.join(engines)}")
+    workloads = run_snapshot(names, scales, engines)
+    doc = {
+        "schema": SCHEMA,
+        "pr": args.pr,
+        "scales": args.scales,
+        "workloads": workloads,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        regressions = compare(baseline, workloads, args.threshold)
+        if regressions:
+            print(f"\nsolver.iterations regressions vs {args.compare} "
+                  f"(>{args.threshold:.0%}):")
+            for name, old_it, new_it, ratio in regressions:
+                print(f"  {name}: {old_it} -> {new_it} ({ratio:.2f}x)")
+            return 1
+        print(f"no solver.iterations regressions vs {args.compare}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Engine comparison bench: delta propagation + SCC-topological
+scheduling vs the retained naive reference engine.
+
+Asserts the optimisation's whole point — strictly fewer solver
+iterations and node revisits at every scaling-curve point and on
+every Table 2 workload — while the points-to output stays identical
+(the differential suite in ``tests/fsam/test_differential.py`` pins
+bit-identity; this bench pins the work reduction at benchmark
+scales).
+"""
+
+import pytest
+
+from repro.fsam.config import FSAMConfig
+from repro.harness.measure import measure_fsam
+from repro.harness.scales import SMOKE_SCALES
+from repro.workloads import get_workload, workload_names
+
+from benchmarks.test_scaling_curve import NAME as CURVE_NAME
+from benchmarks.test_scaling_curve import SCALES as CURVE_SCALES
+
+_REFERENCE = FSAMConfig(solver_engine="reference")
+
+
+def _run_both(name, source):
+    delta = measure_fsam(name, source)
+    reference = measure_fsam(name, source, config=_REFERENCE)
+    return delta, reference
+
+
+def _assert_less_work(delta, reference):
+    dc = delta.profile["counters"]
+    rc = reference.profile["counters"]
+    assert dc["solver.iterations"] < rc["solver.iterations"]
+    assert dc["solver.node_revisits"] < rc["solver.node_revisits"]
+    # Same fixpoint size — the engines trade schedule, not precision.
+    assert delta.points_to_entries == reference.points_to_entries
+
+
+@pytest.mark.parametrize("scale", CURVE_SCALES)
+def test_curve_point_work_drops(benchmark, scale):
+    """Every scaling-curve point (the lock-heavy program) must show
+    the iteration/revisit reduction."""
+    source = get_workload(CURVE_NAME).source(scale)
+    delta, reference = benchmark.pedantic(
+        lambda: _run_both(CURVE_NAME, source), rounds=1, iterations=1)
+    _assert_less_work(delta, reference)
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_every_workload_work_drops(benchmark, name):
+    source = get_workload(name).source(SMOKE_SCALES[name])
+    delta, reference = benchmark.pedantic(
+        lambda: _run_both(name, source), rounds=1, iterations=1)
+    _assert_less_work(delta, reference)

@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Set
 from repro.andersen import AndersenResult, run_andersen
 from repro.cfg.icfg import ICFG
 from repro.fsam.config import Deadline, FSAMConfig
+from repro.fsam.reference import ReferenceSolver
 from repro.fsam.solver import SparseSolver
 from repro.ir.instructions import Load, Store
 from repro.ir.module import Module
@@ -222,9 +223,11 @@ class FSAM:
         vf_stats = timed("value_flow", lambda: add_thread_aware_edges(
             dug, builder, mhp, locks=locks,
             alias_filtering=self.config.value_flow, obs=obs, tracer=tracer))
-        solver = SparseSolver(self.module, dug, builder, andersen,
-                              config=self.config, deadline=deadline,
-                              tracer=tracer)
+        engine = ReferenceSolver \
+            if self.config.solver_engine == "reference" else SparseSolver
+        solver = engine(self.module, dug, builder, andersen,
+                        config=self.config, deadline=deadline,
+                        tracer=tracer)
         timed("sparse_solve", solver.solve)
         # The MHP and lock oracles are queried across phases (value
         # flow and downstream clients), so their tallies are flushed

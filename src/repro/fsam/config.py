@@ -66,6 +66,13 @@ class FSAMConfig:
     # collapsed); an integer k caps the callsite stack — coarser MHP
     # and lock spans, but cheaper on deep call chains.
     max_context_depth: Optional[int] = None
+    # Which sparse solver engine to run: "delta" (default; delta
+    # propagation over an SCC-condensed topological worklist) or
+    # "reference" (the retained naive FIFO recompute-from-preds
+    # engine). Both compute the same fixpoint — the reference engine
+    # exists as the differential-testing oracle and for benchmarking
+    # the optimisation itself.
+    solver_engine: str = "delta"
 
     def ablated(self, phase: str) -> "FSAMConfig":
         """A copy with one named phase turned off ('interleaving',
@@ -79,6 +86,7 @@ class FSAMConfig:
             "profile": self.profile,
             "trace": self.trace,
             "max_context_depth": self.max_context_depth,
+            "solver_engine": self.solver_engine,
         }
         if phase not in ("interleaving", "value_flow", "lock_analysis"):
             raise ValueError(f"unknown phase {phase!r}")

@@ -21,12 +21,51 @@ Rule correspondence:
   old state merges in (weak). Objects the store cannot target pass
   through unchanged; a store through a null/empty pointer kills
   everything (kill = A).
+
+Engine
+------
+
+The engine is *delta-propagating* with *SCC-condensed topological
+scheduling* (the same wave-propagation discipline as the Andersen
+pre-analysis):
+
+- **Delta propagation.** When ``_set_mem`` grows a node's o-state,
+  only the **new bits** travel: they are folded into a pending-delta
+  mask on each outgoing o-edge and the successor is enqueued. A
+  re-evaluated merge node (memory phi, formal-in/out, call-mu, weak
+  store, load) folds its pending deltas instead of re-unioning every
+  predecessor state from scratch; ``_in_values`` survives only for
+  first reads (a load discovering a new pointed-to container, a store
+  reclassifying after its pointer grew) and for provenance/debug
+  paths. Dropping a delta is always safe where the rules kill it
+  (strong updates, empty-pointer stores, loads whose pointer does not
+  reach the object): predecessor states are monotone and persistent,
+  so a later classification change re-reads the full state.
+- **Topological worklist.** ``DUG.compute_topo_ranks`` condenses the
+  value-flow graph (o-edges + top-level def-use + copy chains, after
+  ``[THREAD-VF]`` insertion) into its SCC DAG once; the worklist is an
+  indexed priority queue on the resulting ranks, so facts flow
+  downstream before any node is revisited. Only nodes with initial
+  facts are seeded (AddrOf statements, function-valued copies/phis,
+  fork-handle chis); everything else is reached by propagation.
+
+Both changes preserve the exact fixpoint: transfer functions are
+union-monotone, so visit order and per-visit cost change but the
+least fixpoint does not (differentially pinned against
+:class:`~repro.fsam.reference.ReferenceSolver`).
+
+When constructed with an enabled :class:`~repro.trace.Tracer`, the
+solver additionally records **derivation provenance**: for every
+``(variable, object)`` and ``(memory state, object)`` fact, the rule,
+node, and trigger fact that *first* introduced it. With the default
+:data:`~repro.trace.NULL_TRACER` the hot paths pay only a
+``provenance is None`` check per state change.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Dict, Optional, Set, Tuple
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.andersen import AndersenResult
 from repro.andersen.fields import derive_field
@@ -45,23 +84,22 @@ from repro.obs import Observer
 from repro.pts import PTSet, PTUniverse
 from repro.trace import Derivation, NULL_TRACER, Tracer, mem_fact, top_fact
 
+# Store classifications (per store x chi-annotated object); see
+# _eval_store. "kill" = empty pointer (nothing propagates), "pass" =
+# object not targeted (state flows through), "strong"/"weak" = paper
+# [P-SU]/[P-WU].
+KILL, PASS, STRONG, WEAK = "kill", "pass", "strong", "weak"
+
 
 class SparseSolver:
-    """Worklist solver over the DUG.
+    """Delta-propagating worklist solver over the DUG.
 
     All per-variable (``pts_top``) and per-definition (``mem``) state
     is held as interned :class:`~repro.pts.PTSet` bitmasks over the
     pre-analysis universe, so the delta checks in ``_set_top`` /
-    ``_set_mem`` are O(1) subset tests on masks and unchanged unions
-    return the existing instance.
-
-    When constructed with an enabled :class:`~repro.trace.Tracer`, the
-    solver additionally records **derivation provenance**: for every
-    ``(variable, object)`` and ``(memory state, object)`` fact, the
-    rule, node, and trigger fact that *first* introduced it (stored in
-    :attr:`provenance`, emitted as ``derive`` events). With the
-    default :data:`~repro.trace.NULL_TRACER` the hot paths pay only a
-    ``provenance is None`` check per state change.
+    ``_set_mem`` are O(1) subset tests on masks, unchanged unions
+    return the existing instance, and the per-edge deltas are plain
+    int masks (``merged & ~current``).
     """
 
     def __init__(self, module: Module, dug: DUG, builder: MemorySSABuilder,
@@ -82,11 +120,43 @@ class SparseSolver:
             {} if tracer.enabled else None
         self.pts_top: Dict[int, PTSet] = {}
         self.mem: Dict[Tuple[int, int], PTSet] = {}
-        self._work: deque = deque()
+        # Indexed priority worklist: a heap of (rank, uid) plus the
+        # membership set that makes pushes idempotent.
+        self._work: List[Tuple[int, int]] = []
         self._queued: Set[int] = set()
+        self._rank: Dict[int, int] = {}
+        self._node_by_uid: Dict[int, DUGNode] = {}
+        # Nodes whose top-level operands changed since their last
+        # visit (pushed via top_users); deltas alone leave this unset.
+        self._top_dirty: Set[int] = set()
+        # Pending o-state deltas per destination node:
+        # uid -> obj.id -> [MemObject, delta mask]. ``_pending_thread``
+        # is the separate channel for thread-aware edges into loads,
+        # which fold unconditionally ([THREAD-VF] is not filtered by
+        # the load's pointer).
+        self._pending: Dict[int, Dict[int, List]] = {}
+        self._pending_thread: Dict[int, Dict[int, List]] = {}
+        # Per-node out-edge cache grouped by flowing object:
+        # uid -> obj.id -> [(obj, dst, thread_to_load)]. Grouping by
+        # object id (the stable allocation-site id, not id(obj):
+        # field-derived MemObjects can be equal-but-distinct
+        # instances) means ``_set_mem`` touches only the edges that
+        # actually carry the grown object.
+        self._out_edges: Dict[
+            int, Dict[int, List[Tuple[MemObject, DUGNode, bool]]]] = {}
+        # Loads: object ids whose full incoming state was already
+        # merged (subsequent growth arrives as deltas).
+        self._load_seen: Dict[int, Set[int]] = {}
+        # Stores: current classification per chi object, refreshed on
+        # every pointer/value change (top-dirty visit).
+        self._store_class: Dict[int, Dict[int, str]] = {}
+        self._visited: Set[int] = set()
         self.iterations = 0
         self.strong_updates = 0
         self.weak_updates = 0
+        self.delta_propagations = 0
+        self.seeded_nodes = 0
+        self.scc_count = 0
 
     # -- state access ----------------------------------------------------
 
@@ -108,37 +178,77 @@ class SparseSolver:
         return self.mem.get((node.uid, obj.id), self.universe.empty)
 
     def _in_values(self, node: DUGNode, obj: MemObject) -> PTSet:
+        """Recompute the full incoming o-state — first reads and
+        provenance/debug only; steady-state propagation uses deltas."""
         empty = self.universe.empty
         result = empty
         for src in self.dug.mem_defs_of(node, obj):
             result = result | self.mem.get((src.uid, obj.id), empty)
         return result
 
-    # -- state updates ------------------------------------------------------
+    # -- worklist ---------------------------------------------------------
 
     def _push(self, node: DUGNode) -> None:
-        if node.uid not in self._queued:
-            self._queued.add(node.uid)
-            self._work.append(node)
+        uid = node.uid
+        if uid not in self._queued:
+            self._queued.add(uid)
+            heappush(self._work, (self._rank.get(uid, 0), uid))
 
-    def _set_top(self, temp: Temp, values: PTSet, prov=None) -> None:
-        empty = self.universe.empty
+    def _push_top(self, node: DUGNode) -> None:
+        self._top_dirty.add(node.uid)
+        self._push(node)
+
+    # -- state updates ------------------------------------------------------
+
+    def _set_top(self, temp: Temp, values, prov=None) -> None:
         tracing = self.provenance is not None
-        pending = [(temp, values, prov)]
+        if not self._apply_top(temp, values, prov, tracing):
+            return
+        # Interprocedural copy-chain expansion with a deduped pending
+        # set: on diamond-shaped copy graphs the same destination is
+        # visited once per round (recomputing its merge over *all* its
+        # sources) instead of once per path.
+        pending: List[Temp] = []
+        pending_ids: Set[int] = set()
+
+        def enqueue_dsts(t: Temp) -> None:
+            for _src, dst in self.dug.copies_from(t):
+                if dst.id not in pending_ids:
+                    pending_ids.add(dst.id)
+                    pending.append(dst)
+
+        enqueue_dsts(temp)
+        empty = self.universe.empty
         while pending:
-            target, vals, p = pending.pop()
-            current = self.pts_top.get(target.id, empty)
-            merged = current | vals
-            if merged is current:  # vals ⊆ current: O(1) mask subset test
+            dst = pending.pop()
+            pending_ids.discard(dst.id)
+            current = self.pts_top.get(dst.id, empty)
+            merged = current
+            for src, _dst in self.dug.copies_into(dst):
+                sv = self.value_pts(src)
+                nm = merged | sv
+                if nm is not merged:
+                    if tracing:
+                        self._record_top(dst, merged, sv, ("copy-chain", src))
+                    merged = nm
+            if merged is current:
                 continue
-            if tracing:
-                self._record_top(target, current, vals, p)
-            self.pts_top[target.id] = merged
-            for user in self.dug.top_users(target):
-                self._push(user)
-            for src, dst in self.dug.copies_from(target):
-                pending.append((dst, self.value_pts(src),
-                                ("copy-chain", src) if tracing else None))
+            self.pts_top[dst.id] = merged
+            for user in self.dug.top_users(dst):
+                self._push_top(user)
+            enqueue_dsts(dst)
+
+    def _apply_top(self, target: Temp, vals, prov, tracing: bool) -> bool:
+        current = self.pts_top.get(target.id, self.universe.empty)
+        merged = current | vals
+        if merged is current:  # vals ⊆ current: O(1) mask subset test
+            return False
+        if tracing:
+            self._record_top(target, current, vals, prov)
+        self.pts_top[target.id] = merged
+        for user in self.dug.top_users(target):
+            self._push_top(user)
+        return True
 
     def _set_mem(self, node: DUGNode, obj: MemObject, values: PTSet,
                  prov=None) -> None:
@@ -150,31 +260,94 @@ class SparseSolver:
         if self.provenance is not None:
             self._record_mem(node, obj, current, values, prov)
         self.mem[key] = merged
-        for out_obj, dst in self.dug.mem_out(node):
-            # Compare by object id: field-derived MemObjects can in
-            # principle be equal-but-distinct instances, and an
-            # identity miss here silently drops o-edge propagation.
-            if out_obj.id == obj.id:
-                self._push(dst)
+        delta = merged.mask & ~current.mask
+        obj_id = obj.id
+        by_obj = self._out_edges.get(node.uid)
+        if by_obj is None:
+            return
+        for out_obj, dst, thread_to_load in by_obj.get(obj_id, ()):
+            self.delta_propagations += 1
+            book = self._pending_thread if thread_to_load else self._pending
+            slot = book.setdefault(dst.uid, {})
+            entry = slot.get(obj_id)
+            if entry is None:
+                slot[obj_id] = [out_obj, delta]
+            else:
+                entry[1] |= delta
+            self._push(dst)
 
     # -- solving ---------------------------------------------------------------
 
+    def _prepare_schedule(self) -> None:
+        """SCC-condense the value-flow graph into topological ranks
+        and cache per-node out-edges with their delta channel."""
+        self._rank, self.scc_count = self.dug.compute_topo_ranks()
+        dug = self.dug
+        node_by_uid = self._node_by_uid
+        out_edges = self._out_edges
+        # Thread-aware edges into loads take the unconditional delta
+        # channel; flag them from the (small) thread-edge list rather
+        # than querying is_thread_edge once per o-edge.
+        to_load = set()
+        for src, obj, dst in dug.thread_edges:
+            if isinstance(dst, StmtNode) and isinstance(dst.instr, Load):
+                to_load.add((src.uid, obj.id, dst.uid))
+        for node in dug.nodes:
+            uid = node.uid
+            node_by_uid[uid] = node
+            out = dug.mem_out(node)
+            if not out:
+                continue
+            by_obj: Dict[int, List[Tuple[MemObject, DUGNode, bool]]] = {}
+            for obj, dst in out:
+                by_obj.setdefault(obj.id, []).append(
+                    (obj, dst,
+                     bool(to_load) and (uid, obj.id, dst.uid) in to_load))
+            out_edges[uid] = by_obj
+
+    def _seed(self) -> None:
+        """Enqueue only the nodes that can produce facts from nothing:
+        AddrOf statements, copies/phis of function values, and
+        fork-handle chis (their thread-id write needs no incoming
+        state once the handle pointer resolves)."""
+        for node in self.dug.nodes:
+            if isinstance(node, StmtNode):
+                instr = node.instr
+                seed = (isinstance(instr, AddrOf)
+                        or (isinstance(instr, Copy)
+                            and isinstance(instr.src, Function))
+                        or (isinstance(instr, Phi)
+                            and any(isinstance(v, Function)
+                                    for v, _b in instr.incomings)))
+            else:
+                seed = (isinstance(node, CallChiNode)
+                        and isinstance(node.site, Fork)
+                        and node.site.handle_ptr is not None)
+            if seed:
+                self.seeded_nodes += 1
+                self._push_top(node)
+
     def solve(self) -> None:
+        self._prepare_schedule()
         tracing = self.provenance is not None
         # Interprocedural top-level copies whose sources are constants
         # or function values never re-trigger; evaluate them up front.
         for src, dst in self.dug.top_copies:
             self._set_top(dst, self.value_pts(src),
                           ("copy-chain", src) if tracing else None)
-        for node in self.dug.nodes:
-            self._push(node)
-        while self._work:
+        self._seed()
+        work = self._work
+        queued = self._queued
+        node_by_uid = self._node_by_uid
+        visited = self._visited
+        while work:
             if self.deadline is not None and self.iterations % 256 == 0:
                 self.deadline.check()
             self.iterations += 1
-            node = self._work.popleft()
-            self._queued.discard(node.uid)
-            self._eval(node)
+            _rank, uid = heappop(work)
+            queued.discard(uid)
+            visited.add(uid)
+            self._eval(node_by_uid[uid])
 
     _MERGE_RULES = {
         MemPhiNode: "mem-phi",
@@ -184,33 +357,59 @@ class SparseSolver:
     }
 
     def _eval(self, node: DUGNode) -> None:
+        uid = node.uid
+        dirty = uid in self._top_dirty
+        if dirty:
+            self._top_dirty.discard(uid)
+        pend = self._pending.pop(uid, None)
         if isinstance(node, StmtNode):
-            self._eval_stmt(node)
-        elif isinstance(node, (MemPhiNode, FormalInNode, FormalOutNode, CallMuNode)):
-            obj = node.obj
-            prov = None
-            if self.provenance is not None:
-                prov = (self._MERGE_RULES[type(node)], node)
-            self._set_mem(node, obj, self._in_values(node, obj), prov)
+            instr = node.instr
+            if isinstance(instr, Load):
+                self._eval_load(node, instr, dirty, pend)
+            elif isinstance(instr, Store):
+                self._eval_store(node, instr, dirty, pend)
+            elif dirty:
+                self._eval_top_stmt(node, instr)
         elif isinstance(node, CallChiNode):
-            self._eval_call_chi(node)
+            self._eval_call_chi(node, dirty, pend)
+        elif pend:
+            # Merge pseudo-statements (memory phi, formal-in/out,
+            # call-mu): the state is the union of everything that ever
+            # arrived, so folding the pending delta is the whole
+            # transfer — no _in_values rescan.
+            obj = node.obj
+            entry = pend.get(obj.id)
+            if entry is not None and entry[1]:
+                prov = None
+                if self.provenance is not None:
+                    prov = (self._MERGE_RULES[type(node)], node)
+                self._set_mem(node, obj,
+                              self.universe.from_mask(entry[1]), prov)
 
-    def _eval_call_chi(self, node: CallChiNode) -> None:
+    def _eval_call_chi(self, node: CallChiNode, dirty: bool,
+                       pend: Optional[Dict[int, List]]) -> None:
         obj = node.obj
-        values = self._in_values(node, obj)
-        site = node.site
-        if isinstance(site, Fork) and site.handle_ptr is not None:
-            # The fork's write of the abstract thread id into the
-            # handle slot happens at this chi.
-            if obj in self.value_pts(site.handle_ptr):
-                tid = self.andersen.thread_objects.get(site.id)
-                if tid is not None:
-                    values = values | self.universe.singleton(tid)
-        prov = ("call-chi", node) if self.provenance is not None else None
-        self._set_mem(node, obj, values, prov)
+        mask = 0
+        if pend is not None:
+            entry = pend.get(obj.id)
+            if entry is not None:
+                mask = entry[1]
+        if dirty:
+            site = node.site
+            if isinstance(site, Fork) and site.handle_ptr is not None:
+                # The fork's write of the abstract thread id into the
+                # handle slot happens at this chi; the chi is a
+                # top-level user of the handle pointer, so it re-runs
+                # whenever pt(handle) grows.
+                if obj in self.value_pts(site.handle_ptr):
+                    tid = self.andersen.thread_objects.get(site.id)
+                    if tid is not None:
+                        mask |= self.universe.singleton(tid).mask
+        if mask:
+            prov = ("call-chi", node) if self.provenance is not None else None
+            self._set_mem(node, obj, self.universe.from_mask(mask), prov)
 
-    def _eval_stmt(self, node: StmtNode) -> None:
-        instr = node.instr
+    def _eval_top_stmt(self, node: StmtNode, instr) -> None:
         tracing = self.provenance is not None
         if isinstance(instr, AddrOf):
             self._set_top(instr.dst, {instr.obj},
@@ -230,51 +429,109 @@ class SparseSolver:
                 for obj in self.value_pts(instr.base))
             self._set_top(instr.dst, derived,
                           ("gep", node) if tracing else None)
-        elif isinstance(instr, Load):
+        # Call / Fork / Join: top-level linking flows through
+        # dug.top_copies; memory effects flow through mu/chi nodes.
+
+    def _eval_load(self, node: StmtNode, instr: Load, dirty: bool,
+                   pend: Optional[Dict[int, List]]) -> None:
+        uid = node.uid
+        tpend = self._pending_thread.pop(uid, None)
+        mask = 0
+        seen = self._load_seen.get(uid)
+        if dirty:
+            # The pointer (or mus) view changed: fully read any
+            # newly-reachable container once; afterwards its growth
+            # arrives as deltas.
             empty = self.universe.empty
-            objs = self.value_pts(instr.ptr)
-            values = empty
-            for obj in objs & self.builder.mus.get(instr.id, empty):
-                values = values | self._in_values(node, obj)
+            containers = self.value_pts(instr.ptr) & \
+                self.builder.mus.get(instr.id, empty)
+            if containers:
+                if seen is None:
+                    seen = self._load_seen[uid] = set()
+                for obj in containers:
+                    if obj.id in seen:
+                        continue
+                    seen.add(obj.id)
+                    mask |= self._in_values(node, obj).mask
+        if pend and seen:
+            for obj_id, entry in pend.items():
+                if obj_id in seen:
+                    mask |= entry[1]
+        if tpend:
             # [THREAD-VF] edges are followed unconditionally, as the
             # paper's sparse analysis does: a spurious edge (e.g. with
             # the AS(*p,*q) premise disregarded in the No-Value-Flow
             # ablation) both costs propagation work and pollutes pt()
             # — exactly the Figure 1(e) effect.
-            for obj, src in self.dug.thread_in_edges(node):
-                values = values | self.mem.get((src.uid, obj.id), empty)
-            self._set_top(instr.dst, values,
+            for entry in tpend.values():
+                mask |= entry[1]
+        if mask:
+            tracing = self.provenance is not None
+            self._set_top(instr.dst, self.universe.from_mask(mask),
                           ("load", node) if tracing else None)
-        elif isinstance(instr, Store):
-            self._eval_store(node, instr)
-        # Call / Fork / Join: top-level linking flows through
-        # dug.top_copies; memory effects flow through mu/chi nodes.
 
-    def _eval_store(self, node: StmtNode, instr: Store) -> None:
-        targets = self.value_pts(instr.ptr)
-        stored = self.value_pts(instr.value)
+    def _eval_store(self, node: StmtNode, instr: Store, dirty: bool,
+                    pend: Optional[Dict[int, List]]) -> None:
+        uid = node.uid
         tracing = self.provenance is not None
-        for obj in self.builder.chis.get(instr.id, self.universe.empty):
-            if not targets:
-                # kill(s, p) = A for an empty pointer: the store goes
-                # nowhere known; nothing propagates (paper Figure 10).
-                continue
-            if obj not in targets:
-                # Pass-through: the store cannot touch obj.
-                self._set_mem(node, obj, self._in_values(node, obj),
+        if dirty:
+            # Pointer or stored value changed: reclassify every chi
+            # object against the new pt(ptr). The full _in_values
+            # reads below subsume any pending deltas (predecessor
+            # states are updated before deltas are enqueued), and
+            # deltas into strong/kill-classified objects are dropped
+            # by the rules themselves.
+            targets = self.value_pts(instr.ptr)
+            stored = self.value_pts(instr.value)
+            classes = self._store_class.get(uid)
+            if classes is None:
+                classes = self._store_class[uid] = {}
+            for obj in self.builder.chis.get(instr.id, self.universe.empty):
+                if not targets:
+                    # kill(s, p) = A for an empty pointer: the store
+                    # goes nowhere known; nothing propagates (paper
+                    # Figure 10).
+                    classes[obj.id] = KILL
+                    continue
+                if obj not in targets:
+                    # Pass-through: the store cannot touch obj.
+                    classes[obj.id] = PASS
+                    self._set_mem(node, obj, self._in_values(node, obj),
+                                  ("store-through", node) if tracing else None)
+                    continue
+                strong = len(targets) == 1 and obj.is_singleton
+                if strong and \
+                        not self.config.strong_updates_at_interfering_stores:
+                    strong = not self.dug.is_interfering(node, obj)
+                if strong:
+                    classes[obj.id] = STRONG
+                    self.strong_updates += 1
+                    self._set_mem(node, obj, stored,
+                                  ("store-strong", node) if tracing else None)
+                else:
+                    classes[obj.id] = WEAK
+                    self.weak_updates += 1
+                    self._set_mem(node, obj, stored | self._in_values(node, obj),
+                                  ("store-weak", node) if tracing else None)
+            return
+        if not pend:
+            return
+        classes = self._store_class.get(uid)
+        if classes is None:
+            # Never visited top-dirty: pt(ptr) is still empty, so
+            # every object is killed (nothing propagates).
+            return
+        from_mask = self.universe.from_mask
+        for obj_id, entry in pend.items():
+            cls = classes.get(obj_id)
+            if cls is PASS:
+                self._set_mem(node, entry[0], from_mask(entry[1]),
                               ("store-through", node) if tracing else None)
-                continue
-            strong = len(targets) == 1 and obj.is_singleton
-            if strong and not self.config.strong_updates_at_interfering_stores:
-                strong = not self.dug.is_interfering(node, obj)
-            if strong:
-                self.strong_updates += 1
-                self._set_mem(node, obj, stored,
-                              ("store-strong", node) if tracing else None)
-            else:
+            elif cls is WEAK:
                 self.weak_updates += 1
-                self._set_mem(node, obj, stored | self._in_values(node, obj),
+                self._set_mem(node, entry[0], from_mask(entry[1]),
                               ("store-weak", node) if tracing else None)
+            # STRONG / KILL: the incoming delta is killed by the rule.
 
     # -- derivation provenance ----------------------------------------------
     #
@@ -283,8 +540,9 @@ class SparseSolver:
     # the fact ("first-introduction semantics": later re-derivations
     # of the same fact are not recorded, so walking trigger links
     # always terminates at roots). Triggers are found by re-scanning
-    # the *pre-update* solver state, which still holds exactly the
-    # facts the transfer rule read.
+    # the solver state, which already holds the facts the transfer
+    # read: predecessor states are updated before their deltas are
+    # delivered.
 
     def _record_top(self, target: Temp, current: PTSet, vals,
                     prov: Optional[Tuple]) -> None:
@@ -434,13 +692,17 @@ class SparseSolver:
 
     def flush_obs(self, obs: Observer) -> None:
         obs.count("solver.iterations", self.iterations)
-        # Strong/weak tallies count store *evaluations*, so re-visits
-        # of the same store under new facts count again — a measure of
+        # Strong/weak tallies count store *evaluations* (full
+        # reclassifications plus weak delta folds), so re-visits of
+        # the same store under new facts count again — a measure of
         # work done, not of distinct update sites.
         obs.count("solver.strong_updates", self.strong_updates)
         obs.count("solver.weak_updates", self.weak_updates)
         obs.count("solver.node_revisits",
-                  max(0, self.iterations - len(self.dug.nodes)))
+                  max(0, self.iterations - len(self._visited)))
+        obs.count("solver.delta_propagations", self.delta_propagations)
+        obs.count("solver.seeded_nodes", self.seeded_nodes)
+        obs.gauge("solver.sccs", self.scc_count)
         obs.gauge("solver.dug_nodes", len(self.dug.nodes))
         obs.gauge("solver.points_to_entries", self.points_to_entries())
         if self.provenance is not None:
@@ -453,3 +715,38 @@ class SparseSolver:
         obs.gauge("pts.distinct_sets", int(ustats["distinct_sets"]))
         obs.gauge("pts.objects", int(ustats["objects"]))
         obs.gauge("pts.dedup_ratio", round(float(ustats["dedup_ratio"]), 3))
+
+
+def store_update_classes(solver) -> Dict[Tuple[int, int], str]:
+    """Final strong/weak classification per (store instruction id,
+    object id), derived from the solver's fixpoint state.
+
+    Works for any engine exposing ``value_pts``/``builder``/``dug``/
+    ``config`` (the production :class:`SparseSolver` and the
+    :class:`~repro.fsam.reference.ReferenceSolver`), so differential
+    tests can assert the engines agree on every [P-SU]/[P-WU]
+    decision, not just on the points-to sets.
+    """
+    classes: Dict[Tuple[int, int], str] = {}
+    builder = solver.builder
+    config = solver.config
+    dug = solver.dug
+    for fn in solver.module.functions.values():
+        for instr in fn.instructions():
+            if not isinstance(instr, Store):
+                continue
+            targets = solver.value_pts(instr.ptr)
+            node = dug.stmt_node(instr) if dug.has_stmt(instr) else None
+            for obj in builder.chis.get(instr.id, ()):
+                if not targets:
+                    cls = KILL
+                elif obj not in targets:
+                    cls = PASS
+                else:
+                    strong = len(targets) == 1 and obj.is_singleton
+                    if strong and node is not None and \
+                            not config.strong_updates_at_interfering_stores:
+                        strong = not dug.is_interfering(node, obj)
+                    cls = STRONG if strong else WEAK
+                classes[(instr.id, obj.id)] = cls
+    return classes

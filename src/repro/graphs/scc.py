@@ -9,7 +9,7 @@ Section 3.1) and for online cycle collapsing in the pre-analysis.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List
+from typing import Callable, Dict, Hashable, Iterable, List, Tuple
 
 from repro.graphs.digraph import DiGraph
 
@@ -20,6 +20,17 @@ def tarjan_scc(graph: DiGraph) -> List[List[Hashable]]:
     Returns SCCs in reverse topological order (callees before callers),
     which is the order Tarjan's algorithm emits them in.
     """
+    return tarjan_scc_adj(list(graph.nodes()), graph.successors)
+
+
+def tarjan_scc_adj(nodes: Iterable[Hashable],
+                   successors: Callable[[Hashable], Iterable[Hashable]]
+                   ) -> List[List[Hashable]]:
+    """:func:`tarjan_scc` over an adjacency *function* instead of a
+    materialised :class:`DiGraph` — callers with a large edge set
+    already indexed elsewhere (e.g. the DUG's scheduling graph) avoid
+    building a second copy of it. Nodes reachable from *nodes* via
+    *successors* are included even if absent from *nodes*."""
     index_of: Dict[Hashable, int] = {}
     lowlink: Dict[Hashable, int] = {}
     on_stack: Dict[Hashable, bool] = {}
@@ -27,11 +38,11 @@ def tarjan_scc(graph: DiGraph) -> List[List[Hashable]]:
     sccs: List[List[Hashable]] = []
     counter = [0]
 
-    for root in list(graph.nodes()):
+    for root in nodes:
         if root in index_of:
             continue
         # Iterative Tarjan: work entries are (node, successor iterator).
-        work = [(root, iter(graph.successors(root)))]
+        work = [(root, iter(successors(root)))]
         index_of[root] = lowlink[root] = counter[0]
         counter[0] += 1
         stack.append(root)
@@ -45,7 +56,7 @@ def tarjan_scc(graph: DiGraph) -> List[List[Hashable]]:
                     counter[0] += 1
                     stack.append(succ)
                     on_stack[succ] = True
-                    work.append((succ, iter(graph.successors(succ))))
+                    work.append((succ, iter(successors(succ))))
                     advanced = True
                     break
                 if on_stack.get(succ):
@@ -66,6 +77,93 @@ def tarjan_scc(graph: DiGraph) -> List[List[Hashable]]:
                         break
                 sccs.append(component)
     return sccs
+
+
+def topo_ranks(nodes: Iterable[Hashable],
+               successors: Callable[[Hashable], Iterable[Hashable]]
+               ) -> Tuple[Dict[Hashable, int], int]:
+    """SCC-condensed topological ranks.
+
+    Returns ``(rank_of, scc_count)`` where ``rank_of[n]`` is the
+    topological position of *n*'s SCC in the condensation DAG:
+    sources get the smallest ranks, so processing nodes in ascending
+    rank order propagates facts downstream before any revisit. Nodes
+    in one SCC share a rank. Tarjan emits SCCs in reverse topological
+    order, so rank = (count - 1 - emission index).
+    """
+    sccs = tarjan_scc_adj(nodes, successors)
+    count = len(sccs)
+    rank_of: Dict[Hashable, int] = {}
+    for idx, component in enumerate(sccs):
+        rank = count - 1 - idx
+        for node in component:
+            rank_of[node] = rank
+    return rank_of, count
+
+
+def topo_ranks_dense(successors: List[List[int]]) -> Tuple[List[int], int]:
+    """:func:`topo_ranks` over a dense integer graph.
+
+    Nodes are ``0..len(successors)-1`` and ``successors[i]`` lists
+    node *i*'s successors. Flat arrays replace the generic variant's
+    per-node dict lookups and tuple hashing — this is the form the
+    sparse solver's scheduling prologue uses, where rank computation
+    sits on the critical path of every analysis run. Returns
+    ``(rank, scc_count)`` with ``rank[i]`` the topological position of
+    node *i*'s SCC (sources first, one shared rank per SCC).
+    """
+    n = len(successors)
+    index = [-1] * n
+    low = [0] * n
+    on_stack = bytearray(n)
+    stack: List[int] = []
+    emit = [0] * n                  # SCC emission number per node
+    counter = 0
+    scc_count = 0
+    for root in range(n):
+        if index[root] != -1:
+            continue
+        work = [(root, 0)]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = 1
+        while work:
+            node, ci = work[-1]
+            succs = successors[node]
+            advanced = False
+            while ci < len(succs):
+                succ = succs[ci]
+                ci += 1
+                if index[succ] == -1:
+                    work[-1] = (node, ci)
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack[succ] = 1
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if on_stack[succ] and index[succ] < low[node]:
+                    low[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
+                    emit[member] = scc_count
+                    if member == node:
+                        break
+                scc_count += 1
+    # Tarjan emits reverse-topologically; invert so sources rank first.
+    top = scc_count - 1
+    return [top - e for e in emit], scc_count
 
 
 def condensation(graph: DiGraph):

@@ -233,6 +233,13 @@ class MemorySSABuilder:
                         # many is written).
                         if isinstance(instr, Join) or obj in fork_slots:
                             self.dug.add_mem_edge(current(obj), obj, chi)
+                        if obj in fork_slots and isinstance(instr.handle_ptr, Temp):
+                            # The chi's thread-id write is guarded by
+                            # pt(handle_ptr) at solve time: register it
+                            # as a top-level user so the solver revisits
+                            # it when the handle pointer gains targets
+                            # (the statement node itself is a no-op).
+                            self.dug.add_top_user(instr.handle_ptr, chi)
                         stacks[obj.id].append(chi)
                         pushed.append(obj.id)
                 elif isinstance(instr, Ret):

@@ -138,6 +138,7 @@ class DUG:
         # (source value, destination temp).
         self.top_copies: List[Tuple[object, Temp]] = []
         self._copies_by_src: Dict[int, List[Tuple[object, Temp]]] = {}
+        self._copies_by_dst: Dict[int, List[Tuple[object, Temp]]] = {}
         # Interference: objects at which a store statement participates
         # in an MHP store-store/store-load pair (set by value-flow).
         self.interfering: Dict[int, Set[MemObject]] = {}
@@ -223,9 +224,76 @@ class DUG:
         self.top_copies.append(pair)
         if isinstance(src, Temp):
             self._copies_by_src.setdefault(src.id, []).append(pair)
+        self._copies_by_dst.setdefault(dst.id, []).append(pair)
 
     def copies_from(self, temp: Temp) -> List[Tuple[object, Temp]]:
         return self._copies_by_src.get(temp.id, [])
+
+    def copies_into(self, temp: Temp) -> List[Tuple[object, Temp]]:
+        """All interprocedural copies whose destination is *temp* —
+        the solver's copy-chain worklist recomputes a destination's
+        merge from these, so one pass per visit covers every source."""
+        return self._copies_by_dst.get(temp.id, [])
+
+    # -- scheduling metadata ---------------------------------------------------
+
+    def compute_topo_ranks(self) -> Tuple[Dict[int, int], int]:
+        """SCC-condensed topological priorities for the sparse solver.
+
+        Builds the combined value-flow graph the solver propagates
+        over — memory (o-labelled) edges including [THREAD-VF] ones,
+        top-level def->use edges, and the interprocedural copy
+        graph — condenses its SCCs, and returns ``(rank_of_uid,
+        scc_count)``: each node's uid mapped to the topological rank
+        of its SCC (sources first). Temps appear as intermediate
+        ``('t', id)`` markers so multi-def temps and copy chains order
+        correctly; they carry no rank of their own.
+
+        Ranks are pure scheduling metadata: any order reaches the same
+        fixpoint (transfer functions are union-monotone), ascending
+        ranks just minimise revisits by draining upstream SCCs first.
+        """
+        from repro.graphs.scc import topo_ranks_dense
+
+        # Densify: statement nodes take slots 0..n-1 (list position),
+        # temps get slots appended on first sight. Rank computation
+        # runs on every analysis, so this stays allocation-lean — flat
+        # int adjacency instead of a dict keyed by nodes and ('t', id)
+        # marker tuples.
+        nodes = self.nodes
+        slot_of_uid = {node.uid: i for i, node in enumerate(nodes)}
+        succ: List[List[int]] = [[] for _ in range(len(nodes))]
+        temp_slot: Dict[int, int] = {}
+
+        def tslot(temp_id: int) -> int:
+            s = temp_slot.get(temp_id)
+            if s is None:
+                s = temp_slot[temp_id] = len(succ)
+                succ.append([])
+            return s
+
+        for i, node in enumerate(nodes):
+            out = succ[i]
+            for _obj, dst in self.mem_out(node):
+                out.append(slot_of_uid[dst.uid])
+            instr = getattr(node, "instr", None)
+            if instr is not None:
+                defined = instr.defined_temp()
+                if isinstance(defined, Temp):
+                    out.append(tslot(defined.id))
+        for temp_id, users in self._top_users.items():
+            slot = tslot(temp_id)
+            out = succ[slot]
+            for user in users:
+                out.append(slot_of_uid[user.uid])
+        for src, dst in self.top_copies:
+            if isinstance(src, Temp):
+                succ[tslot(src.id)].append(tslot(dst.id))
+            else:
+                tslot(dst.id)
+        rank, scc_count = topo_ranks_dense(succ)
+        return ({node.uid: rank[i] for i, node in enumerate(nodes)},
+                scc_count)
 
     # -- interference bookkeeping ---------------------------------------------
 

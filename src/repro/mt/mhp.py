@@ -39,6 +39,11 @@ class MHPOracle:
         # Tallies flushed to the observer at end of run (repro.obs).
         self.pair_queries = 0
         self.pair_cache_hits = 0
+        # (s1.id, s2.id) -> first MHP instance pair or None; shared by
+        # may_happen_in_parallel and the admission-verdict path so a
+        # witness found while answering the boolean query is never
+        # recomputed by a second instance-pair enumeration.
+        self._witness_cache: Dict[Tuple[int, int], Optional[Tuple]] = {}
 
     def may_happen_in_parallel(self, s1: Instruction, s2: Instruction) -> bool:
         raise NotImplementedError
@@ -46,6 +51,26 @@ class MHPOracle:
     def parallel_instance_pairs(self, s1: Instruction, s2: Instruction):
         """Iterate MHP instance pairs ((t1, sid1), (t2, sid2))."""
         raise NotImplementedError
+
+    def mhp_witness(self, s1: Instruction, s2: Instruction) -> Optional[Tuple]:
+        """The first MHP instance pair for (s1, s2), or None — cached
+        symmetrically (the reversed query returns the swapped pair)."""
+        key = (s1.id, s2.id)
+        if key in self._witness_cache:
+            return self._witness_cache[key]
+        pair = next(iter(self.parallel_instance_pairs(s1, s2)), None)
+        self._witness_cache[key] = pair
+        self._witness_cache[(s2.id, s1.id)] = \
+            (pair[1], pair[0]) if pair is not None else None
+        return pair
+
+    def region_key(self, instr: Instruction):
+        """A hashable interference-region key: two statements with
+        equal keys receive identical MHP verdicts against *any* third
+        statement, so batched clients (the value-flow phase) may query
+        one representative per region pair. The base default is the
+        statement's own identity — always sound, no batching."""
+        return ("instr", instr.id)
 
     def flush_obs(self, obs: Observer) -> None:
         obs.count("mhp.pair_queries", self.pair_queries)
@@ -175,10 +200,24 @@ class InterleavingAnalysis(MHPOracle):
         if cached is not None:
             self.pair_cache_hits += 1
             return cached
-        result = next(iter(self.parallel_instance_pairs(s1, s2)), None) is not None
+        # Route through mhp_witness so the witnessing instance pair is
+        # cached for the admission-verdict path — the old code threw
+        # it away and re-enumerated on every admitted edge.
+        result = self.mhp_witness(s1, s2) is not None
         self._pair_cache[key] = result
         self._pair_cache[(s2.id, s1.id)] = result
         return result
+
+    def region_key(self, instr: Instruction):
+        """Instances collapsed to (thread, multi-forked, I-set)
+        triples: the MHP verdict formula — same multi-forked thread,
+        or mutual I-set membership — reads nothing else about the
+        statement, so equal keys guarantee equal verdicts."""
+        entries = []
+        for thread, sid in self._instances(instr):
+            iset = self.interleaving[thread.id].get(sid, frozenset())
+            entries.append((thread.id, thread.multi_forked, iset))
+        return frozenset(entries)
 
     def flush_obs(self, obs: Observer) -> None:
         super().flush_obs(obs)
@@ -240,3 +279,10 @@ class CoarsePCGMhp(MHPOracle):
                         if t1 is t2 and not t1.multi_forked:
                             continue
                         yield (t1, sid1), (t2, sid2)
+
+    def region_key(self, instr: Instruction):
+        """This oracle's verdict reads only which threads may execute
+        the statement (plus their multi-forked flags), so that set is
+        the region key."""
+        return frozenset(
+            (t.id, t.multi_forked) for t in self._threads_of(instr))

@@ -9,6 +9,16 @@ The stores participating in such interference are recorded on the
 DUG: the sparse solver demotes their strong updates on the contested
 object (a concurrent reader may observe the pre-store value).
 
+MHP queries are issued per *interference region pair*, not per
+statement pair: statements are grouped by the oracle's
+:meth:`~repro.mt.mhp.MHPOracle.region_key` (equal keys guarantee
+identical verdicts against anything), one representative pair per
+region pair hits the oracle, and the verdict settles every pair in
+the cross product. ``valueflow.mhp_cache_hits`` counts the pairs
+decided without a fresh oracle query. The reported statistics are
+unchanged by batching: candidate/mhp/lock/edge counts are per
+statement pair exactly as if each had been queried individually.
+
 With an enabled :class:`~repro.trace.Tracer`, every candidate pair's
 verdict is emitted as a ``vf.pair`` event — ``mhp-refuted``,
 ``lock-filtered`` (with the witnessing lock), or ``edge-added`` (with
@@ -18,7 +28,7 @@ recorded on the DUG for ``repro explain`` to cite.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.ir.instructions import Instruction, Load, Store
 from repro.ir.values import MemObject
@@ -42,11 +52,13 @@ class ValueFlowStats:
     can never drift (pinned by ``tests/fsam/test_profile.py``)."""
 
     def __init__(self, candidate_pairs: int = 0, mhp_pairs: int = 0,
-                 lock_filtered: int = 0, edges_added: int = 0) -> None:
+                 lock_filtered: int = 0, edges_added: int = 0,
+                 mhp_cache_hits: int = 0) -> None:
         self.candidate_pairs = candidate_pairs
         self.mhp_pairs = mhp_pairs
         self.lock_filtered = lock_filtered
         self.edges_added = edges_added
+        self.mhp_cache_hits = mhp_cache_hits
 
     def __repr__(self) -> str:
         return (f"<value-flow: {self.candidate_pairs} candidates, "
@@ -87,7 +99,7 @@ def _admission_verdict(mhp: MHPOracle, locks: Optional[LockAnalysis],
     """Why this [THREAD-VF] edge was admitted: the witnessing MHP
     instance pair plus the lock status that failed to filter it."""
     info = _pair_fields(store, target, obj)
-    pair = next(iter(mhp.parallel_instance_pairs(store, target)), None)
+    pair = mhp.mhp_witness(store, target)
     if pair is not None:
         (t1, _sid1), (t2, _sid2) = pair
         info["mhp"] = f"t{t1.id}||t{t2.id}"
@@ -119,15 +131,43 @@ def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
     stores_on, accesses_on, objects = _index_accesses(builder)
     tracing = tracer.enabled
     candidate_pairs = mhp_pairs = lock_filtered = edges_added = 0
+    mhp_cache_hits = 0
 
-    def consider(store: Store, target: Instruction, obj: MemObject) -> None:
-        nonlocal candidate_pairs, mhp_pairs, lock_filtered, edges_added
-        candidate_pairs += 1
-        if not mhp.may_happen_in_parallel(store, target):
-            if tracing:
-                tracer.emit("vf.pair", verdict="mhp-refuted",
-                            **_pair_fields(store, target, obj))
-            return
+    # Region keys per statement, computed once (the interleaving
+    # oracle's key walks every instance of the statement).
+    region_of: Dict[int, object] = {}
+
+    def key_of(instr: Instruction):
+        key = region_of.get(instr.id)
+        if key is None:
+            key = region_of[instr.id] = mhp.region_key(instr)
+        return key
+
+    # (store region, access region) -> MHP verdict, symmetric.
+    region_verdicts: Dict[Tuple, bool] = {}
+
+    def region_mhp(ks, ka, rep_store: Store, rep_target: Instruction,
+                   npairs: int) -> bool:
+        """One oracle query settles all *npairs* pairs in the region
+        cross product; every pair beyond the representative (or all of
+        them, on a memoised verdict) counts as a cache hit."""
+        nonlocal mhp_cache_hits
+        verdict = region_verdicts.get((ks, ka))
+        if verdict is None:
+            verdict = mhp.may_happen_in_parallel(rep_store, rep_target)
+            region_verdicts[(ks, ka)] = verdict
+            region_verdicts[(ka, ks)] = verdict
+            mhp_cache_hits += npairs - 1
+        else:
+            mhp_cache_hits += npairs
+        return verdict
+
+    def admit(store: Store, target: Instruction, obj: MemObject,
+              target_is_chi_store: bool) -> None:
+        """Process one MHP pair: lock filtering, edge insertion,
+        interference marking. The caller established the MHP verdict
+        (directly or via its region)."""
+        nonlocal mhp_pairs, lock_filtered, edges_added
         mhp_pairs += 1
         if locks is not None and locks.filters(store, target, obj, mhp):
             lock_filtered += 1
@@ -146,37 +186,90 @@ def add_thread_aware_edges(dug: DUG, builder: MemorySSABuilder, mhp: MHPOracle,
                 dug.set_thread_edge_info(src, obj, dst, info)
                 tracer.emit("vf.pair", verdict="edge-added", **info)
         dug.mark_interfering(src, obj)
-        if isinstance(target, Store) and obj in builder.chis.get(target.id, ()):
+        if target_is_chi_store:
             dug.mark_interfering(dst, obj)
 
     if alias_filtering:
         for obj_id, stores in stores_on.items():
             obj = objects[obj_id]
             accesses = accesses_on.get(obj_id, [])
+            sgroups: Dict[object, List[Store]] = {}
             for store in stores:
-                for target in accesses:
-                    if target is store:
+                sgroups.setdefault(key_of(store), []).append(store)
+            agroups: Dict[object, List[Instruction]] = {}
+            for access in accesses:
+                agroups.setdefault(key_of(access), []).append(access)
+            for ks, sgroup in sgroups.items():
+                for ka, agroup in agroups.items():
+                    # Self-pairs (target is store) are skipped; when
+                    # the regions coincide every store of sgroup also
+                    # sits in agroup (stores are accesses on obj), so
+                    # the cross product loses exactly len(sgroup).
+                    npairs = len(sgroup) * len(agroup) - \
+                        (len(sgroup) if ks == ka else 0)
+                    if npairs <= 0:
                         continue
-                    consider(store, target, obj)
+                    candidate_pairs += npairs
+                    rep_store = sgroup[0]
+                    rep_target = next(
+                        a for a in agroup if a is not rep_store)
+                    if not region_mhp(ks, ka, rep_store, rep_target, npairs):
+                        if tracing:
+                            # Keep the per-pair event stream complete:
+                            # trace consumers reconcile vf.pair events
+                            # against candidate_pairs.
+                            for store in sgroup:
+                                for target in agroup:
+                                    if target is store:
+                                        continue
+                                    tracer.emit(
+                                        "vf.pair", verdict="mhp-refuted",
+                                        **_pair_fields(store, target, obj))
+                        continue
+                    for store in sgroup:
+                        for target in agroup:
+                            if target is store:
+                                continue
+                            # A Store lands in accesses_on[obj] only
+                            # via its chi on obj, so the chi lookup
+                            # the old inner loop repeated is free.
+                            admit(store, target, obj,
+                                  isinstance(target, Store))
     else:
         all_stores = sorted({s.id: s for ss in stores_on.values() for s in ss}.values(),
                             key=lambda s: s.id)
         all_accesses = sorted({a.id: a for aa in accesses_on.values() for a in aa}.values(),
                               key=lambda a: a.id)
         for store in all_stores:
+            ks = key_of(store)
+            store_objs = list(builder.chis.get(store.id, ()))
+            if not store_objs:
+                continue
+            nobjs = len(store_objs)
             for target in all_accesses:
                 if target is store:
                     continue
-                for obj in builder.chis.get(store.id, ()):
-                    consider(store, target, obj)
+                candidate_pairs += nobjs
+                if not region_mhp(ks, key_of(target), store, target, nobjs):
+                    if tracing:
+                        for obj in store_objs:
+                            tracer.emit("vf.pair", verdict="mhp-refuted",
+                                        **_pair_fields(store, target, obj))
+                    continue
+                target_chis = builder.chis.get(target.id, ()) \
+                    if isinstance(target, Store) else ()
+                for obj in store_objs:
+                    admit(store, target, obj, obj in target_chis)
     # One source of truth: the shim and the observer counters are both
     # assigned from the same locals, in one place.
     stats = ValueFlowStats(candidate_pairs=candidate_pairs,
                            mhp_pairs=mhp_pairs,
                            lock_filtered=lock_filtered,
-                           edges_added=edges_added)
+                           edges_added=edges_added,
+                           mhp_cache_hits=mhp_cache_hits)
     obs.count("valueflow.candidate_pairs", stats.candidate_pairs)
     obs.count("valueflow.mhp_pairs", stats.mhp_pairs)
     obs.count("valueflow.lock_filtered", stats.lock_filtered)
     obs.count("valueflow.edges_added", stats.edges_added)
+    obs.count("valueflow.mhp_cache_hits", stats.mhp_cache_hits)
     return stats

@@ -152,7 +152,8 @@ class TestValueFlowSingleSource:
         calls = re.findall(r'obs\.count\("valueflow\.(\w+)",\s*([\w.]+)\)',
                            source)
         assert sorted(name for name, _ in calls) == \
-            ["candidate_pairs", "edges_added", "lock_filtered", "mhp_pairs"]
+            ["candidate_pairs", "edges_added", "lock_filtered",
+             "mhp_cache_hits", "mhp_pairs"]
         for name, value_expr in calls:
             assert value_expr == f"stats.{name}"
 

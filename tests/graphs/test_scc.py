@@ -1,6 +1,9 @@
-"""Tarjan SCC and condensation tests."""
+"""Tarjan SCC, topological-rank, and condensation tests."""
+
+import random
 
 from repro.graphs import DiGraph, condensation, tarjan_scc
+from repro.graphs.scc import topo_ranks, topo_ranks_dense
 
 
 def build(edges, nodes=()):
@@ -77,3 +80,61 @@ class TestCondensation:
         g = build([(1, 2), (2, 1)])
         dag, scc_of = condensation(g)
         assert not dag.has_edge(scc_of[1], scc_of[1])
+
+
+def _ranks_are_topological(succ, rank):
+    """Every cross-SCC edge goes from a smaller to a larger rank."""
+    for node, succs in enumerate(succ):
+        for s in succs:
+            assert rank[node] <= rank[s]
+
+
+class TestTopoRanks:
+    def test_chain_ranks_ascend(self):
+        succ = [[1], [2], [3], []]
+        rank, count = topo_ranks_dense(succ)
+        assert rank == [0, 1, 2, 3]
+        assert count == 4
+
+    def test_cycle_shares_a_rank(self):
+        succ = [[1], [2], [0, 3], []]
+        rank, count = topo_ranks_dense(succ)
+        assert rank[0] == rank[1] == rank[2] < rank[3]
+        assert count == 2
+
+    def test_diamond(self):
+        succ = [[1, 2], [3], [3], []]
+        rank, count = topo_ranks_dense(succ)
+        assert rank[0] < rank[1] and rank[0] < rank[2]
+        assert rank[1] < rank[3] and rank[2] < rank[3]
+        assert count == 4
+
+    def test_dense_agrees_with_generic(self):
+        """The flat-array variant must compute the same SCC structure
+        and topologically valid ranks as the readable generic one, on
+        random graphs with cycles."""
+        rng = random.Random(7)
+        for _trial in range(20):
+            n = rng.randrange(1, 40)
+            succ = [[] for _ in range(n)]
+            for _ in range(rng.randrange(0, 3 * n)):
+                succ[rng.randrange(n)].append(rng.randrange(n))
+            dense_rank, dense_count = topo_ranks_dense(succ)
+            gen_rank, gen_count = topo_ranks(
+                range(n), lambda v: succ[v])
+            assert dense_count == gen_count
+            # Same SCC partition: nodes share a dense rank exactly
+            # when they share a generic rank.
+            for a in range(n):
+                for b in range(n):
+                    assert (dense_rank[a] == dense_rank[b]) == \
+                        (gen_rank[a] == gen_rank[b])
+            _ranks_are_topological(succ, dense_rank)
+            _ranks_are_topological(succ, gen_rank)
+
+    def test_large_chain_no_recursion_error(self):
+        n = 40000
+        succ = [[i + 1] for i in range(n - 1)] + [[]]
+        rank, count = topo_ranks_dense(succ)
+        assert count == n
+        assert rank[0] == 0 and rank[-1] == n - 1

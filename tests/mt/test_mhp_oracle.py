@@ -1,10 +1,12 @@
 """MHP oracle contract tests: cache symmetry, precision ordering,
-multi-forked self-parallelism, and observability counters."""
+multi-forked self-parallelism, region keys, witness caching, and
+observability counters."""
 
 from repro.andersen import run_andersen
 from repro.frontend import compile_source
 from repro.ir import Load, Store
 from repro.mt import CoarsePCGMhp, InterleavingAnalysis, ThreadModel
+from repro.mt.mhp import MHPOracle
 from repro.obs import Observer
 
 from tests.mt.test_threads import FIG8
@@ -103,6 +105,115 @@ class TestMultiForked:
         assert mhp.may_happen_in_parallel(store, store)
         assert coarse.may_happen_in_parallel(store, store)
         assert list(coarse.parallel_instance_pairs(store, store))
+
+
+class TestRegionKeys:
+    def test_base_default_is_per_statement(self):
+        # The always-sound fallback: every statement its own region,
+        # so batched clients degrade to per-pair querying.
+        m, _model, _mhp = setup(FIG8)
+        base = MHPOracle()
+        s1, s2 = accesses(m)[:2]
+        assert base.region_key(s1) == ("instr", s1.id)
+        assert base.region_key(s1) != base.region_key(s2)
+
+    def test_equal_keys_imply_equal_verdicts(self):
+        """The region-key contract: statements with equal keys receive
+        identical MHP verdicts against *any* third statement. This is
+        what licenses the value-flow phase's one-representative-per-
+        region-pair batching."""
+        for src in (FIG8, MULTIFORK):
+            m, model, mhp = setup(src)
+            oracles = [mhp, CoarsePCGMhp(model)]
+            stmts = accesses(m)
+            for oracle in oracles:
+                keys = {s.id: oracle.region_key(s) for s in stmts}
+                for s1 in stmts:
+                    for s2 in stmts:
+                        if s1 is s2 or keys[s1.id] != keys[s2.id]:
+                            continue
+                        for s3 in stmts:
+                            assert oracle.may_happen_in_parallel(s1, s3) == \
+                                oracle.may_happen_in_parallel(s2, s3), \
+                                f"{s1!r} and {s2!r} share a region but " \
+                                f"disagree vs {s3!r}"
+
+    def test_regions_actually_coalesce(self):
+        # The batching only wins if real programs have fewer regions
+        # than statements; both oracles must coalesce on FIG8.
+        m, model, mhp = setup(FIG8)
+        stmts = accesses(m)
+        for oracle in (mhp, CoarsePCGMhp(model)):
+            keys = {oracle.region_key(s) for s in stmts}
+            assert len(keys) < len(stmts)
+
+    def test_coarse_key_is_thread_set(self):
+        m, model, _mhp = setup(FIG8)
+        coarse = CoarsePCGMhp(model)
+        s = accesses(m)[0]
+        assert coarse.region_key(s) == frozenset(
+            (t.id, t.multi_forked) for t in coarse._threads_of(s))
+
+
+class TestWitnessCaching:
+    def _mhp_pair(self, mhp, stmts):
+        for a in stmts:
+            for b in stmts:
+                if a is not b and \
+                        next(iter(mhp.parallel_instance_pairs(a, b)), None):
+                    return a, b
+        raise AssertionError("no MHP pair in program")
+
+    def _counting(self, mhp):
+        """Wrap parallel_instance_pairs with a call counter."""
+        calls = []
+        orig = mhp.parallel_instance_pairs
+
+        def counted(s1, s2):
+            calls.append((s1.id, s2.id))
+            return orig(s1, s2)
+
+        mhp.parallel_instance_pairs = counted
+        return calls
+
+    def test_boolean_query_seeds_the_witness(self):
+        # The satellite bug: _admission_verdict used to re-enumerate
+        # instance pairs after may_happen_in_parallel had already
+        # found a witness. One enumeration must now serve both.
+        m, _model, mhp = setup(FIG8)
+        s1, s2 = self._mhp_pair(mhp, accesses(m))
+        mhp._witness_cache.clear()
+        mhp._pair_cache.clear()
+        calls = self._counting(mhp)
+        assert mhp.may_happen_in_parallel(s1, s2)
+        witness = mhp.mhp_witness(s1, s2)
+        assert witness is not None
+        assert len(calls) == 1
+
+    def test_reverse_witness_is_swapped_without_reenumeration(self):
+        m, _model, mhp = setup(FIG8)
+        s1, s2 = self._mhp_pair(mhp, accesses(m))
+        calls = self._counting(mhp)
+        witness = mhp.mhp_witness(s1, s2)
+        reverse = mhp.mhp_witness(s2, s1)
+        assert reverse == (witness[1], witness[0])
+        assert len(calls) <= 1
+
+    def test_negative_witness_cached_too(self):
+        m, _model, mhp = setup(FIG8)
+        stmts = accesses(m)
+        pair = next(((a, b) for a in stmts for b in stmts if a is not b
+                     and not next(iter(mhp.parallel_instance_pairs(a, b)),
+                                  None)), None)
+        assert pair is not None
+        s1, s2 = pair
+        mhp._witness_cache.clear()
+        mhp._pair_cache.clear()
+        calls = self._counting(mhp)
+        assert not mhp.may_happen_in_parallel(s1, s2)
+        assert mhp.mhp_witness(s1, s2) is None
+        assert mhp.mhp_witness(s2, s1) is None
+        assert len(calls) == 1
 
 
 class TestObservability:

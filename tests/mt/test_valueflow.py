@@ -21,6 +21,54 @@ def setup(src, locks=False, alias_filtering=True):
     return m, dug, builder, stats
 
 
+# Many statements per interference region: four workers writing the
+# same object plus main-side accesses, so the per-region batching has
+# cross products to collapse.
+BATCHY = """
+int g; int A;
+int *p;
+thread_t tids[4];
+void *w(void *a) { *p = &g; int *r; r = *p; *p = r; return null; }
+int main() { int i;
+    p = &A;
+    for (i = 0; i < 4; i = i + 1) { fork(&tids[i], w, null); }
+    *p = &g;
+    int *q; q = *p;
+    for (i = 0; i < 4; i = i + 1) { join(tids[i]); }
+    return 0; }
+"""
+
+
+class TestRegionBatching:
+    def _pieces(self, src, alias_filtering=True):
+        m = compile_source(src)
+        a = run_andersen(m)
+        dug, builder = build_dug(m, a)
+        mhp = InterleavingAnalysis(ThreadModel(m, a))
+        stats = add_thread_aware_edges(dug, builder, mhp,
+                                       alias_filtering=alias_filtering)
+        return mhp, stats
+
+    def test_one_query_per_region_pair(self):
+        mhp, stats = self._pieces(BATCHY)
+        assert stats.candidate_pairs > 0
+        # Every candidate pair is decided, but the oracle only sees
+        # one representative per region pair: the rest are cache hits.
+        assert stats.mhp_cache_hits > 0
+        assert mhp.pair_queries + stats.mhp_cache_hits == \
+            stats.candidate_pairs
+        assert mhp.pair_queries < stats.candidate_pairs
+
+    def test_batched_counters_match_per_pair_semantics(self):
+        """The reported statistics must read as if each statement pair
+        had been queried individually (candidates = refuted + MHP)."""
+        for af in (True, False):
+            mhp, stats = self._pieces(BATCHY, alias_filtering=af)
+            assert 0 <= stats.mhp_pairs <= stats.candidate_pairs
+            assert stats.edges_added <= stats.mhp_pairs
+            assert stats.mhp_cache_hits <= stats.candidate_pairs
+
+
 PARALLEL = """
 int x_t; int A; int B;
 int *p; int *q;
