@@ -29,9 +29,8 @@ import sys
 from repro.fsam.config import FSAMConfig
 from repro.harness.measure import Measurement, measure_fsam
 from repro.harness.scales import BENCH_SCALES, SMOKE_SCALES
+from repro.schemas import BENCH_SCHEMA as SCHEMA
 from repro.workloads import get_workload, source_loc, workload_names
-
-SCHEMA = "repro.bench/1"
 ENGINES = ("delta", "reference")
 
 # The counters/gauges a snapshot records per engine run.

@@ -261,7 +261,11 @@ class AndersenSolver:
         # The fork writes an abstract thread-id object into *handle_ptr,
         # which is what lets pthread_join correlate with its create
         # (the paper uses SCEV for loop symmetry; id flow is via memory).
-        tid = MemObject(f"tid.fork{fork.id}", ThreadType(), ObjectKind.DUMMY)
+        # Named by source line, not fork.id: instruction ids come from
+        # a process-global counter, and the artifact cache serializes
+        # object names, which must be identical across processes.
+        tid = MemObject(f"tid.fork.l{fork.line}", ThreadType(),
+                        ObjectKind.DUMMY)
         tid.fork_site = fork  # type: ignore[attr-defined]
         self.module.register_object(tid)
         self._register_object(tid)

@@ -15,6 +15,8 @@
     python -m repro explain   prog.mc x      # derivation chain for x
     python -m repro trace     prog.mc        # repro.trace/1 JSONL dump
     python -m repro diff-profile A.json B.json   # profile regression diff
+    python -m repro batch     spec.json --workers 4 --cache .repro-cache
+    python -m repro serve     --workers 4    # stdin/JSONL request loop
 
 Reports can also be emitted as JSON (``--json``) for downstream
 tooling.
@@ -393,6 +395,60 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_batch(args) -> int:
+    """Run a batch spec through the worker pool + artifact cache and
+    print one ``repro.batch/1`` report."""
+    import os
+
+    from repro.service import (
+        ArtifactCache, render_batch_report, run_batch, validate_batch_report,
+    )
+    from repro.service.requests import requests_from_spec
+
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    requests, options = requests_from_spec(
+        spec, base_dir=os.path.dirname(os.path.abspath(args.spec)))
+    workers = args.workers if args.workers is not None \
+        else int(options.get("workers", 1))
+    timeout = args.timeout if args.timeout is not None \
+        else options.get("timeout")
+    cache_dir = args.cache if args.cache is not None else options.get("cache")
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+
+    report = run_batch(requests, workers=workers, cache=cache,
+                       timeout=timeout,
+                       name=os.path.basename(args.spec))
+    doc = validate_batch_report(report.to_dict())
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    elif args.csv:
+        from repro.harness import batch_report_to_csv
+        sys.stdout.write(batch_report_to_csv(doc))
+    else:
+        print(render_batch_report(doc))
+    # The availability contract: degraded requests are reported, not
+    # fatal. Exit 3 flags them for callers that want to notice.
+    return 3 if doc["aggregate"]["degraded"] else 0
+
+
+def cmd_serve(args) -> int:
+    """Long-lived stdin/JSONL analysis loop (one request per line)."""
+    from repro.service import ArtifactCache, serve_loop
+
+    cache = ArtifactCache(args.cache) if args.cache else None
+    serve_loop(sys.stdin, sys.stdout,
+               workers=args.workers,
+               cache=cache,
+               timeout=args.timeout,
+               base_dir=args.base_dir)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -465,6 +521,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--table", type=int, choices=[1, 2, 12], default=2,
                    help="1 = Table 1, 2 = Table 2, 12 = Figure 12")
     p.set_defaults(handler=cmd_bench)
+
+    p = sub.add_parser("batch",
+                       help="run a batch spec through the worker pool "
+                            "and artifact cache")
+    p.add_argument("spec", help="batch spec JSON (see repro.service."
+                                "requests for the format)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="worker processes (overrides the spec; "
+                        "1 = inline, no subprocesses)")
+    p.add_argument("--cache", default=None,
+                   help="artifact cache directory (overrides the spec)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request wall-clock seconds "
+                        "(overrides the spec)")
+    p.add_argument("--out", metavar="OUT", default=None,
+                   help="also write the repro.batch/1 report JSON here")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON instead of text")
+    p.add_argument("--csv", action="store_true",
+                   help="print per-request CSV rows instead of text")
+    p.set_defaults(handler=cmd_batch)
+
+    p = sub.add_parser("serve",
+                       help="serve analysis requests from stdin "
+                            "(one JSON per line, responses on stdout)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (1 = inline)")
+    p.add_argument("--cache", default=None,
+                   help="artifact cache directory")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request wall-clock seconds")
+    p.add_argument("--base-dir", default=".",
+                   help="base directory for 'file' request entries")
+    p.set_defaults(handler=cmd_serve)
     return parser
 
 

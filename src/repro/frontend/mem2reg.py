@@ -66,7 +66,11 @@ def _promote_function(fn: Function) -> None:
             if not ok:
                 candidates[obj] = False
 
-    promoted = {obj for obj, ok in candidates.items() if ok}
+    # Insertion-ordered (dict order), not a set: phi instructions are
+    # created while iterating this, and their order decides temp
+    # numbering — which must be identical across runs and processes
+    # for the artifact cache's canonical indices.
+    promoted = [obj for obj, ok in candidates.items() if ok]
     if not promoted:
         return
 
@@ -82,7 +86,12 @@ def _promote_function(fn: Function) -> None:
     phi_var: Dict[Phi, MemObject] = {}
     counters: Dict[MemObject, int] = {obj: 0 for obj in promoted}
     for obj in promoted:
-        for block in iterated_dominance_frontier(cfg.frontiers, def_blocks[obj]):
+        # Sort the IDF (a set of address-hashed blocks) by block id —
+        # ids follow deterministic creation order, so phi placement
+        # order is stable across runs and processes.
+        for block in sorted(
+                iterated_dominance_frontier(cfg.frontiers, def_blocks[obj]),
+                key=lambda b: b.id):
             counters[obj] += 1
             phi = Phi(Temp(f"{obj.name}.phi{counters[obj]}", obj.type))
             block.insert(0, phi)

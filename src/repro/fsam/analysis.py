@@ -116,6 +116,49 @@ class FSAMResult:
                 result = result | self.solver.mem_state(node, obj)
         return result
 
+    # -- canonical artifact views -----------------------------------------
+
+    def pts_top_masks(self) -> Dict[int, int]:
+        """``canonical temp index -> bitmask`` view of the top-level
+        fixpoint. Canonical indices (see
+        :func:`repro.ir.module.canonical_temp_index`) and universe-
+        dense bitmasks are both deterministic functions of (source,
+        config), so two runs of the same request — in any process, at
+        any counter offset — produce the same map. This is the
+        boundary the artifact cache serializes and the batch
+        differential suite compares bit-for-bit."""
+        from repro.ir.module import canonical_temp_index
+        canon = canonical_temp_index(self.module)
+        out: Dict[int, int] = {}
+        for temp_id, pts in self.solver.pts_top.items():
+            if not pts:
+                continue
+            if temp_id not in canon:
+                raise ValueError(
+                    f"points-to fact for temp id {temp_id} not reachable "
+                    f"by the canonical module walk")
+            out[canon[temp_id]] = pts.mask
+        return out
+
+    def mem_masks(self) -> Dict[str, int]:
+        """``"<node index>:<object index>" -> bitmask`` view of the
+        per-definition memory states (node index = position in
+        ``dug.nodes`` creation order, object index = universe dense
+        index; both deterministic)."""
+        universe = self.solver.universe
+        node_index = {node.uid: i for i, node in enumerate(self.dug.nodes)}
+        out: Dict[str, int] = {}
+        for (uid, obj_id), values in self.solver.mem.items():
+            if not values:
+                continue
+            obj_idx = universe.index_of_id(obj_id)
+            if uid not in node_index or obj_idx is None:
+                raise ValueError(
+                    f"memory state at ({uid}, {obj_id}) not reachable by "
+                    f"the canonical DUG/universe numbering")
+            out[f"{node_index[uid]}:{obj_idx}"] = values.mask
+        return out
+
     # -- statistics ----------------------------------------------------------
 
     def points_to_entries(self) -> int:

@@ -74,10 +74,10 @@ class FSAMConfig:
     # the optimisation itself.
     solver_engine: str = "delta"
 
-    def ablated(self, phase: str) -> "FSAMConfig":
-        """A copy with one named phase turned off ('interleaving',
-        'value_flow', or 'lock_analysis')."""
-        kwargs = {
+    def to_dict(self) -> dict:
+        """Every field as a JSON-able dict (the wire form used by the
+        batch service to ship configs across process boundaries)."""
+        return {
             "interleaving": self.interleaving,
             "value_flow": self.value_flow,
             "lock_analysis": self.lock_analysis,
@@ -88,7 +88,39 @@ class FSAMConfig:
             "max_context_depth": self.max_context_depth,
             "solver_engine": self.solver_engine,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FSAMConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected so a
+        typo in a batch spec fails loudly instead of silently running
+        the default config."""
+        known = set(cls().to_dict())
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FSAMConfig field(s): {sorted(unknown)}")
+        return cls(**data)
+
+    def cache_key_dict(self) -> dict:
+        """The subset of fields that determine the analysis *fixpoint*
+        — the config part of the artifact cache key. Excluded on
+        purpose: ``time_budget`` (changes whether the run finishes,
+        not what it computes; degraded results are never cached),
+        ``profile``/``trace`` (observability side channels), and
+        ``solver_engine`` (both engines compute the same fixpoint,
+        pinned by the differential suite)."""
+        return {
+            "interleaving": self.interleaving,
+            "value_flow": self.value_flow,
+            "lock_analysis": self.lock_analysis,
+            "strong_updates_at_interfering_stores": self.strong_updates_at_interfering_stores,
+            "max_context_depth": self.max_context_depth,
+        }
+
+    def ablated(self, phase: str) -> "FSAMConfig":
+        """A copy with one named phase turned off ('interleaving',
+        'value_flow', or 'lock_analysis')."""
         if phase not in ("interleaving", "value_flow", "lock_analysis"):
             raise ValueError(f"unknown phase {phase!r}")
+        kwargs = self.to_dict()
         kwargs[phase] = False
         return FSAMConfig(**kwargs)

@@ -13,7 +13,10 @@ from repro.harness.tables import (
     render_figure12, render_table1, render_table2, run_figure12, run_table1,
     run_table2,
 )
-from repro.harness.export import figure12_to_csv, table2_to_csv, table2_to_json
+from repro.harness.export import (
+    batch_report_to_csv, figure12_to_csv, render_batch_report, table2_to_csv,
+    table2_to_json,
+)
 from repro.harness.profdiff import (
     PhaseDelta, ProfileDiff, diff_profiles, render_profile_diff,
 )
@@ -24,5 +27,6 @@ __all__ = [
     "run_table1", "run_table2", "run_figure12",
     "render_table1", "render_table2", "render_figure12",
     "table2_to_csv", "table2_to_json", "figure12_to_csv",
+    "render_batch_report", "batch_report_to_csv",
     "PhaseDelta", "ProfileDiff", "diff_profiles", "render_profile_diff",
 ]

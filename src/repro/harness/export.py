@@ -51,6 +51,61 @@ def table2_to_csv(rows: List[Dict[str, object]]) -> str:
     return buffer.getvalue()
 
 
+def render_batch_report(doc: Dict[str, object]) -> str:
+    """Human-readable rendering of a ``repro.batch/1`` document (the
+    ``repro batch`` text output)."""
+    lines = []
+    lines.append(f"batch {doc.get('name') or 'batch'}: "
+                 f"{len(doc.get('requests', []))} request(s), "
+                 f"{doc.get('workers')} worker(s), "
+                 f"{doc['total_seconds']:.3f}s total")
+    rows: List[Dict[str, object]] = doc.get("requests", [])  # type: ignore[assignment]
+    if rows:
+        width = max(len(str(row["name"])) for row in rows)
+        lines.append(f"  {'name':<{width}} {'status':<9} {'cache':<6} "
+                     f"{'seconds':>9} {'iters':>8}")
+        for row in rows:
+            summary: Dict[str, object] = row.get("summary", {})  # type: ignore[assignment]
+            iters = summary.get("solver_iterations", 0)
+            lines.append(
+                f"  {str(row['name']):<{width}} {str(row['status']):<9} "
+                f"{str(row['cache']):<6} {float(row['seconds']):>9.3f} "
+                f"{iters:>8}")
+    counters: Dict[str, object] = doc.get("counters", {})  # type: ignore[assignment]
+    interesting = {k: v for k, v in counters.items()
+                   if k.startswith(("batch.", "cache.", "pool."))}
+    if interesting:
+        lines.append("counters:")
+        width = max(len(k) for k in interesting)
+        for key in sorted(interesting):
+            lines.append(f"  {key:<{width}} {interesting[key]:>10}")
+    aggregate: Dict[str, object] = doc.get("aggregate", {})  # type: ignore[assignment]
+    phases: Dict[str, object] = aggregate.get("phase_seconds", {})  # type: ignore[assignment]
+    if phases:
+        lines.append("aggregate phase seconds:")
+        width = max(len(k) for k in phases)
+        for key, seconds in sorted(phases.items()):
+            lines.append(f"  {key:<{width}} {float(seconds):>9.4f}s")  # type: ignore[arg-type]
+    return "\n".join(lines)
+
+
+def batch_report_to_csv(doc: Dict[str, object]) -> str:
+    """Flatten a ``repro.batch/1`` document to per-request CSV rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["name", "digest", "status", "cache", "seconds",
+                     "attempts", "solver_iterations", "points_to_entries"])
+    for row in doc.get("requests", []):  # type: ignore[union-attr]
+        summary = row.get("summary", {})
+        writer.writerow([
+            row["name"], row["digest"], row["status"], row["cache"],
+            f"{float(row['seconds']):.6f}", row["attempts"],
+            summary.get("solver_iterations", 0),
+            summary.get("points_to_entries", 0),
+        ])
+    return buffer.getvalue()
+
+
 def figure12_to_csv(rows: List[Dict[str, object]]) -> str:
     buffer = io.StringIO()
     writer = csv.writer(buffer)

@@ -95,3 +95,49 @@ class Module:
 
     def __repr__(self) -> str:
         return f"<module {self.name}: {len(self.functions)} functions>"
+
+
+def canonical_temps(module: Module) -> List["Temp"]:
+    """Every temp of *module* in deterministic first-sight order.
+
+    Raw ``Temp.id`` values come from a process-global counter, so they
+    are offset by whatever was compiled earlier in the process and
+    cannot key serialized artifacts. This walk — functions in
+    definition order, params first, then every instruction's defined
+    temp and operands in program order — depends only on the module's
+    structure, which is itself a deterministic function of the source
+    text.
+    """
+    from repro.ir.values import Temp
+
+    seen: Dict[int, int] = {}
+    order: List[Temp] = []
+
+    def see(value: object) -> None:
+        if isinstance(value, Temp) and value.id not in seen:
+            seen[value.id] = len(order)
+            order.append(value)
+
+    for fn in module.functions.values():
+        for param in fn.params:
+            see(param)
+        for block in fn.blocks:
+            for instr in block.instructions:
+                defined = instr.defined_temp()
+                if defined is not None:
+                    see(defined)
+                for operand in instr.operands():
+                    see(operand)
+    return order
+
+
+def canonical_temp_index(module: Module) -> Dict[int, int]:
+    """``Temp.id -> canonical index`` (see :func:`canonical_temps`)."""
+    return {temp.id: i for i, temp in enumerate(canonical_temps(module))}
+
+
+def canonical_instr_index(module: Module) -> Dict[int, int]:
+    """``Instruction.id -> canonical index`` in program order (same
+    rationale as :func:`canonical_temp_index`: raw instruction ids are
+    process-global)."""
+    return {instr.id: i for i, instr in enumerate(module.all_instructions())}

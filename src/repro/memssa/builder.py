@@ -153,21 +153,29 @@ class MemorySSABuilder:
             self._create_stmt_nodes(fn)
             return
 
-        # Formal-in/out nodes.
-        for obj in tracked:
+        # Formal-in/out nodes. ``tracked`` is a set of MemObjects
+        # (address-hashed), so iterate it in id order: ids are
+        # allocated in deterministic creation order, which keeps DUG
+        # node numbering — and therefore serialized artifacts —
+        # identical across runs and processes.
+        ordered = sorted(tracked, key=lambda o: o.id)
+        for obj in ordered:
             node = FormalInNode(fn, obj)
             self.formal_in[(fn.name, obj.id)] = node
             self.dug.add_node(node)
-        out_objs = set(local_defs)  # objects with at least one local def
-        for obj in tracked:
+        for obj in ordered:
             node = FormalOutNode(fn, obj)
             self.formal_out[(fn.name, obj.id)] = node
             self.dug.add_node(node)
 
-        # Memory phis at iterated dominance frontiers.
+        # Memory phis at iterated dominance frontiers. The IDF comes
+        # back as a set of (address-hashed) blocks — order it by block
+        # id for the same cross-process determinism as above.
         memphis: Dict[BasicBlock, List[MemPhiNode]] = {}
         for obj, blocks in local_defs.items():
-            for block in iterated_dominance_frontier(cfg.frontiers, blocks):
+            for block in sorted(
+                    iterated_dominance_frontier(cfg.frontiers, blocks),
+                    key=lambda b: b.id):
                 phi = MemPhiNode(block, obj)
                 self.dug.add_node(phi)
                 memphis.setdefault(block, []).append(phi)

@@ -29,7 +29,8 @@ and flush them into the observer once per phase, so the instrumented
 pipeline stays within a few percent of the uninstrumented one
 (guarded by ``benchmarks/test_observability_overhead.py``).
 
-This module is a leaf: it imports nothing from the rest of
+This module is a leaf: apart from the :mod:`repro.schemas` constants
+module (itself a pure leaf), it imports nothing from the rest of
 ``repro``, so any stage (including :mod:`repro.graphs`) may depend
 on it without cycles.
 """
@@ -43,12 +44,12 @@ import time
 import tracemalloc
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.schemas import PROFILE_SCHEMA
+
 try:  # pragma: no cover - platform dependent
     import resource as _resource
 except ImportError:  # pragma: no cover - non-unix
     _resource = None
-
-PROFILE_SCHEMA = "repro.obs/1"
 
 _HAVE_RESET_PEAK = hasattr(tracemalloc, "reset_peak")
 

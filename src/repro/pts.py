@@ -137,6 +137,21 @@ class PTSet:
         return "{%s}" % ", ".join(sorted(o.name for o in self))
 
 
+def mask_to_hex(mask: int) -> str:
+    """Serialize a points-to bitmask as a compact hex string.
+
+    The artifact wire format for :attr:`PTSet.mask`: hex keeps large
+    masks about 4x smaller than decimal in JSON and round-trips
+    arbitrary-precision ints exactly.
+    """
+    return format(mask, "x")
+
+
+def mask_from_hex(text: str) -> int:
+    """Inverse of :func:`mask_to_hex`."""
+    return int(text, 16)
+
+
 class PTUniverse:
     """Dense ``MemObject`` numbering plus the intern table for
     :class:`PTSet`.
@@ -171,8 +186,28 @@ class PTUniverse:
             self._objects.append(obj)
         return idx
 
+    def index_of_id(self, obj_id: int) -> Optional[int]:
+        """The dense index already assigned to ``MemObject.id``
+        *obj_id* (None if the object was never seen). Used by artifact
+        serialization, which holds raw ids from solver-state keys."""
+        return self._indices.get(obj_id)
+
     def object_at(self, index: int) -> MemObject:
         return self._objects[index]
+
+    def object_table(self) -> List[Dict[str, object]]:
+        """The dense numbering as a JSON-able table, in index order.
+
+        Dense indices are assigned in first-sight order during the
+        (deterministic) pipeline run, so this table — unlike raw
+        ``MemObject.id`` values, which come from a process-global
+        counter — is identical across processes for the same program
+        and config. Artifact serialization keys bitmasks against it.
+        """
+        return [
+            {"name": obj.name, "kind": obj.kind.value}
+            for obj in self._objects
+        ]
 
     def __len__(self) -> int:
         return len(self._objects)

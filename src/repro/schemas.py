@@ -1,0 +1,35 @@
+"""Schema-version constants shared by every emitter and validator.
+
+Each machine-readable document the pipeline produces carries a
+``schema`` tag so downstream consumers can reject documents they do
+not understand. The literals used to be duplicated across the
+emitting modules; this module is the single source of truth:
+
+- ``repro.obs/1``      — observability profiles (:mod:`repro.obs`)
+- ``repro.trace/1``    — event traces (:mod:`repro.trace`)
+- ``repro.bench/1``    — benchmark snapshots (``benchmarks/run_bench.py``)
+- ``repro.artifact/1`` — cached analysis artifacts
+  (:mod:`repro.service.artifacts`)
+- ``repro.batch/1``    — batch reports (:mod:`repro.service.batch`)
+
+``CODE_VERSION`` participates in the content-addressed cache key
+(see :mod:`repro.service.cache`): bump it whenever an analysis change
+makes previously cached artifacts stale — cached results from an
+older code version then miss instead of being served.
+
+This module is a pure leaf (it imports nothing at all), so the other
+leaf modules (:mod:`repro.obs`, :mod:`repro.trace`) may depend on it
+without creating cycles.
+"""
+
+from __future__ import annotations
+
+PROFILE_SCHEMA = "repro.obs/1"
+TRACE_SCHEMA = "repro.trace/1"
+BENCH_SCHEMA = "repro.bench/1"
+ARTIFACT_SCHEMA = "repro.artifact/1"
+BATCH_SCHEMA = "repro.batch/1"
+
+#: Version of the analysis semantics + artifact format. Part of the
+#: artifact cache key: bumping it invalidates every cached artifact.
+CODE_VERSION = "fsam-1.0.0/artifact-1"

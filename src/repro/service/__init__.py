@@ -1,0 +1,46 @@
+"""Batch analysis service (``repro.service``).
+
+Turns the single-shot FSAM pipeline into a servable system:
+
+- :mod:`repro.service.artifacts` — canonical, process-independent
+  serialization of an analysis result (``repro.artifact/1``);
+- :mod:`repro.service.cache` — a content-addressed disk cache keyed
+  by digest(source, config, code version), so warm re-runs skip the
+  solver entirely;
+- :mod:`repro.service.runner` — one request end to end, including
+  the budget-exhaustion degradation ladder (full FSAM -> Andersen-only
+  ``degraded`` result);
+- :mod:`repro.service.pool` — a multiprocessing worker pool with
+  per-request wall-clock timeouts, one retry, and graceful
+  degradation;
+- :mod:`repro.service.batch` — the batch driver: request dedup,
+  cache consultation, pool dispatch, and one aggregated
+  ``repro.batch/1`` report;
+- :mod:`repro.service.serve` — a long-lived stdin/JSONL request loop
+  (``repro serve``).
+"""
+
+from repro.service.artifacts import (
+    AnalysisArtifact, artifact_from_andersen, artifact_from_result,
+    validate_artifact,
+)
+from repro.service.batch import (
+    BatchReport, render_batch_report, run_batch, validate_batch_report,
+)
+from repro.service.cache import ArtifactCache
+from repro.service.pool import WorkerPool
+from repro.service.requests import AnalysisRequest, request_digest
+from repro.service.runner import RequestOutcome, run_request_inline
+from repro.service.serve import serve_loop
+
+__all__ = [
+    "AnalysisArtifact", "artifact_from_result", "artifact_from_andersen",
+    "validate_artifact",
+    "ArtifactCache",
+    "AnalysisRequest", "request_digest",
+    "RequestOutcome", "run_request_inline",
+    "WorkerPool",
+    "BatchReport", "run_batch", "render_batch_report",
+    "validate_batch_report",
+    "serve_loop",
+]

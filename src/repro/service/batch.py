@@ -1,0 +1,284 @@
+"""The batch driver: dedup -> cache -> pool -> one ``repro.batch/1``
+report.
+
+Execution plan for a batch of requests:
+
+1. **dedup** — requests are grouped by content digest; each distinct
+   (source, config, code version) runs at most once, and followers
+   share the representative's artifact (``cache: "dedup"``);
+2. **cache** — distinct digests are looked up in the
+   :class:`~repro.service.cache.ArtifactCache`; hits skip the solver
+   entirely (a warm batch performs zero sparse-solver iterations,
+   asserted by the differential suite);
+3. **dispatch** — misses go to the
+   :class:`~repro.service.pool.WorkerPool` (or the inline runner when
+   ``workers <= 1``), each walking the degradation ladder;
+4. **report** — per-request rows plus aggregated counters and phase
+   times, as one ``repro.batch/1`` document. Per-request
+   ``repro.obs/1`` profiles ride along inside the artifacts; their
+   phase trees are summed into ``aggregate.phase_seconds``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fsam.config import FSAMConfig
+from repro.obs import Observer
+from repro.schemas import BATCH_SCHEMA
+from repro.service.cache import ArtifactCache
+from repro.service.pool import WorkerPool
+from repro.service.requests import AnalysisRequest
+from repro.service.runner import RequestOutcome, run_request_inline
+
+
+@dataclass
+class BatchReport:
+    """The aggregated result of one batch run."""
+
+    name: str
+    workers: int
+    outcomes: List[RequestOutcome]
+    total_seconds: float
+    counters: Dict[str, int] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        rows = []
+        for outcome in self.outcomes:
+            row: Dict[str, object] = {
+                "name": outcome.name,
+                "digest": outcome.digest,
+                "status": outcome.status,
+                "cache": outcome.cache,
+                "seconds": round(outcome.seconds, 6),
+                "attempts": outcome.attempts,
+                "summary": dict(outcome.artifact.summary),
+            }
+            if outcome.artifact.degraded:
+                row["degraded_reason"] = outcome.artifact.degraded_reason
+            rows.append(row)
+        return {
+            "schema": BATCH_SCHEMA,
+            "name": self.name,
+            "workers": self.workers,
+            "total_seconds": round(self.total_seconds, 6),
+            "requests": rows,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "aggregate": {
+                "phase_seconds": self._aggregate_phase_seconds(),
+                # Work performed by THIS batch only: cache hits and
+                # dedup followers contribute nothing, so a fully warm
+                # batch reports zero iterations (the differential
+                # suite and the CI batch-smoke job assert exactly
+                # that). The cold run's count survives inside each
+                # artifact's summary.
+                "solver_iterations": sum(
+                    o.artifact.solver_iterations()
+                    for o in self.outcomes if o.cache == "miss"),
+                "degraded": sum(
+                    1 for o in self.outcomes if o.artifact.degraded),
+            },
+        }
+
+    def _aggregate_phase_seconds(self) -> Dict[str, float]:
+        """Sum each top-level pipeline phase across the per-request
+        profiles that workers shipped back inside their artifacts.
+        Cache hits are skipped — a served artifact carries the *cold*
+        run's profile, not work done by this batch."""
+        total: Dict[str, float] = {}
+        for outcome in self.outcomes:
+            if outcome.cache != "miss":
+                continue
+            profile = outcome.artifact.profile
+            if not profile:
+                continue
+            for phase in profile.get("phases", []):
+                name = str(phase.get("name"))
+                total[name] = total.get(name, 0.0) \
+                    + float(phase.get("seconds", 0.0))
+        return {name: round(seconds, 6)
+                for name, seconds in sorted(total.items())}
+
+
+def run_batch(requests: List[AnalysisRequest],
+              workers: int = 1,
+              cache: Optional[ArtifactCache] = None,
+              timeout: Optional[float] = None,
+              obs: Optional[Observer] = None,
+              name: str = "batch",
+              pool: Optional[WorkerPool] = None) -> BatchReport:
+    """Run *requests* to completion and aggregate the report.
+
+    ``workers <= 1`` runs inline (no subprocesses) — the serial
+    reference arm of the differential suite and the no-multiprocessing
+    escape hatch. *pool* injects a preconfigured
+    :class:`~repro.service.pool.WorkerPool` (tests use this to force a
+    start method); otherwise one is built from ``workers``/``timeout``.
+    """
+    observer = obs if obs is not None else Observer(name=name)
+    start = time.perf_counter()
+
+    # 1. dedup by content digest.
+    digest_of: List[str] = [request.digest() for request in requests]
+    representative: Dict[str, int] = {}
+    for i, digest in enumerate(digest_of):
+        representative.setdefault(digest, i)
+    unique_indices = sorted(representative.values())
+
+    # 2. cache lookups for distinct digests.
+    resolved: Dict[str, RequestOutcome] = {}
+    to_run: List[AnalysisRequest] = []
+    for i in unique_indices:
+        digest = digest_of[i]
+        if cache is not None:
+            lookup_start = time.perf_counter()
+            artifact = cache.get(digest)
+            if artifact is not None:
+                resolved[digest] = RequestOutcome(
+                    name=requests[i].name, digest=digest,
+                    artifact=artifact, cache="hit",
+                    seconds=time.perf_counter() - lookup_start,
+                    attempts=0)
+                continue
+        to_run.append(requests[i])
+
+    # 3. dispatch misses.
+    if to_run:
+        if workers > 1:
+            worker_pool = pool if pool is not None else \
+                WorkerPool(workers=workers, timeout=timeout)
+            fresh = worker_pool.run(to_run)
+            worker_pool.flush_obs(observer)
+        else:
+            if timeout is not None:
+                # Inline mode has no process to kill; the wall-clock
+                # timeout becomes the cooperative budget instead.
+                budgeted = []
+                for request in to_run:
+                    if request.config.time_budget is None:
+                        config = FSAMConfig.from_dict(request.config.to_dict())
+                        config.time_budget = request.timeout \
+                            if request.timeout is not None else timeout
+                        request = AnalysisRequest(
+                            name=request.name, source=request.source,
+                            config=config, timeout=request.timeout)
+                    budgeted.append(request)
+                to_run = budgeted
+            fresh = [run_request_inline(request) for request in to_run]
+        for outcome in fresh:
+            resolved[outcome.digest] = outcome
+            if cache is not None:
+                cache.put(outcome.digest, outcome.artifact)
+
+    # 4. fan results back out to every original request.
+    outcomes: List[RequestOutcome] = []
+    deduped = 0
+    for i, request in enumerate(requests):
+        digest = digest_of[i]
+        base = resolved[digest]
+        if i == representative[digest]:
+            outcomes.append(base)
+        else:
+            deduped += 1
+            outcomes.append(RequestOutcome(
+                name=request.name, digest=digest, artifact=base.artifact,
+                cache="dedup", seconds=0.0, attempts=0))
+
+    total_seconds = time.perf_counter() - start
+    observer.count("batch.requests", len(requests))
+    observer.count("batch.unique_requests", len(unique_indices))
+    observer.count("batch.deduped", deduped)
+    observer.count("batch.cache_hits",
+                   sum(1 for o in outcomes if o.cache == "hit"))
+    observer.count("batch.cache_misses",
+                   sum(1 for o in outcomes if o.cache == "miss"))
+    observer.count("batch.degraded",
+                   sum(1 for o in outcomes if o.artifact.degraded))
+    # Solver work this batch actually performed — zero on a fully warm
+    # batch (the repro.obs-counter form of the cache guarantee).
+    observer.count("batch.solver_iterations",
+                   sum(o.artifact.solver_iterations()
+                       for o in outcomes if o.cache == "miss"))
+    if cache is not None:
+        cache.flush_obs(observer)
+    observer.gauge("batch.workers", workers)
+
+    return BatchReport(
+        name=name,
+        workers=workers,
+        outcomes=outcomes,
+        total_seconds=total_seconds,
+        counters=dict(observer.counters),
+        gauges=dict(observer.gauges),
+    )
+
+
+# -- schema -----------------------------------------------------------------
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid batch report: {message}")
+
+
+def validate_batch_report(doc: object) -> Dict[str, object]:
+    """Check *doc* against ``repro.batch/1``; returns it unchanged
+    (same contract as the other validators — no jsonschema
+    dependency)."""
+    _check(isinstance(doc, dict), "top level is not an object")
+    assert isinstance(doc, dict)
+    _check(doc.get("schema") == BATCH_SCHEMA,
+           f"schema is {doc.get('schema')!r}, expected {BATCH_SCHEMA!r}")
+    _check(isinstance(doc.get("name"), str), "name is not a string")
+    _check(isinstance(doc.get("workers"), int) and doc["workers"] >= 1,
+           "workers is not a positive integer")
+    _check(isinstance(doc.get("total_seconds"), (int, float))
+           and doc["total_seconds"] >= 0,
+           "total_seconds missing or negative")
+    rows = doc.get("requests")
+    _check(isinstance(rows, list), "requests is not a list")
+    assert isinstance(rows, list)
+    for i, row in enumerate(rows):
+        _check(isinstance(row, dict), f"requests[{i}] is not an object")
+        assert isinstance(row, dict)
+        _check(isinstance(row.get("name"), str),
+               f"requests[{i}] name is not a string")
+        _check(isinstance(row.get("digest"), str)
+               and len(row["digest"]) == 64,
+               f"requests[{i}] digest is not a sha256 hex string")
+        _check(row.get("status") in ("ok", "degraded"),
+               f"requests[{i}] status {row.get('status')!r} invalid")
+        _check(row.get("cache") in ("hit", "miss", "dedup"),
+               f"requests[{i}] cache {row.get('cache')!r} invalid")
+        _check(isinstance(row.get("seconds"), (int, float))
+               and row["seconds"] >= 0,
+               f"requests[{i}] seconds missing or negative")
+        _check(isinstance(row.get("attempts"), int) and row["attempts"] >= 0,
+               f"requests[{i}] attempts is not a non-negative integer")
+        _check(isinstance(row.get("summary"), dict),
+               f"requests[{i}] summary is not an object")
+    counters = doc.get("counters")
+    _check(isinstance(counters, dict), "counters is not an object")
+    assert isinstance(counters, dict)
+    for key, value in counters.items():
+        _check(isinstance(key, str) and isinstance(value, int) and value >= 0,
+               f"counter {key!r} is not a non-negative integer")
+    aggregate = doc.get("aggregate")
+    _check(isinstance(aggregate, dict), "aggregate is not an object")
+    assert isinstance(aggregate, dict)
+    _check(isinstance(aggregate.get("phase_seconds"), dict),
+           "aggregate.phase_seconds is not an object")
+    _check(isinstance(aggregate.get("solver_iterations"), int),
+           "aggregate.solver_iterations is not an integer")
+    return doc
+
+
+def render_batch_report(doc: Dict[str, object]) -> str:
+    """Human-readable batch report (delegates to the harness renderer
+    so ``repro batch`` and harness consumers share one formatter)."""
+    from repro.harness.export import render_batch_report as _render
+    return _render(doc)

@@ -1,0 +1,119 @@
+"""Content-addressed artifact cache.
+
+Artifacts live on disk at ``<root>/<d[:2]>/<d[2:]>.json`` where ``d``
+is the request digest (SHA-256 over source + fixpoint config + code
+version, see :func:`repro.service.requests.request_digest`). The
+layout is git-object style: two-hex-char fan-out directories keep any
+single directory small.
+
+Policies:
+
+- **writes are atomic** (temp file + ``os.replace``), so a killed
+  worker can never leave a truncated artifact that poisons later
+  reads;
+- **degraded artifacts are never stored** — a budget-exhausted
+  Andersen-only result under the same key as the full result would be
+  served to later, unbudgeted runs;
+- **reads validate** the document schema and code version; a corrupt
+  or stale entry reads as a miss (and is removed), never as an error.
+
+Counters (``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
+``cache.corrupt``) flush into a :class:`repro.obs.Observer` like any
+other pipeline stage.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.obs import Observer
+from repro.schemas import CODE_VERSION
+from repro.service.artifacts import AnalysisArtifact, validate_artifact
+
+
+class ArtifactCache:
+    """A content-addressed store of ``repro.artifact/1`` documents."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.corrupt = 0
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.json"
+
+    def get(self, digest: str) -> Optional[AnalysisArtifact]:
+        """The cached artifact for *digest*, or None on miss. Corrupt
+        and version-stale entries are dropped and read as misses."""
+        path = self.path(digest)
+        try:
+            with open(path) as handle:
+                doc = json.load(handle)
+            artifact = AnalysisArtifact.from_dict(doc)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, ValueError, KeyError, OSError):
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        if artifact.code_version != CODE_VERSION:
+            # Structurally valid but produced by other analysis code:
+            # stale, not corrupt. Drop it so the slot gets rewritten.
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return artifact
+
+    def put(self, digest: str, artifact: AnalysisArtifact) -> Optional[Path]:
+        """Store *artifact* under *digest*; returns the path, or None
+        when the artifact is degraded (never cached)."""
+        if artifact.degraded:
+            return None
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = artifact.to_dict()
+        validate_artifact(doc)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(doc, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "corrupt": self.corrupt,
+        }
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("cache.hits", self.hits)
+        obs.count("cache.misses", self.misses)
+        obs.count("cache.stores", self.stores)
+        obs.count("cache.corrupt", self.corrupt)

@@ -1,0 +1,227 @@
+"""Multiprocessing worker pool for batch analysis.
+
+Each attempt of each request runs in its own worker process, which
+gives the parent a hard lever no in-process budget can provide: a
+wall-clock ``timeout`` after which the worker is killed outright —
+a runaway solver, a pathological program, even a C-level hang all
+land back in the parent's scheduling loop.
+
+Outcome handling per attempt:
+
+- ``ok``                — the worker's artifact is the result;
+- ``budget-exhausted``  — the worker's cooperative budget fired
+  (deterministic, so no retry): degrade to Andersen-only in the
+  parent;
+- wall-clock timeout or worker crash — retry once in a fresh
+  process, then degrade. The batch as a whole never fails.
+
+Requests are sharded across at most ``workers`` concurrent processes;
+results come back in request order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.fsam.config import AnalysisTimeout
+from repro.obs import Observer
+from repro.service.requests import AnalysisRequest
+from repro.service.runner import (
+    RequestOutcome, run_degraded, run_full,
+)
+
+#: Seconds between scheduling-loop sweeps of the in-flight set.
+_POLL_INTERVAL = 0.02
+
+
+def _pool_worker(payload: Dict[str, object], conn) -> None:
+    """Worker-process entry: run one attempt, send one message."""
+    try:
+        request = AnalysisRequest.from_payload(payload)
+        try:
+            artifact = run_full(request)
+            conn.send({"status": "ok", "artifact": artifact.to_dict()})
+        except AnalysisTimeout:
+            conn.send({"status": "budget-exhausted"})
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send({"status": "error",
+                       "message": f"{type(exc).__name__}: {exc}"})
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _Attempt:
+    """One in-flight worker process."""
+
+    __slots__ = ("index", "request", "attempt", "proc", "conn", "deadline")
+
+    def __init__(self, index: int, request: AnalysisRequest, attempt: int,
+                 proc, conn, deadline: Optional[float]) -> None:
+        self.index = index
+        self.request = request
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+class WorkerPool:
+    """Shards analysis requests across N worker processes."""
+
+    def __init__(self, workers: Optional[int] = None,
+                 timeout: Optional[float] = None,
+                 start_method: Optional[str] = None,
+                 retries: int = 1) -> None:
+        self.workers = max(1, workers if workers is not None
+                           else (os.cpu_count() or 2))
+        self.timeout = timeout      # default per-attempt wall clock
+        self.retries = retries
+        self._ctx = multiprocessing.get_context(start_method)
+        # Tallies for flush_obs.
+        self.dispatched = 0
+        self.retried = 0
+        self.timeouts = 0
+        self.worker_errors = 0
+        self.budget_exhaustions = 0
+        self.degraded = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def run(self, requests: List[AnalysisRequest]) -> List[RequestOutcome]:
+        """Run every request to a terminal outcome, in request order."""
+        results: List[Optional[RequestOutcome]] = [None] * len(requests)
+        started: Dict[int, float] = {}
+        pending = deque((i, request, 1) for i, request in enumerate(requests))
+        inflight: List[_Attempt] = []
+
+        try:
+            while pending or inflight:
+                while pending and len(inflight) < self.workers:
+                    inflight.append(self._spawn(*pending.popleft(), started))
+                progressed = False
+                for attempt in list(inflight):
+                    outcome = self._sweep(attempt, pending, started)
+                    if outcome is not _PENDING:
+                        inflight.remove(attempt)
+                        progressed = True
+                        if outcome is not None:
+                            results[attempt.index] = outcome
+                if not progressed:
+                    time.sleep(_POLL_INTERVAL)
+        finally:
+            for attempt in inflight:  # pragma: no cover - error cleanup
+                attempt.proc.terminate()
+                attempt.proc.join()
+                attempt.conn.close()
+
+        assert all(outcome is not None for outcome in results)
+        return results  # type: ignore[return-value]
+
+    def _spawn(self, index: int, request: AnalysisRequest, attempt: int,
+               started: Dict[int, float]) -> _Attempt:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_pool_worker, args=(request.to_payload(), child_conn),
+            daemon=True)
+        proc.start()
+        child_conn.close()  # the parent reads; the worker holds the writer
+        now = time.perf_counter()
+        started.setdefault(index, now)
+        timeout = request.timeout if request.timeout is not None else self.timeout
+        deadline = (now + timeout) if timeout is not None else None
+        self.dispatched += 1
+        return _Attempt(index, request, attempt, proc, parent_conn, deadline)
+
+    def _sweep(self, attempt: _Attempt, pending: deque,
+               started: Dict[int, float]):
+        """Advance one in-flight attempt. Returns ``_PENDING`` while
+        still running, a :class:`RequestOutcome` when terminal, or
+        None when the request was requeued for a retry."""
+        message = None
+        if attempt.conn.poll(0):
+            try:
+                message = attempt.conn.recv()
+            except (EOFError, OSError):
+                message = None  # died mid-send: treat as a crash below
+            attempt.proc.join()
+        elif attempt.deadline is not None \
+                and time.perf_counter() > attempt.deadline:
+            self.timeouts += 1
+            attempt.proc.terminate()
+            attempt.proc.join()
+            attempt.conn.close()
+            return self._failed(attempt, pending, started,
+                                reason="wall-clock-timeout")
+        elif not attempt.proc.is_alive():
+            attempt.proc.join()
+        else:
+            return _PENDING
+
+        attempt.conn.close()
+        if message is None:
+            # Exited without a message: hard crash (OOM kill, signal).
+            self.worker_errors += 1
+            return self._failed(attempt, pending, started,
+                                reason="worker-crash")
+        status = message.get("status")
+        if status == "ok":
+            from repro.service.artifacts import AnalysisArtifact
+            artifact = AnalysisArtifact.from_dict(message["artifact"])
+            return RequestOutcome(
+                name=attempt.request.name,
+                digest=attempt.request.digest(),
+                artifact=artifact,
+                seconds=time.perf_counter() - started[attempt.index],
+                attempts=attempt.attempt,
+            )
+        if status == "budget-exhausted":
+            # Deterministic: the same budget exhausts again, so skip
+            # the retry rung and degrade now.
+            self.budget_exhaustions += 1
+            return self._degrade(attempt, started,
+                                 reason="budget-exhausted")
+        self.worker_errors += 1
+        return self._failed(attempt, pending, started,
+                            reason=message.get("message", "worker-error"))
+
+    def _failed(self, attempt: _Attempt, pending: deque,
+                started: Dict[int, float], reason: str):
+        if attempt.attempt <= self.retries:
+            self.retried += 1
+            pending.append((attempt.index, attempt.request,
+                            attempt.attempt + 1))
+            return None
+        return self._degrade(attempt, started, reason=reason)
+
+    def _degrade(self, attempt: _Attempt, started: Dict[int, float],
+                 reason: str) -> RequestOutcome:
+        self.degraded += 1
+        artifact = run_degraded(attempt.request, reason=reason)
+        return RequestOutcome(
+            name=attempt.request.name,
+            digest=attempt.request.digest(),
+            artifact=artifact,
+            seconds=time.perf_counter() - started[attempt.index],
+            attempts=attempt.attempt,
+        )
+
+    # -- statistics --------------------------------------------------------
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("pool.dispatched", self.dispatched)
+        obs.count("pool.retries", self.retried)
+        obs.count("pool.timeouts", self.timeouts)
+        obs.count("pool.worker_errors", self.worker_errors)
+        obs.count("pool.budget_exhaustions", self.budget_exhaustions)
+        obs.count("pool.degraded", self.degraded)
+
+
+#: Sentinel: the attempt is still running.
+_PENDING = object()

@@ -1,0 +1,139 @@
+"""Analysis requests, their content-addressed digests, and the batch
+spec format.
+
+A batch spec (``repro batch <spec.json>``) is one JSON object::
+
+    {
+      "workers": 4,                // optional, CLI flag overrides
+      "cache": ".repro-cache",     // optional cache directory
+      "timeout": 60,               // optional per-request wall clock
+      "requests": [
+        {"workload": "word_count", "scale": 1},
+        {"file": "examples/fig1a.mc"},
+        {"name": "inline", "source": "int main() { return 0; }",
+         "config": {"interleaving": false}, "timeout": 5}
+      ]
+    }
+
+Each request entry names its program exactly one way: a registered
+``workload`` (with optional ``scale``), a MiniC ``file`` path
+(relative to the spec's directory), or inline ``source`` text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fsam.config import FSAMConfig
+from repro.schemas import CODE_VERSION
+
+
+def request_digest(source: str, config: FSAMConfig,
+                   code_version: str = CODE_VERSION) -> str:
+    """The cache key: SHA-256 over (program source, the fixpoint-
+    determining config fields, code version). Name, timeouts, and
+    observability toggles deliberately do not participate — they
+    change how a run is executed or reported, never what it computes.
+    """
+    blob = json.dumps({
+        "source": source,
+        "config": config.cache_key_dict(),
+        "code_version": code_version,
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class AnalysisRequest:
+    """One unit of batch work: a named MiniC source plus its config.
+
+    ``timeout`` is the *parent-enforced* per-attempt wall-clock limit
+    (the worker process is killed past it); ``config.time_budget`` is
+    the cooperative in-process budget (the solver raises
+    ``AnalysisTimeout`` past it). Either exhaustion walks the same
+    degradation ladder.
+    """
+
+    name: str
+    source: str
+    config: FSAMConfig = field(default_factory=FSAMConfig)
+    timeout: Optional[float] = None
+
+    def digest(self) -> str:
+        return request_digest(self.source, self.config)
+
+    # -- wire form (crosses process boundaries under any start method) --
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "config": self.config.to_dict(),
+            "timeout": self.timeout,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "AnalysisRequest":
+        return cls(
+            name=payload["name"],                              # type: ignore[arg-type]
+            source=payload["source"],                          # type: ignore[arg-type]
+            config=FSAMConfig.from_dict(payload["config"]),    # type: ignore[arg-type]
+            timeout=payload.get("timeout"),                    # type: ignore[arg-type]
+        )
+
+
+def request_from_entry(entry: Dict[str, object],
+                       base_dir: str = ".") -> AnalysisRequest:
+    """One spec/serve request entry -> :class:`AnalysisRequest` (see
+    the module docstring for the entry forms)."""
+    if not isinstance(entry, dict):
+        raise ValueError(f"request entry is not an object: {entry!r}")
+    program_keys = [key for key in ("workload", "file", "source")
+                    if key in entry]
+    if len(program_keys) != 1:
+        raise ValueError(
+            "request entry must name its program exactly one way "
+            f"(workload | file | source), got {program_keys or 'none'}")
+    config = FSAMConfig.from_dict(entry.get("config", {}))  # type: ignore[arg-type]
+    timeout = entry.get("timeout")
+    if timeout is not None and not isinstance(timeout, (int, float)):
+        raise ValueError(f"timeout is not a number: {timeout!r}")
+    if "workload" in entry:
+        from repro.workloads import get_workload
+        workload = get_workload(str(entry["workload"]))
+        scale = int(entry.get("scale", 0))  # type: ignore[arg-type]
+        name = str(entry.get("name", workload.name))
+        source = workload.source(scale)
+    elif "file" in entry:
+        path = os.path.join(base_dir, str(entry["file"]))
+        with open(path) as handle:
+            source = handle.read()
+        name = str(entry.get("name", entry["file"]))
+    else:
+        source = str(entry["source"])
+        if "name" not in entry:
+            raise ValueError("inline-source request entries need a name")
+        name = str(entry["name"])
+    return AnalysisRequest(name=name, source=source, config=config,
+                           timeout=timeout)  # type: ignore[arg-type]
+
+
+def requests_from_spec(spec: Dict[str, object], base_dir: str = "."
+                       ) -> Tuple[List[AnalysisRequest], Dict[str, object]]:
+    """Parse a batch spec document. Returns ``(requests, options)``
+    where options holds the spec-level ``workers`` / ``cache`` /
+    ``timeout`` settings (CLI flags override them)."""
+    if not isinstance(spec, dict):
+        raise ValueError("batch spec is not a JSON object")
+    entries = spec.get("requests")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("batch spec needs a non-empty 'requests' list")
+    requests = [request_from_entry(entry, base_dir=base_dir)
+                for entry in entries]
+    options = {key: spec[key] for key in ("workers", "cache", "timeout")
+               if key in spec}
+    return requests, options

@@ -1,0 +1,90 @@
+"""Executing one analysis request end to end.
+
+The degradation ladder (the batch service's availability contract —
+a batch returns *some* result for every request, never an exception):
+
+1. the full FSAM pipeline, under ``config.time_budget`` if set;
+2. on budget exhaustion (``AnalysisTimeout``) or a parent-enforced
+   wall-clock kill: one retry of the full pipeline (pool mode only —
+   in-process budget exhaustion is deterministic, so the inline
+   runner skips straight to rung 3);
+3. the Andersen-only fallback: compile + pre-analysis, packaged as a
+   ``degraded=True`` artifact with flow-insensitive top-level
+   points-to sets and no memory states.
+
+:func:`run_request_inline` is the serial building block used by the
+batch driver when ``workers <= 1``, by the pool's last-resort
+fallback in the parent, and directly by tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM
+from repro.fsam.config import AnalysisTimeout
+from repro.service.artifacts import (
+    AnalysisArtifact, artifact_from_andersen, artifact_from_result,
+)
+from repro.service.requests import AnalysisRequest
+
+
+@dataclass
+class RequestOutcome:
+    """One request's terminal state inside a batch."""
+
+    name: str
+    digest: str
+    artifact: AnalysisArtifact
+    cache: str = "miss"            # "hit" | "miss"
+    seconds: float = 0.0
+    attempts: int = 1
+
+    @property
+    def status(self) -> str:
+        return "degraded" if self.artifact.degraded else "ok"
+
+
+def run_full(request: AnalysisRequest) -> AnalysisArtifact:
+    """Rung 1: the whole pipeline. Raises
+    :class:`~repro.fsam.config.AnalysisTimeout` on budget exhaustion.
+    """
+    module = compile_source(request.source, name=request.name)
+    result = FSAM(module, request.config).run()
+    return artifact_from_result(request.name, result)
+
+
+def run_degraded(request: AnalysisRequest,
+                 reason: str = "budget-exhausted") -> AnalysisArtifact:
+    """Rung 3: Andersen-only. Deliberately ignores the request budget
+    — the pre-analysis is orders of magnitude cheaper than the sparse
+    solve, and the ladder must terminate with a result."""
+    from repro.andersen import run_andersen
+
+    module = compile_source(request.source, name=request.name)
+    andersen = run_andersen(module)
+    return artifact_from_andersen(request.name, module, andersen,
+                                  reason=reason)
+
+
+def run_request_inline(request: AnalysisRequest) -> RequestOutcome:
+    """The serial ladder: full pipeline, degrading on budget
+    exhaustion. No retry — re-running the same deterministic analysis
+    under the same in-process budget exhausts it again."""
+    start = time.perf_counter()
+    attempts = 1
+    try:
+        artifact = run_full(request)
+    except AnalysisTimeout:
+        attempts += 1
+        artifact = run_degraded(request)
+    return RequestOutcome(
+        name=request.name,
+        digest=request.digest(),
+        artifact=artifact,
+        seconds=time.perf_counter() - start,
+        attempts=attempts,
+    )

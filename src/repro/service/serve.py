@@ -1,0 +1,107 @@
+"""``repro serve``: a long-lived stdin/JSONL request loop.
+
+One JSON object per input line, one JSON response per output line —
+the simplest possible analysis-as-a-service wire protocol, pipeable
+from any client::
+
+    {"workload": "word_count"}
+    {"id": 7, "file": "examples/fig1a.mc", "timeout": 30}
+    {"source": "int main() { return 0; }", "name": "tiny"}
+
+Request entries use the same forms as the batch spec (see
+:mod:`repro.service.requests`), plus an optional ``id`` echoed back
+verbatim so clients can correlate out-of-order pipelines. The loop
+ends at EOF. Responses carry the request digest, cache disposition,
+degradation status, and the artifact summary; malformed lines produce
+an ``{"error": ...}`` response instead of killing the loop.
+
+Requests are executed through the same cache + pool machinery as
+``repro batch``: warm requests are served from the artifact cache
+without running any analysis, cold ones run in a worker process under
+the per-request wall-clock timeout (inline when ``workers <= 1``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, TextIO
+
+from repro.obs import NULL_OBS, Observer
+from repro.service.cache import ArtifactCache
+from repro.service.pool import WorkerPool
+from repro.service.requests import request_from_entry
+from repro.service.runner import RequestOutcome, run_request_inline
+
+
+def _response(outcome: RequestOutcome, request_id) -> Dict[str, object]:
+    response: Dict[str, object] = {
+        "name": outcome.name,
+        "digest": outcome.digest,
+        "status": outcome.status,
+        "cache": outcome.cache,
+        "seconds": round(outcome.seconds, 6),
+        "attempts": outcome.attempts,
+        "summary": dict(outcome.artifact.summary),
+    }
+    if outcome.artifact.degraded:
+        response["degraded_reason"] = outcome.artifact.degraded_reason
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def serve_loop(in_stream: TextIO, out_stream: TextIO,
+               workers: int = 1,
+               cache: Optional[ArtifactCache] = None,
+               timeout: Optional[float] = None,
+               base_dir: str = ".",
+               obs: Observer = NULL_OBS) -> int:
+    """Serve requests from *in_stream* until EOF; returns the number
+    of successfully served (non-error) responses."""
+    pool = WorkerPool(workers=workers, timeout=timeout) \
+        if workers > 1 else None
+    served = 0
+    for line in in_stream:
+        line = line.strip()
+        if not line:
+            continue
+        request_id = None
+        try:
+            entry = json.loads(line)
+            if isinstance(entry, dict):
+                request_id = entry.pop("id", None)
+            request = request_from_entry(entry, base_dir=base_dir)
+            if timeout is not None and request.timeout is None:
+                request.timeout = timeout
+            digest = request.digest()
+            artifact = cache.get(digest) if cache is not None else None
+            if artifact is not None:
+                outcome = RequestOutcome(
+                    name=request.name, digest=digest, artifact=artifact,
+                    cache="hit", seconds=0.0, attempts=0)
+            elif pool is not None:
+                outcome = pool.run([request])[0]
+            else:
+                outcome = run_request_inline(request)
+            if cache is not None and outcome.cache == "miss":
+                cache.put(outcome.digest, outcome.artifact)
+            response = _response(outcome, request_id)
+            served += 1
+            obs.count("serve.requests")
+            if outcome.cache == "hit":
+                obs.count("serve.cache_hits")
+            if outcome.artifact.degraded:
+                obs.count("serve.degraded")
+        except Exception as exc:  # noqa: BLE001 - reported on the wire
+            response = {"error": f"{type(exc).__name__}: {exc}"}
+            if request_id is not None:
+                response["id"] = request_id
+            obs.count("serve.errors")
+        json.dump(response, out_stream, sort_keys=True)
+        out_stream.write("\n")
+        out_stream.flush()
+    if pool is not None:
+        pool.flush_obs(obs)
+    if cache is not None:
+        cache.flush_obs(obs)
+    return served

@@ -27,7 +27,8 @@ the tracer unconditionally and tracing off costs nothing (guarded by
 bounded in-memory ring buffer (oldest dropped first) and export as
 JSONL (schema ``repro.trace/1``, checked by :func:`validate_trace`).
 
-This module is a leaf like ``repro.obs``: it imports nothing from the
+This module is a leaf like ``repro.obs``: apart from the shared
+:mod:`repro.schemas` constants module it imports nothing from the
 rest of ``repro``, so every stage can depend on it without cycles.
 """
 
@@ -40,7 +41,7 @@ from typing import (
     Dict, Iterable, List, NamedTuple, Optional, TextIO, Tuple,
 )
 
-TRACE_SCHEMA = "repro.trace/1"
+from repro.schemas import TRACE_SCHEMA
 
 #: Default ring-buffer capacity: large enough for every derivation of
 #: the bundled workloads, small enough to bound memory on runaways.

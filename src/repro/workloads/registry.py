@@ -8,9 +8,18 @@ from repro.workloads.base import Workload
 
 
 def _lazy(name: str):
+    # The resolved generator module is cached after the first call:
+    # importlib.import_module is not free even on the sys.modules hit
+    # path, and the batch service re-generates workload sources once
+    # per request.
+    module = None
+
     def generate(scale: int) -> str:
-        import importlib
-        module = importlib.import_module(f"repro.workloads.programs.{name}")
+        nonlocal module
+        if module is None:
+            import importlib
+            module = importlib.import_module(
+                f"repro.workloads.programs.{name}")
         return module.generate(scale)
     return generate
 

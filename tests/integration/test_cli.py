@@ -200,3 +200,152 @@ class TestTracingCLI:
         payload = json.loads(capsys.readouterr().out)
         names = {e["name"] for e in payload["traceEvents"]}
         assert "sparse_solve" in names
+
+
+class TestSubcommandSmoke:
+    """One exit-code + stdout-shape check per ``repro`` subcommand.
+
+    The deeper behaviour of each command is pinned by the classes
+    above (and tests/service/); this class exists so that *every*
+    ``cmd_*`` handler has at least one direct test and a new
+    subcommand without one is conspicuous."""
+
+    def test_analyze(self, sample, capsys):
+        assert main(["analyze", sample]) == 0
+        assert "points-to at loads" in capsys.readouterr().out
+
+    def test_races(self, sample, capsys):
+        assert main(["races", sample]) == 2
+        assert "race candidate" in capsys.readouterr().out
+
+    def test_deadlocks(self, abba, capsys):
+        assert main(["deadlocks", abba]) == 2
+        assert "deadlock" in capsys.readouterr().out
+
+    def test_tsan(self, sample, capsys):
+        assert main(["tsan", sample]) == 0
+        assert "accesses" in capsys.readouterr().out
+
+    def test_escape(self, sample, capsys):
+        assert main(["escape", sample]) == 0
+        assert "thread-local" in capsys.readouterr().out
+
+    def test_threads(self, sample, capsys):
+        assert main(["threads", sample]) == 0
+        assert "abstract thread" in capsys.readouterr().out
+
+    def test_ir(self, sample, capsys):
+        assert main(["ir", sample]) == 0
+        assert "define" in capsys.readouterr().out
+
+    def test_dot(self, sample, capsys):
+        assert main(["dot", sample]) == 0
+        assert "digraph" in capsys.readouterr().out
+
+    def test_explain(self, fig1a, capsys):
+        assert main(["explain", fig1a, "c"]) == 0
+        assert "P-ADDR" in capsys.readouterr().out
+
+    def test_trace(self, fig1a, capsys):
+        assert main(["trace", fig1a]) == 0
+        assert '"schema"' in capsys.readouterr().out
+
+    def test_diff_profile(self, fig1a, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        assert main(["stats", fig1a, "--profile", str(a)]) == 0
+        capsys.readouterr()
+        assert main(["diff-profile", str(a), str(a)]) == 0
+        assert "profile diff" in capsys.readouterr().out
+
+    def test_compare(self, sample, capsys):
+        assert main(["compare", sample]) == 0
+        assert "NONSPARSE" in capsys.readouterr().out
+
+    def test_stats(self, sample, capsys):
+        assert main(["stats", sample]) == 0
+        assert "sparse_solve" in capsys.readouterr().out
+
+    def test_bench(self, capsys):
+        assert main(["bench", "--table", "1"]) == 0
+        assert "word_count" in capsys.readouterr().out
+
+    def test_batch(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(
+            {"requests": [{"workload": "word_count"}]}))
+        assert main(["batch", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "batch spec.json" in out
+        assert "word_count" in out
+
+    def test_serve(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"workload": "word_count"}\n'))
+        assert main(["serve"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["status"] == "ok"
+
+
+class TestBatchServeCLI:
+    """Deeper ``repro batch`` / ``repro serve`` behaviour."""
+
+    @pytest.fixture
+    def spec(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "cache": str(tmp_path / "cache"),
+            "requests": [{"workload": "word_count"},
+                         {"workload": "kmeans"}],
+        }))
+        return str(path)
+
+    def test_cold_then_warm_json(self, spec, capsys):
+        assert main(["batch", spec, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["aggregate"]["solver_iterations"] > 0
+        assert main(["batch", spec, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["aggregate"]["solver_iterations"] == 0
+        assert warm["counters"]["batch.cache_hits"] == 2
+
+    def test_workers_flag_overrides_spec(self, spec, capsys):
+        assert main(["batch", spec, "--workers", "2"]) == 0
+        assert "2 worker(s)" in capsys.readouterr().out
+
+    def test_csv_output(self, spec, capsys):
+        assert main(["batch", spec, "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("name,digest,status")
+        assert "word_count" in out
+
+    def test_report_written_to_file(self, spec, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        assert main(["batch", spec, "--out", str(out_path)]) == 0
+        from repro.service import validate_batch_report
+        validate_batch_report(json.loads(out_path.read_text()))
+
+    def test_degraded_batch_exits_3(self, tmp_path, capsys):
+        spec = tmp_path / "doomed.json"
+        spec.write_text(json.dumps({"requests": [
+            {"workload": "raytrace",
+             "config": {"time_budget": 1e-9}}]}))
+        assert main(["batch", str(spec)]) == 3
+        assert "degraded" in capsys.readouterr().out
+
+    def test_file_entry_relative_to_spec(self, tmp_path, capsys):
+        (tmp_path / "tiny.mc").write_text("int main() { return 0; }")
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"requests": [{"file": "tiny.mc"}]}))
+        assert main(["batch", str(spec)]) == 0
+        assert "tiny.mc" in capsys.readouterr().out
+
+    def test_serve_with_cache(self, tmp_path, monkeypatch, capsys):
+        import io
+        lines = '{"workload": "word_count", "id": 1}\n' \
+                '{"workload": "word_count", "id": 2}\n'
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--cache", str(tmp_path / "c")]) == 0
+        responses = [json.loads(line)
+                     for line in capsys.readouterr().out.splitlines()]
+        assert [r["cache"] for r in responses] == ["miss", "hit"]

@@ -1,0 +1,102 @@
+"""Content-addressed artifact cache policies."""
+
+import json
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.obs import Observer
+from repro.service.artifacts import AnalysisArtifact, artifact_from_result
+from repro.service.cache import ArtifactCache
+from repro.workloads import get_workload
+
+DIGEST = "ab" * 32
+
+
+def _artifact():
+    source = get_workload("word_count").source(1)
+    result = FSAM(compile_source(source), FSAMConfig()).run()
+    return artifact_from_result("word_count", result)
+
+
+class TestCacheRoundTrip:
+    def test_miss_store_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get(DIGEST) is None
+        artifact = _artifact()
+        path = cache.put(DIGEST, artifact)
+        assert path is not None and path.exists()
+        back = cache.get(DIGEST)
+        assert back is not None
+        assert back.payload_digest() == artifact.payload_digest()
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "corrupt": 0}
+
+    def test_fanout_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.path(DIGEST)
+        assert path.parent.name == DIGEST[:2]
+        assert path.name == f"{DIGEST[2:]}.json"
+
+    def test_degraded_never_stored(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        artifact = _artifact()
+        artifact.degraded = True
+        artifact.degraded_reason = "budget-exhausted"
+        assert cache.put(DIGEST, artifact) is None
+        assert cache.stores == 0
+        assert cache.get(DIGEST) is None
+
+
+class TestCacheInvalidation:
+    def test_corrupt_entry_reads_as_miss_and_is_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.path(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_text("{ truncated")
+        assert cache.get(DIGEST) is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_schema_invalid_entry_is_corrupt(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.path(DIGEST)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"schema": "repro.artifact/1"}))
+        assert cache.get(DIGEST) is None
+        assert cache.corrupt == 1
+
+    def test_stale_code_version_reads_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        artifact = _artifact()
+        cache.put(DIGEST, artifact)
+        doc = json.loads(cache.path(DIGEST).read_text())
+        doc["code_version"] = "fsam-0.0.0/artifact-0"
+        cache.path(DIGEST).write_text(json.dumps(doc))
+        assert cache.get(DIGEST) is None
+        assert cache.corrupt == 0        # stale, not corrupt
+        assert not cache.path(DIGEST).exists()
+
+    def test_rewrite_after_stale_drop(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        artifact = _artifact()
+        cache.put(DIGEST, artifact)
+        doc = json.loads(cache.path(DIGEST).read_text())
+        doc["code_version"] = "old"
+        cache.path(DIGEST).write_text(json.dumps(doc))
+        assert cache.get(DIGEST) is None
+        cache.put(DIGEST, artifact)
+        assert isinstance(cache.get(DIGEST), AnalysisArtifact)
+
+
+class TestCacheObs:
+    def test_flush_obs(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.get(DIGEST)
+        cache.put(DIGEST, _artifact())
+        cache.get(DIGEST)
+        obs = Observer(name="t")
+        cache.flush_obs(obs)
+        assert obs.counters["cache.hits"] == 1
+        assert obs.counters["cache.misses"] == 1
+        assert obs.counters["cache.stores"] == 1
+        assert obs.counters["cache.corrupt"] == 0

@@ -1,0 +1,66 @@
+"""Determinism guard: artifact digests must be identical across
+fresh interpreter processes.
+
+The artifact cache is keyed by content digest and stores canonical
+payloads; if any hash-order, set-order, or counter-offset
+nondeterminism leaked into the canonical numbering, two processes
+would disagree about the "same" artifact and the cache could serve a
+result that is not what a fresh run computes. Running the digest
+computation in subprocesses with *different* ``PYTHONHASHSEED``
+values flushes out the whole class at once.
+
+(In-process stability across counter offsets is covered by
+``test_artifacts.py::test_same_run_same_digest``; this file pins the
+cross-interpreter half of the contract.)
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+WORKLOADS = ("word_count", "kmeans", "raytrace")
+
+_SCRIPT = r"""
+import json, sys
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.service.artifacts import artifact_from_result
+from repro.service.requests import request_digest
+from repro.workloads import get_workload
+
+out = {}
+for name in %(workloads)r:
+    source = get_workload(name).source(1)
+    result = FSAM(compile_source(source), FSAMConfig()).run()
+    artifact = artifact_from_result(name, result)
+    out[name] = {
+        "request_digest": request_digest(source, FSAMConfig()),
+        "payload_digest": artifact.payload_digest(),
+    }
+json.dump(out, sys.stdout, sort_keys=True)
+"""
+
+
+def _digests_under_hashseed(seed: str):
+    import repro
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _SCRIPT % {"workloads": WORKLOADS}],
+        capture_output=True, text=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_digests_identical_across_hashseeds():
+    a = _digests_under_hashseed("1")
+    b = _digests_under_hashseed("4242")
+    assert a == b
+    for name in WORKLOADS:
+        assert len(a[name]["request_digest"]) == 64
+        assert len(a[name]["payload_digest"]) == 64

@@ -1,0 +1,99 @@
+"""Worker-pool scheduling: sharding, timeouts, retry, degradation."""
+
+import pytest
+
+from repro.fsam.config import FSAMConfig
+from repro.service.pool import WorkerPool
+from repro.service.requests import AnalysisRequest
+from repro.service.runner import run_request_inline
+from repro.workloads import get_workload
+
+SMALL = ("word_count", "kmeans", "automount")
+
+
+def _requests(names=SMALL, **config_kwargs):
+    config = FSAMConfig(**config_kwargs)
+    return [AnalysisRequest(name=name,
+                            source=get_workload(name).source(1),
+                            config=config)
+            for name in names]
+
+
+class TestPoolHappyPath:
+    def test_pooled_matches_inline(self):
+        requests = _requests()
+        pool = WorkerPool(workers=2)
+        outcomes = pool.run(requests)
+        assert [o.name for o in outcomes] == list(SMALL)
+        for outcome, request in zip(outcomes, requests):
+            inline = run_request_inline(request)
+            assert outcome.status == "ok"
+            assert outcome.artifact.payload_digest() == \
+                inline.artifact.payload_digest()
+        assert pool.dispatched == len(SMALL)
+        assert pool.degraded == 0
+        assert pool.retried == 0
+
+    def test_more_workers_than_requests(self):
+        outcomes = WorkerPool(workers=8).run(_requests(("word_count",)))
+        assert len(outcomes) == 1
+        assert outcomes[0].status == "ok"
+
+    def test_results_in_request_order(self):
+        # raytrace takes much longer than word_count; order must not
+        # follow completion order.
+        requests = _requests(("raytrace", "word_count"))
+        outcomes = WorkerPool(workers=2).run(requests)
+        assert [o.name for o in outcomes] == ["raytrace", "word_count"]
+
+
+class TestPoolDegradation:
+    def test_budget_exhaustion_degrades_without_retry(self):
+        # The cooperative in-process budget is deterministic, so the
+        # pool skips the retry rung and degrades immediately.
+        pool = WorkerPool(workers=2)
+        outcomes = pool.run(_requests(("raytrace",), time_budget=1e-9))
+        assert outcomes[0].status == "degraded"
+        assert outcomes[0].artifact.degraded_reason == "budget-exhausted"
+        assert pool.budget_exhaustions == 1
+        assert pool.retried == 0
+        assert pool.degraded == 1
+
+    def test_wall_clock_timeout_retries_then_degrades(self):
+        # A 1ms wall-clock deadline kills the worker before it can
+        # finish; after one retry the pool falls back to the
+        # Andersen-only artifact instead of failing the batch.
+        request = AnalysisRequest(name="raytrace",
+                                  source=get_workload("raytrace").source(1),
+                                  timeout=0.001)
+        pool = WorkerPool(workers=1)
+        outcomes = pool.run([request])
+        assert outcomes[0].status == "degraded"
+        assert outcomes[0].artifact.degraded_reason == "wall-clock-timeout"
+        assert outcomes[0].artifact.pts_top      # Andersen survives
+        assert not outcomes[0].artifact.mem
+        assert pool.timeouts >= 1
+        assert pool.retried == 1
+        assert outcomes[0].attempts == 2
+
+    def test_mixed_batch_never_fails(self):
+        # One doomed request among healthy ones: everyone gets a
+        # terminal outcome, in order.
+        doomed = AnalysisRequest(name="doomed",
+                                 source=get_workload("raytrace").source(1),
+                                 config=FSAMConfig(time_budget=1e-9))
+        requests = _requests(("word_count",)) + [doomed] \
+            + _requests(("kmeans",))
+        outcomes = WorkerPool(workers=2).run(requests)
+        assert [o.status for o in outcomes] == ["ok", "degraded", "ok"]
+
+
+class TestPoolObs:
+    def test_flush_obs(self):
+        from repro.obs import Observer
+        pool = WorkerPool(workers=2)
+        pool.run(_requests(("word_count",)))
+        obs = Observer(name="t")
+        pool.flush_obs(obs)
+        assert obs.counters["pool.dispatched"] == 1
+        assert obs.counters["pool.degraded"] == 0

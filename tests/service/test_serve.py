@@ -1,0 +1,75 @@
+"""The stdin/JSONL serve loop."""
+
+import io
+import json
+
+from repro.obs import Observer
+from repro.service.cache import ArtifactCache
+from repro.service.serve import serve_loop
+
+
+def _serve(lines, **kwargs):
+    out = io.StringIO()
+    served = serve_loop(io.StringIO("\n".join(lines) + "\n"), out, **kwargs)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return served, responses
+
+
+class TestServeLoop:
+    def test_workload_request(self):
+        served, responses = _serve(['{"workload": "word_count"}'])
+        assert served == 1
+        assert responses[0]["name"] == "word_count"
+        assert responses[0]["status"] == "ok"
+        assert responses[0]["cache"] == "miss"
+        assert responses[0]["summary"]["points_to_entries"] > 0
+
+    def test_id_echoed_back(self):
+        _, responses = _serve(['{"workload": "word_count", "id": 42}'])
+        assert responses[0]["id"] == 42
+
+    def test_second_request_hits_cache(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        _, responses = _serve(['{"workload": "word_count"}'] * 2,
+                              cache=cache)
+        assert [r["cache"] for r in responses] == ["miss", "hit"]
+        assert responses[0]["digest"] == responses[1]["digest"]
+
+    def test_malformed_line_does_not_kill_the_loop(self):
+        served, responses = _serve([
+            'this is not json',
+            '{"no_program": true, "id": "after"}',
+            '{"workload": "word_count"}',
+        ])
+        assert served == 1
+        assert "error" in responses[0]
+        assert "error" in responses[1]
+        assert responses[1]["id"] == "after"
+        assert responses[2]["status"] == "ok"
+
+    def test_blank_lines_skipped(self):
+        served, responses = _serve(["", '{"workload": "word_count"}', ""])
+        assert served == 1
+        assert len(responses) == 1
+
+    def test_file_entry_uses_base_dir(self, tmp_path):
+        (tmp_path / "tiny.mc").write_text("int main() { return 0; }")
+        _, responses = _serve(['{"file": "tiny.mc"}'],
+                              base_dir=str(tmp_path))
+        assert responses[0]["name"] == "tiny.mc"
+        assert responses[0]["status"] == "ok"
+
+    def test_obs_counters(self, tmp_path):
+        obs = Observer(name="serve")
+        _serve(['{"workload": "word_count"}', 'garbage'],
+               cache=ArtifactCache(tmp_path), obs=obs)
+        assert obs.counters["serve.requests"] == 1
+        assert obs.counters["serve.errors"] == 1
+        assert obs.counters["cache.stores"] == 1
+
+    def test_degraded_request_served(self):
+        _, responses = _serve([
+            '{"workload": "raytrace", '
+            '"config": {"time_budget": 1e-9}}'])
+        assert responses[0]["status"] == "degraded"
+        assert responses[0]["degraded_reason"] == "budget-exhausted"
