@@ -1,16 +1,24 @@
 """Machine-readable benchmark snapshots: ``BENCH_<n>.json``.
 
 Runs every workload under both solver engines (the optimised delta/
-topological engine and the retained naive reference engine) and emits
-one ``repro.bench/1`` JSON document with wall time, solver work
-counters (``solver.iterations``, ``solver.node_revisits``,
-``solver.delta_propagations``, ``solver.seeded_nodes``), peak traced
-memory, and points-to entry counts per workload — so every future PR
-has a perf baseline to diff against.
+topological engine, with its batched-propagation kernel on the
+default ``auto`` backend, and the retained naive reference engine)
+and emits one ``repro.bench/1`` JSON document per run with:
+
+- one traced measurement per engine (wall time, solver work counters,
+  peak traced memory, points-to entry counts) — the continuity record
+  every previous snapshot carried; and
+- a **repeat-timed solve phase** per engine: ``--warmup`` discarded
+  iterations (they populate the frozen graph's schedule/topology
+  caches), then ``--reps`` timed iterations run *without* tracemalloc
+  and with a garbage collection before each, recorded per-iteration
+  with the median as the headline number. The engines share one
+  compiled+analyzed pipeline, so ``solve_speedup`` (reference median /
+  delta median) isolates exactly the code the engines disagree on.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py --pr 4 --out BENCH_4.json
+    PYTHONPATH=src python benchmarks/run_bench.py --pr 6 --out BENCH_6.json
     PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_ci.json \
         --workloads radiosity,word_count --compare BENCH_4.json
 
@@ -24,10 +32,13 @@ from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 
+from repro.fsam import FSAM
 from repro.fsam.config import FSAMConfig
-from repro.harness.measure import Measurement, measure_fsam
+from repro.frontend import compile_source
+from repro.harness.measure import Measurement, measure_fsam, time_fsam_solve
 from repro.harness.scales import BENCH_SCALES, SMOKE_SCALES
 from repro.schemas import BENCH_SCHEMA as SCHEMA
 from repro.workloads import get_workload, source_loc, workload_names
@@ -36,8 +47,11 @@ ENGINES = ("delta", "reference")
 # The counters/gauges a snapshot records per engine run.
 COUNTERS = ("solver.iterations", "solver.node_revisits",
             "solver.delta_propagations", "solver.seeded_nodes",
+            "solver.kernel_batches", "solver.kernel_injections",
+            "solver.kernel_updates", "solver.kernel_fallbacks",
             "valueflow.mhp_cache_hits", "mhp.pair_queries")
-GAUGES = ("solver.sccs",)
+GAUGES = ("solver.sccs", "solver.kernel_rows",
+          "solver.kernel_boundary_rows")
 
 
 def _engine_record(m: Measurement) -> dict:
@@ -58,7 +72,19 @@ def _engine_record(m: Measurement) -> dict:
     return record
 
 
-def run_snapshot(names, scales, engines=ENGINES, verbose=True) -> dict:
+def _solve_record(result, engine: str, reps: int, warmup: int) -> dict:
+    config = FSAMConfig(solver_engine=engine)
+    iters = time_fsam_solve(result, config, reps=reps, warmup=warmup)
+    return {
+        "reps": reps,
+        "warmup": warmup,
+        "per_iteration_seconds": [round(t, 5) for t in iters],
+        "median_seconds": round(statistics.median(iters), 5),
+    }
+
+
+def run_snapshot(names, scales, engines=ENGINES, reps=5, warmup=2,
+                 verbose=True) -> dict:
     workloads = {}
     for name in names:
         scale = scales[name]
@@ -75,10 +101,26 @@ def run_snapshot(names, scales, engines=ENGINES, verbose=True) -> dict:
                       f"iters={rec.get('solver.iterations', '-'):>7} "
                       f"revisits={rec.get('solver.node_revisits', '-'):>7} "
                       f"pts={rec['points_to_entries']}")
+        if reps > 0:
+            # One shared pipeline: both engines re-solve the identical
+            # frozen graph, so the timing difference is the solver.
+            result = FSAM(compile_source(source, name=name)).run()
+            for engine in engines:
+                rec = _solve_record(result, engine, reps, warmup)
+                entry["engines"].setdefault(engine, {})["solve"] = rec
+                if verbose:
+                    print(f"  {name:>14} [{engine:>9}] solve "
+                          f"median={rec['median_seconds']:.4f}s "
+                          f"over {reps} reps")
         if "delta" in entry["engines"] and "reference" in entry["engines"]:
             d, r = entry["engines"]["delta"], entry["engines"]["reference"]
             if d["seconds"] > 0:
                 entry["speedup"] = round(r["seconds"] / d["seconds"], 2)
+            if "solve" in d and "solve" in r and \
+                    d["solve"]["median_seconds"] > 0:
+                entry["solve_speedup"] = round(
+                    r["solve"]["median_seconds"]
+                    / d["solve"]["median_seconds"], 2)
             entry["iteration_ratio"] = round(
                 d["solver.iterations"] / max(r["solver.iterations"], 1), 3)
         workloads[name] = entry
@@ -126,6 +168,12 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="regression threshold for --compare "
                              "(default 0.20 = +20%%)")
+    parser.add_argument("--reps", type=int, default=5,
+                        help="timed solve-phase iterations per engine "
+                             "(default 5; 0 skips solve re-timing)")
+    parser.add_argument("--warmup", type=int, default=2,
+                        help="discarded solve-phase warmup iterations "
+                             "(default 2)")
     args = parser.parse_args(argv)
 
     names = (args.workloads.split(",") if args.workloads
@@ -134,8 +182,9 @@ def main(argv=None) -> int:
     engines = tuple(args.engines.split(","))
 
     print(f"bench: {len(names)} workloads, scales={args.scales}, "
-          f"engines={','.join(engines)}")
-    workloads = run_snapshot(names, scales, engines)
+          f"engines={','.join(engines)}, reps={args.reps}")
+    workloads = run_snapshot(names, scales, engines,
+                             reps=args.reps, warmup=args.warmup)
     doc = {
         "schema": SCHEMA,
         "pr": args.pr,

@@ -73,6 +73,13 @@ class FSAMConfig:
     # exists as the differential-testing oracle and for benchmarking
     # the optimisation itself.
     solver_engine: str = "delta"
+    # Batched propagation backend for the delta engine's merge-only
+    # subgraph: "auto" (numpy when importable, else the pure-Python
+    # big-int backend), "numpy", "python", or "none" (scalar delta
+    # path only — the differential-test baseline). Ignored by the
+    # reference engine; forced off when trace=True because provenance
+    # needs the scalar per-visit path (counted as a kernel fallback).
+    kernel: str = "auto"
 
     def to_dict(self) -> dict:
         """Every field as a JSON-able dict (the wire form used by the
@@ -87,6 +94,7 @@ class FSAMConfig:
             "trace": self.trace,
             "max_context_depth": self.max_context_depth,
             "solver_engine": self.solver_engine,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -106,8 +114,9 @@ class FSAMConfig:
         purpose: ``time_budget`` (changes whether the run finishes,
         not what it computes; degraded results are never cached),
         ``profile``/``trace`` (observability side channels), and
-        ``solver_engine`` (both engines compute the same fixpoint,
-        pinned by the differential suite)."""
+        ``solver_engine``/``kernel`` (every engine and kernel backend
+        computes the same fixpoint, pinned by the differential
+        suite)."""
         return {
             "interleaving": self.interleaving,
             "value_flow": self.value_flow,

@@ -1,0 +1,505 @@
+"""Vectorized delta-propagation kernel for the sparse solver.
+
+PR 4's delta engine cut solver *iterations* roughly in half on every
+workload, but wall-clock barely moved: the worklist still pays the
+full CPython toll — a heap pop, an isinstance dispatch, and a round
+of dict bookkeeping — for every visit, and ~80% of those visits are
+**pure merge pseudo-statements** (memory phis, formal-in/out,
+call-mus, non-fork call/join chis) whose entire transfer function is
+``state |= delta``. Sparse value-flow analysis makes the inner loop
+bit-set algebra with no control flow left to interpret; this module
+makes the solver actually run it that way.
+
+Batching scheme
+---------------
+
+Per-SCC-rank batching alone does not pay here: measured rank groups
+have a *median size of one* (merge chains are long and thin), so the
+kernel collapses the whole merge subgraph instead:
+
+1. **Plan** (:func:`build_plan`): the merge-only subgraph is split
+   from the DUG (``DUG.merge_topology``), SCC-condensed with the same
+   dense Tarjan as the scheduler, and every SCC is mapped to the set
+   of **boundary rows** it can reach — merge nodes with at least one
+   out-edge into a load/store/fork-chi. Because merge transfers are
+   pure unions, a delta injected anywhere in the subgraph reaches
+   exactly the states of the rows downstream of it; the plan makes
+   that reachability a precomputed flat array per SCC.
+2. **Inject** (:meth:`_KernelState.inject`): when a scalar transfer
+   (a store, a fork chi) grows a state feeding the merge subgraph,
+   the solver hands the kernel the raw delta mask. Deltas buffer and
+   coalesce per SCC — repeated stores into the same chain merge into
+   one pending mask.
+3. **Flush** (:meth:`_KernelState.flush`): the buffered masks are
+   swept over their reachable boundary rows in one fused
+   compare-union pass (``new = delta & ~acc; acc |= new``), and only
+   rows that actually grew deliver their new bits to the scalar
+   worklist. Interior merge states are *not* touched at all during
+   the solve.
+4. **Materialize** (:meth:`_KernelState.materialize`): after the
+   fixpoint, one forward sweep over the SCC DAG reconstructs every
+   interior state from the injected masks, interning each final mask
+   once. Within an SCC every member provably converges to the same
+   union, so per-SCC masks are exact, and the result is bit-identical
+   to what the scalar engine would have stored (pinned by
+   ``tests/fsam/test_differential.py``).
+
+Why the fixpoint is preserved: merge transfers are union-monotone and
+kill nothing, so the state of a merge node at fixpoint is exactly the
+union of every delta injected at rows that reach it — which is what
+the reach sweep (for boundary rows, online) and the materialize DP
+(for interior rows, once) compute. Classification-changing transfers
+(loads discovering a container, strong/weak store reclassification,
+fork-handle chis) never enter the kernel; they stay on the scalar
+path and observe boundary states that are exact after every flush.
+
+Backends
+--------
+
+Two interchangeable backends implement the flush sweep, selected by
+``FSAMConfig.kernel``:
+
+- :class:`NumpyKernel` (``kernel="numpy"``, the ``"auto"`` choice
+  when numpy imports): boundary accumulators live in a
+  ``(rows, words)`` uint64 matrix; a flush gathers the batch into
+  flat index arrays and runs the compare-union as a handful of
+  vectorized ops per coalesced delta.
+- :class:`PythonKernel` (``kernel="python"``, the ``"auto"``
+  fallback): accumulators are interpreter big-ints — each sweep step
+  is a single arbitrary-precision OR over the whole universe — with
+  ``array``-module row-index tables. No third-party imports.
+
+Setting ``REPRO_NO_NUMPY=1`` in the environment hides numpy from this
+module (the CI no-numpy job uses it to exercise the fallback end to
+end without uninstalling anything).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from heapq import heappop, heappush
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.scc import topo_ranks_dense
+from repro.ir.values import MemObject
+from repro.memssa.dug import DUG, DUGNode
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+else:
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - image always has numpy
+        _np = None
+
+# Sentinel rank for "no pending boundary work" — larger than any real
+# topological rank.
+NO_RANK = 1 << 60
+
+
+def numpy_available() -> bool:
+    return _np is not None
+
+
+# Minimum plan.max_reach for "auto" to pick the numpy backend. The
+# vectorized sweep amortises its fixed costs (buffer conversions,
+# fancy indexing) over the rows one injection reaches; measured
+# crossover is well under 16 rows, and thin-chain plans (max_reach of
+# 1-4 is typical) run faster on interpreter big-ints.
+AUTO_NUMPY_MIN_REACH = 16
+
+
+def backend_name(kernel: str) -> Optional[str]:
+    """Resolve an ``FSAMConfig.kernel`` value to a backend name.
+
+    ``"auto"`` prefers numpy and falls back to pure Python — the
+    solver further demotes an auto-numpy choice to ``"python"`` when
+    the built plan has no wide fan-out (``max_reach`` below
+    :data:`AUTO_NUMPY_MIN_REACH`), where vectorization cannot pay;
+    ``"none"`` disables the kernel (scalar delta engine only);
+    explicit ``"numpy"`` fails loudly when numpy is unavailable so a
+    bench claiming the vectorized path cannot silently run the
+    fallback.
+    """
+    if kernel == "none":
+        return None
+    if kernel == "auto":
+        return "numpy" if _np is not None else "python"
+    if kernel == "python":
+        return "python"
+    if kernel == "numpy":
+        if _np is None:
+            raise RuntimeError(
+                "FSAMConfig.kernel='numpy' but numpy is not importable "
+                "(REPRO_NO_NUMPY set, or numpy missing); use 'python' "
+                "or 'auto'")
+        return "numpy"
+    raise ValueError(
+        f"unknown kernel backend {kernel!r}; expected 'auto', 'numpy', "
+        f"'python', or 'none'")
+
+
+class KernelPlan:
+    """Precomputed merge-subgraph structure shared by both backends.
+
+    Built once per solve by :func:`build_plan`; holds only flat
+    arrays and per-SCC tables, no per-visit state.
+    """
+
+    __slots__ = (
+        "rows",            # List[DUGNode]: merge nodes, row-indexed
+        "scc_of_row",      # List[int]: row -> SCC id (== topo rank)
+        "scc_of_uid",      # Dict[int, int]: merge node uid -> SCC id
+        "n_sccs",
+        "scc_preds",       # List[Tuple[int, ...]]: SCC DAG predecessors
+        "scc_succs",       # List[Tuple[int, ...]]: SCC DAG successors
+        "boundary_rows",   # array('l'): boundary id -> row index
+        "boundary_edges",  # List[List[(obj, dst, thread)]] per boundary id
+        "brow_of_uid",     # Dict[int, int]: boundary node uid -> boundary id
+        "first_rank",      # List[int]: SCC -> min global rank of reachable
+                           #   boundary rows (NO_RANK when none)
+        "max_reach",       # int: widest per-SCC boundary reach set
+        "scc_members",     # List[List[DUGNode]]: SCC -> member rows
+        "_reach_bits",     # List[int]: SCC -> bitset over boundary ids
+        "_reach_cache",    # Dict[int, array]: SCC -> decoded boundary ids
+    )
+
+    def __init__(self) -> None:
+        self._reach_cache: Dict[int, array] = {}
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_boundary(self) -> int:
+        return len(self.boundary_rows)
+
+    def reach(self, scc: int) -> array:
+        """Boundary ids reachable from *scc*, decoded lazily (most
+        SCCs never receive an injection)."""
+        cached = self._reach_cache.get(scc)
+        if cached is None:
+            ids = array("l")
+            bits = self._reach_bits[scc]
+            while bits:
+                low = bits & -bits
+                ids.append(low.bit_length() - 1)
+                bits ^= low
+            cached = self._reach_cache[scc] = ids
+        return cached
+
+
+def build_plan(dug: DUG, merge_nodes: List[DUGNode],
+               global_rank: Dict[int, int],
+               thread_to_load) -> KernelPlan:
+    """Condense the merge subgraph and precompute boundary reach.
+
+    *global_rank* is the full value-flow topological rank map (for the
+    solver's flush gate); *thread_to_load* is the set of
+    ``(src_uid, obj_id, dst_uid)`` keys whose boundary deliveries take
+    the unconditional [THREAD-VF] channel.
+    """
+    plan = KernelPlan()
+    plan.rows = merge_nodes
+    internal, boundary = dug.merge_topology(merge_nodes)
+    # One shared rank per SCC, ranks topologically ascending and unique
+    # per SCC: the rank doubles as the SCC id.
+    scc_of_row, n_sccs = topo_ranks_dense(internal)
+    plan.scc_of_row = scc_of_row
+    plan.n_sccs = n_sccs
+    plan.scc_of_uid = {node.uid: scc_of_row[i]
+                       for i, node in enumerate(merge_nodes)}
+    members: List[List[DUGNode]] = [[] for _ in range(n_sccs)]
+    for i, node in enumerate(merge_nodes):
+        members[scc_of_row[i]].append(node)
+    plan.scc_members = members
+
+    boundary_rows = array("l")
+    boundary_edges: List[List[Tuple[MemObject, DUGNode, bool]]] = []
+    brow_of_uid: Dict[int, int] = {}
+    scc_bbits = [0] * n_sccs
+    scc_min_rank = [NO_RANK] * n_sccs
+    for i, edges in enumerate(boundary):
+        if not edges:
+            continue
+        node = merge_nodes[i]
+        bid = len(boundary_rows)
+        boundary_rows.append(i)
+        brow_of_uid[node.uid] = bid
+        uid = node.uid
+        boundary_edges.append([
+            (obj, dst, (uid, obj.id, dst.uid) in thread_to_load)
+            for obj, dst in edges])
+        scc = scc_of_row[i]
+        scc_bbits[scc] |= 1 << bid
+        # Gate on the earliest *reader* (boundary successor), not the
+        # row itself: a buffered delta only has to land before the
+        # worklist evaluates something that can observe it, and every
+        # observer — pend delivery or an ``_in_values`` re-read — is a
+        # graph successor of the row. dst ranks are >= the row's own,
+        # so this strictly coalesces more injections per flush.
+        for _obj, dst, _thread in boundary_edges[-1]:
+            grank = global_rank[dst.uid]
+            if grank < scc_min_rank[scc]:
+                scc_min_rank[scc] = grank
+    plan.boundary_rows = boundary_rows
+    plan.boundary_edges = boundary_edges
+    plan.brow_of_uid = brow_of_uid
+
+    # Condensed SCC DAG edges (dedup via sets, small).
+    succ_sets: List[set] = [set() for _ in range(n_sccs)]
+    pred_sets: List[set] = [set() for _ in range(n_sccs)]
+    for i, succs in enumerate(internal):
+        s = scc_of_row[i]
+        for j in succs:
+            t = scc_of_row[j]
+            if t != s:
+                succ_sets[s].add(t)
+                pred_sets[t].add(s)
+    plan.scc_preds = [tuple(sorted(p)) for p in pred_sets]
+    plan.scc_succs = [tuple(sorted(s)) for s in succ_sets]
+
+    # Reverse-topological DP: which boundary rows does each SCC reach,
+    # and how early (in global rank) can that reach first matter.
+    reach_bits = scc_bbits  # reuse: own boundary members seed the DP
+    first_rank = scc_min_rank
+    for s in range(n_sccs - 1, -1, -1):
+        bits = reach_bits[s]
+        fr = first_rank[s]
+        for t in succ_sets[s]:
+            bits |= reach_bits[t]
+            if first_rank[t] < fr:
+                fr = first_rank[t]
+        reach_bits[s] = bits
+        first_rank[s] = fr
+    plan._reach_bits = reach_bits
+    plan.first_rank = first_rank
+    # Widest sweep any single injection can trigger — the shape signal
+    # the "auto" backend choice keys on (vectorization pays off with
+    # fan-out, not on thin chains).
+    plan.max_reach = max((m.bit_count() for m in reach_bits), default=0)
+    return plan
+
+
+class _KernelState:
+    """Backend-independent buffering, accounting, and materialize.
+
+    Subclasses store the boundary accumulators and implement the
+    flush sweep (:meth:`_apply`) and :meth:`boundary_mask`.
+    """
+
+    name = "base"
+
+    def __init__(self, plan: KernelPlan) -> None:
+        self.plan = plan
+        # Coalesced pending injections: SCC id -> delta mask.
+        self._buf: Dict[int, int] = {}
+        # Everything ever injected (flushed), for materialize.
+        self._inj_total: Dict[int, int] = {}
+        self.pending_min_rank = NO_RANK
+        self.batches = 0
+        self.injections = 0
+        self.updates = 0
+
+    def inject(self, scc: int, mask: int) -> None:
+        """Buffer a delta entering the merge subgraph at *scc*."""
+        self.injections += 1
+        buf = self._buf
+        cur = buf.get(scc)
+        if cur is None:
+            buf[scc] = mask
+            fr = self.plan.first_rank[scc]
+            if fr < self.pending_min_rank:
+                self.pending_min_rank = fr
+        else:
+            buf[scc] = cur | mask
+
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._buf)
+
+    def flush(self, deliver) -> None:
+        """Sweep the buffered deltas over their reachable boundary
+        rows; call ``deliver(boundary_id, new_bits_mask)`` for each
+        row that grew."""
+        buf = self._buf
+        if not buf:
+            return
+        self.batches += 1
+        inj = self._inj_total
+        for scc, mask in buf.items():
+            cur = inj.get(scc)
+            inj[scc] = mask if cur is None else cur | mask
+            self._apply(scc, mask, deliver)
+        buf.clear()
+        self.pending_min_rank = NO_RANK
+
+    def _apply(self, scc: int, mask: int, deliver) -> None:
+        raise NotImplementedError
+
+    def boundary_mask(self, boundary_id: int) -> int:
+        """Current exact state mask of a boundary row (the scalar
+        path's read primitive for ``_in_values``)."""
+        raise NotImplementedError
+
+    def materialize(self) -> Iterator[Tuple[int, List[DUGNode]]]:
+        """Yield ``(final state mask, member merge nodes)`` for every
+        SCC with a non-empty fixpoint state — one forward DP over the
+        SCC DAG, run once after the worklist drains. Grouped by SCC
+        (all members provably share one state) so the caller interns
+        each mask once and shares the set across every member row."""
+        assert not self._buf, "materialize before final flush"
+        plan = self.plan
+        inj = self._inj_total
+        preds = plan.scc_preds
+        succs = plan.scc_succs
+        members = plan.scc_members
+        # Sparse forward DP: only SCCs downstream of an injection can
+        # have non-empty state, so walk just those — SCC ids are topo
+        # ranks, so a min-heap over discovered ids visits every node
+        # after all its (discovered) predecessors.
+        full: Dict[int, int] = {}
+        heap = sorted(inj)
+        discovered = set(heap)
+        while heap:
+            s = heappop(heap)
+            m = inj.get(s, 0)
+            for p in preds[s]:
+                fp = full.get(p)
+                if fp:
+                    m |= fp
+            if not m:
+                continue
+            full[s] = m
+            yield m, members[s]
+            for t in succs[s]:
+                if t not in discovered:
+                    discovered.add(t)
+                    heappush(heap, t)
+
+
+class PythonKernel(_KernelState):
+    """Pure-Python backend: one interpreter big-int per boundary row.
+
+    Every sweep step is a single arbitrary-precision OR/AND-NOT over
+    the full universe mask — the big-int *is* the batch across
+    objects — and row lookups go through flat ``array('l')`` index
+    tables from the plan.
+    """
+
+    name = "python"
+
+    def __init__(self, plan: KernelPlan) -> None:
+        super().__init__(plan)
+        self._acc: List[int] = [0] * plan.n_boundary
+
+    def _apply(self, scc: int, mask: int, deliver) -> None:
+        acc = self._acc
+        for b in self.plan.reach(scc):
+            new = mask & ~acc[b]
+            if new:
+                acc[b] |= new
+                self.updates += 1
+                deliver(b, new)
+
+    def boundary_mask(self, boundary_id: int) -> int:
+        return self._acc[boundary_id]
+
+
+class NumpyKernel(_KernelState):
+    """Numpy backend: boundary accumulators as a uint64 word matrix.
+
+    A flush gathers each coalesced delta into a word vector and runs
+    the compare-union over all reachable rows as a few vectorized
+    ops; only rows whose words changed convert back to ints for
+    delivery, so the interning table and the scalar worklist are
+    touched once per changed mask.
+    """
+
+    name = "numpy"
+
+    def __init__(self, plan: KernelPlan, universe_bits: int) -> None:
+        super().__init__(plan)
+        assert _np is not None
+        # The universe can grow mid-solve (field derivation registers
+        # objects on first sight), so start with headroom and widen on
+        # demand in _ensure_bits.
+        self._words = max(1, (universe_bits + 64 + 63) // 64)
+        self._acc = _np.zeros((plan.n_boundary, self._words),
+                              dtype="<u8")
+        # Python-int mirror of every row, kept exactly in sync with
+        # the matrix. Reads (boundary_mask, the tiny-reach path) come
+        # from here for free; the matrix serves the vectorized sweeps.
+        self._acc_int: List[int] = [0] * plan.n_boundary
+        self._reach_np: Dict[int, object] = {}
+
+    def _ensure_bits(self, bits: int) -> None:
+        if bits <= self._words * 64:
+            return
+        words = (bits + 63) // 64 + 1
+        wider = _np.zeros((self.plan.n_boundary, words), dtype="<u8")
+        wider[:, :self._words] = self._acc
+        self._acc = wider
+        self._words = words
+
+    def _rows_of(self, scc: int):
+        rows = self._reach_np.get(scc)
+        if rows is None:
+            rows = self._reach_np[scc] = _np.asarray(
+                self.plan.reach(scc), dtype=_np.intp)
+        return rows
+
+    def _apply(self, scc: int, mask: int, deliver) -> None:
+        rows = self._rows_of(scc)
+        n = len(rows)
+        if not n:
+            return
+        self._ensure_bits(mask.bit_length())
+        words = self._words
+        acc = self._acc
+        acc_int = self._acc_int
+        if n <= 2:
+            # Tiny reach set (thin chains are common): the fixed cost
+            # of the vectorized path — buffer round-trips, fancy
+            # indexing, reductions — exceeds a couple of big-int ops.
+            for b in rows:
+                b = int(b)
+                cur = acc_int[b]
+                new = mask & ~cur
+                if new:
+                    self.updates += 1
+                    merged = cur | new
+                    acc_int[b] = merged
+                    acc[b] = _np.frombuffer(
+                        merged.to_bytes(words * 8, "little"),
+                        dtype="<u8")
+                    deliver(b, new)
+            return
+        delta = _np.frombuffer(mask.to_bytes(words * 8, "little"),
+                               dtype="<u8")
+        gathered = acc[rows]
+        new = delta & ~gathered
+        changed = new.any(axis=1)
+        if not changed.any():
+            return
+        acc[rows] = gathered | new
+        for k in _np.flatnonzero(changed):
+            self.updates += 1
+            row = int(rows[k])
+            bits = int.from_bytes(new[k].tobytes(), "little")
+            acc_int[row] |= bits
+            deliver(row, bits)
+
+    def boundary_mask(self, boundary_id: int) -> int:
+        return self._acc_int[boundary_id]
+
+
+def make_kernel(backend: str, plan: KernelPlan,
+                universe_bits: int) -> _KernelState:
+    if backend == "numpy":
+        return NumpyKernel(plan, universe_bits)
+    if backend == "python":
+        return PythonKernel(plan)
+    raise ValueError(f"unknown kernel backend {backend!r}")

@@ -48,6 +48,18 @@ pre-analysis):
   downstream before any node is revisited. Only nodes with initial
   facts are seeded (AddrOf statements, function-valued copies/phis,
   fork-handle chis); everything else is reached by propagation.
+- **Batched merge propagation** (``FSAMConfig.kernel``, see
+  :mod:`repro.fsam.kernel`). Pure merge pseudo-statements — memory
+  phis, formal-in/out, call-mus, non-fork call/join chis — are the
+  large majority of visits and their transfer is a bare union, so
+  they are lifted out of the worklist entirely: scalar transfers
+  *inject* their deltas into the merge subgraph, a rank-gated *flush*
+  sweeps coalesced deltas straight to the subgraph's boundary rows
+  (the merge nodes feeding loads/stores/fork-chis), and interior
+  states are materialized once after the fixpoint. Loads, stores and
+  fork chis — everything whose transfer can reclassify — stay on the
+  scalar path, as do whole runs when provenance tracing is on
+  (counted in ``solver.kernel_fallbacks``).
 
 Both changes preserve the exact fixpoint: transfer functions are
 union-monotone, so visit order and per-visit cost change but the
@@ -70,11 +82,14 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.andersen import AndersenResult
 from repro.andersen.fields import derive_field
 from repro.fsam.config import Deadline, FSAMConfig
+from repro.fsam.kernel import (
+    AUTO_NUMPY_MIN_REACH, KernelPlan, backend_name, build_plan, make_kernel,
+)
 from repro.ir.instructions import (
     AddrOf, Call, Copy, Fork, Gep, Join, Load, Phi, Store,
 )
 from repro.ir.module import Module
-from repro.ir.values import Constant, Function, MemObject, Temp, Value
+from repro.ir.values import Function, MemObject, Temp, Value
 from repro.memssa.builder import MemorySSABuilder
 from repro.memssa.dug import (
     CallChiNode, CallMuNode, DUG, DUGNode, FormalInNode, FormalOutNode,
@@ -89,6 +104,13 @@ from repro.trace import Derivation, NULL_TRACER, Tracer, mem_fact, top_fact
 # object not targeted (state flows through), "strong"/"weak" = paper
 # [P-SU]/[P-WU].
 KILL, PASS, STRONG, WEAK = "kill", "pass", "strong", "weak"
+
+# _eval dispatch tags, precomputed once per node in the schedule
+# bundle: the hot loop dispatches on small-int compares instead of
+# re-running isinstance chains on every visit. Tags >= TAG_ADDR are
+# the top-level statement kinds (evaluated only when top-dirty).
+(TAG_MERGE, TAG_LOAD, TAG_STORE, TAG_CHI,
+ TAG_ADDR, TAG_COPY, TAG_PHI, TAG_GEP, TAG_TOP_OTHER) = range(9)
 
 
 class SparseSolver:
@@ -108,6 +130,10 @@ class SparseSolver:
                  tracer: Tracer = NULL_TRACER) -> None:
         self.module = module
         self.dug = dug
+        # Direct handles on the DUG's adjacency dicts — the per-update
+        # hot paths skip the getter-method indirection.
+        self._top_users_map = dug._top_users
+        self._copies_by_src = dug._copies_by_src
         self.builder = builder
         self.andersen = andersen
         self.universe: PTUniverse = andersen.universe
@@ -118,14 +144,24 @@ class SparseSolver:
         # path's guard is a single identity test.
         self.provenance: Optional[Dict[Tuple, Derivation]] = \
             {} if tracer.enabled else None
+        # Public fixpoint views (interned PTSets), filled from the raw
+        # mask state once at the end of solve(): the solve itself runs
+        # entirely on plain int masks and touches the interning table
+        # only for distinct final states.
         self.pts_top: Dict[int, PTSet] = {}
         self.mem: Dict[Tuple[int, int], PTSet] = {}
-        # Indexed priority worklist: a heap of (rank, uid) plus the
-        # membership set that makes pushes idempotent.
-        self._work: List[Tuple[int, int]] = []
+        self._top_masks: Dict[int, int] = {}
+        self._mem_masks: Dict[Tuple[int, int], int] = {}
+        # Priority worklist: a single int min-heap of packed
+        # ``(rank << 32) | uid`` keys (ranks are mostly unique per
+        # node, so per-rank buckets would churn). ``_queued`` keeps
+        # pushes idempotent — at most one live heap entry per uid.
+        self._heap: List[int] = []
+        self._rank_key: Dict[int, int] = {}
         self._queued: Set[int] = set()
         self._rank: Dict[int, int] = {}
-        self._node_by_uid: Dict[int, DUGNode] = {}
+        # uid -> (node, dispatch tag); see the TAG_* constants.
+        self._node_by_uid: Dict[int, Tuple[DUGNode, int]] = {}
         # Nodes whose top-level operands changed since their last
         # visit (pushed via top_users); deltas alone leave this unset.
         self._top_dirty: Set[int] = set()
@@ -147,10 +183,24 @@ class SparseSolver:
         # Loads: object ids whose full incoming state was already
         # merged (subsequent growth arrives as deltas).
         self._load_seen: Dict[int, Set[int]] = {}
+        # Geps: [last base mask, derived mask] per node, so a re-eval
+        # only derives fields for base objects that are new since the
+        # previous visit (pt(base) is monotone).
+        self._gep_cache: Dict[int, List[int]] = {}
+        self._seeds: List[DUGNode] = []
         # Stores: current classification per chi object, refreshed on
         # every pointer/value change (top-dirty visit).
         self._store_class: Dict[int, Dict[int, str]] = {}
         self._visited: Set[int] = set()
+        # Batched merge-propagation kernel (repro.fsam.kernel); None
+        # when disabled (kernel="none", tracing on, or no merge
+        # nodes). _inj_targets routes scalar deltas into the merge
+        # subgraph: uid -> obj.id -> [SCC ids].
+        self._kern = None
+        self._plan: Optional[KernelPlan] = None
+        self._inj_targets: Dict[int, Dict[int, List[int]]] = {}
+        self.kernel_backend: Optional[str] = None
+        self.kernel_fallbacks = 0
         self.iterations = 0
         self.strong_updates = 0
         self.weak_updates = 0
@@ -161,38 +211,65 @@ class SparseSolver:
     # -- state access ----------------------------------------------------
 
     def top(self, temp: Temp) -> PTSet:
-        return self.pts_top.get(temp.id, self.universe.empty)
+        return self.universe.from_mask(self._top_masks.get(temp.id, 0))
 
     def value_pts(self, value: Optional[Value]) -> PTSet:
         """Points-to set of any value operand."""
-        if value is None or isinstance(value, Constant):
-            return self.universe.empty
+        return self.universe.from_mask(self._value_mask(value))
+
+    def _value_mask(self, value: Optional[Value]) -> int:
+        """Raw-mask twin of :meth:`value_pts` — the solve-time hot
+        path, no interning-table touch."""
+        if type(value) is Temp:  # by far the hottest case
+            return self._top_masks.get(value.id, 0)
         if isinstance(value, Function):
-            return self.universe.singleton(value.mem_object)
-        if isinstance(value, Temp):
-            return self.pts_top.get(value.id, self.universe.empty)
-        return self.universe.empty
+            return self.universe.singleton(value.mem_object).mask
+        return 0
 
     def mem_state(self, node: DUGNode, obj: MemObject) -> PTSet:
         """The o-state defined at *node*."""
         return self.mem.get((node.uid, obj.id), self.universe.empty)
 
-    def _in_values(self, node: DUGNode, obj: MemObject) -> PTSet:
-        """Recompute the full incoming o-state — first reads and
-        provenance/debug only; steady-state propagation uses deltas."""
-        empty = self.universe.empty
-        result = empty
+    def _in_mask(self, node: DUGNode, obj: MemObject) -> int:
+        """Recompute the full incoming o-state as a raw mask — first
+        reads and classification changes only; steady-state
+        propagation uses deltas. With the kernel on, merge-node
+        predecessors keep their live state in the kernel's boundary
+        accumulators (every merge node feeding a scalar node is a
+        boundary row by construction), so read it from there; their
+        ``self.mem`` entries only exist after materialization."""
+        mask = 0
+        mem_masks = self._mem_masks
+        obj_id = obj.id
+        kern = self._kern
+        if kern is None:
+            for src in self.dug.mem_defs_of(node, obj):
+                state = mem_masks.get((src.uid, obj_id))
+                if state is not None:
+                    mask |= state
+            return mask
+        brow_of = self._plan.brow_of_uid
         for src in self.dug.mem_defs_of(node, obj):
-            result = result | self.mem.get((src.uid, obj.id), empty)
-        return result
+            brow = brow_of.get(src.uid)
+            if brow is not None:
+                mask |= kern.boundary_mask(brow)
+            else:
+                state = mem_masks.get((src.uid, obj_id))
+                if state is not None:
+                    mask |= state
+        return mask
+
+    def _in_values(self, node: DUGNode, obj: MemObject) -> PTSet:
+        return self.universe.from_mask(self._in_mask(node, obj))
 
     # -- worklist ---------------------------------------------------------
 
     def _push(self, node: DUGNode) -> None:
         uid = node.uid
-        if uid not in self._queued:
-            self._queued.add(uid)
-            heappush(self._work, (self._rank.get(uid, 0), uid))
+        queued = self._queued
+        if uid not in queued:
+            queued.add(uid)
+            heappush(self._heap, self._rank_key[uid])
 
     def _push_top(self, node: DUGNode) -> None:
         self._top_dirty.add(node.uid)
@@ -200,68 +277,93 @@ class SparseSolver:
 
     # -- state updates ------------------------------------------------------
 
-    def _set_top(self, temp: Temp, values, prov=None) -> None:
+    def _set_top(self, temp: Temp, vals_mask: int, prov=None) -> None:
         tracing = self.provenance is not None
-        if not self._apply_top(temp, values, prov, tracing):
+        if not self._apply_top(temp, vals_mask, prov, tracing):
             return
+        copies = self._copies_by_src.get(temp.id)
+        if not copies:
+            return  # hot exit: most temps feed no interprocedural copy
         # Interprocedural copy-chain expansion with a deduped pending
         # set: on diamond-shaped copy graphs the same destination is
         # visited once per round (recomputing its merge over *all* its
         # sources) instead of once per path.
         pending: List[Temp] = []
         pending_ids: Set[int] = set()
-
-        def enqueue_dsts(t: Temp) -> None:
-            for _src, dst in self.dug.copies_from(t):
-                if dst.id not in pending_ids:
-                    pending_ids.add(dst.id)
-                    pending.append(dst)
-
-        enqueue_dsts(temp)
-        empty = self.universe.empty
+        for _src, dst in copies:
+            if dst.id not in pending_ids:
+                pending_ids.add(dst.id)
+                pending.append(dst)
+        masks = self._top_masks
         while pending:
             dst = pending.pop()
             pending_ids.discard(dst.id)
-            current = self.pts_top.get(dst.id, empty)
+            current = masks.get(dst.id, 0)
             merged = current
             for src, _dst in self.dug.copies_into(dst):
-                sv = self.value_pts(src)
+                sv = self._value_mask(src)
                 nm = merged | sv
-                if nm is not merged:
+                if nm != merged:
                     if tracing:
                         self._record_top(dst, merged, sv, ("copy-chain", src))
                     merged = nm
-            if merged is current:
+            if merged == current:
                 continue
-            self.pts_top[dst.id] = merged
+            masks[dst.id] = merged
             for user in self.dug.top_users(dst):
                 self._push_top(user)
-            enqueue_dsts(dst)
+            for _src, nxt in self.dug.copies_from(dst):
+                if nxt.id not in pending_ids:
+                    pending_ids.add(nxt.id)
+                    pending.append(nxt)
 
-    def _apply_top(self, target: Temp, vals, prov, tracing: bool) -> bool:
-        current = self.pts_top.get(target.id, self.universe.empty)
-        merged = current | vals
-        if merged is current:  # vals ⊆ current: O(1) mask subset test
+    def _apply_top(self, target: Temp, vals_mask: int, prov,
+                   tracing: bool) -> bool:
+        masks = self._top_masks
+        tid = target.id
+        current = masks.get(tid, 0)
+        merged = current | vals_mask
+        if merged == current:  # vals ⊆ current
             return False
         if tracing:
-            self._record_top(target, current, vals, prov)
-        self.pts_top[target.id] = merged
-        for user in self.dug.top_users(target):
-            self._push_top(user)
+            self._record_top(target, current, vals_mask, prov)
+        masks[tid] = merged
+        users = self._top_users_map.get(tid)
+        if users:
+            # _push_top inlined: this is the single hottest push site.
+            top_dirty = self._top_dirty
+            queued = self._queued
+            rank_key = self._rank_key
+            heap = self._heap
+            for user in users:
+                uid = user.uid
+                top_dirty.add(uid)
+                if uid not in queued:
+                    queued.add(uid)
+                    heappush(heap, rank_key[uid])
         return True
 
-    def _set_mem(self, node: DUGNode, obj: MemObject, values: PTSet,
+    def _set_mem(self, node: DUGNode, obj: MemObject, vals_mask: int,
                  prov=None) -> None:
         key = (node.uid, obj.id)
-        current = self.mem.get(key, self.universe.empty)
-        merged = current | values
-        if merged is current:
+        masks = self._mem_masks
+        current = masks.get(key, 0)
+        merged = current | vals_mask
+        if merged == current:
             return
         if self.provenance is not None:
-            self._record_mem(node, obj, current, values, prov)
-        self.mem[key] = merged
-        delta = merged.mask & ~current.mask
+            self._record_mem(node, obj, current, vals_mask, prov)
+        masks[key] = merged
+        delta = merged & ~current
         obj_id = obj.id
+        inj_by_obj = self._inj_targets.get(node.uid)
+        if inj_by_obj is not None:
+            sccs = inj_by_obj.get(obj_id)
+            if sccs:
+                kern = self._kern
+                for scc in sccs:
+                    self.delta_propagations += 1
+                    kern.inject(scc, delta)
         by_obj = self._out_edges.get(node.uid)
         if by_obj is None:
             return
@@ -278,13 +380,51 @@ class SparseSolver:
 
     # -- solving ---------------------------------------------------------------
 
-    def _prepare_schedule(self) -> None:
-        """SCC-condense the value-flow graph into topological ranks
-        and cache per-node out-edges with their delta channel."""
-        self._rank, self.scc_count = self.dug.compute_topo_ranks()
+    # Pseudo-statements whose whole transfer is a per-object union —
+    # batchable by the kernel. Call chis qualify only when their site
+    # is not a Fork: fork chis also write the abstract thread id into
+    # the handle slot on top-dirty visits.
+    _MERGE_TYPES = (MemPhiNode, FormalInNode, FormalOutNode, CallMuNode)
+
+    def _is_kernel_merge(self, node: DUGNode) -> bool:
+        if isinstance(node, self._MERGE_TYPES):
+            return True
+        return isinstance(node, CallChiNode) and \
+            not isinstance(node.site, Fork)
+
+    _TOP_TAGS = {AddrOf: TAG_ADDR, Copy: TAG_COPY, Phi: TAG_PHI,
+                 Gep: TAG_GEP}
+
+    @classmethod
+    def _node_tag(cls, node: DUGNode) -> int:
+        if isinstance(node, StmtNode):
+            instr = node.instr
+            if isinstance(instr, Load):
+                return TAG_LOAD
+            if isinstance(instr, Store):
+                return TAG_STORE
+            return cls._TOP_TAGS.get(type(instr), TAG_TOP_OTHER)
+        if isinstance(node, CallChiNode):
+            return TAG_CHI
+        return TAG_MERGE
+
+    def _build_schedule(self, kernel: bool) -> Dict[str, object]:
+        """Materialise the solver's static per-graph structures: the
+        node index, the seed list, and the per-node out-edge caches —
+        split, when *kernel* is set, into scalar delta channels and
+        merge-subgraph injection targets around the kernel plan.
+
+        Everything here is a pure function of the frozen DUG, so the
+        result is memoized in ``dug.schedule_cache`` and shared by
+        every solver constructed on the graph; nothing in the bundle
+        is mutated during a solve.
+        """
         dug = self.dug
-        node_by_uid = self._node_by_uid
-        out_edges = self._out_edges
+        node_by_uid: Dict[int, Tuple[DUGNode, int]] = {}
+        out_edges: Dict[
+            int, Dict[int, List[Tuple[MemObject, DUGNode, bool]]]] = {}
+        inj_targets: Dict[int, Dict[int, List[int]]] = {}
+        seeds: List[DUGNode] = []
         # Thread-aware edges into loads take the unconditional delta
         # channel; flag them from the (small) thread-edge list rather
         # than querying is_thread_edge once per o-edge.
@@ -292,40 +432,149 @@ class SparseSolver:
         for src, obj, dst in dug.thread_edges:
             if isinstance(dst, StmtNode) and isinstance(dst.instr, Load):
                 to_load.add((src.uid, obj.id, dst.uid))
+        plan = None
+        kernel_unavailable = None
+        if kernel:
+            merge_nodes = [node for node in dug.nodes
+                           if self._is_kernel_merge(node)]
+            if merge_nodes:
+                try:
+                    plan = build_plan(dug, merge_nodes, self._rank, to_load)
+                except ValueError:
+                    # A mixed-object merge edge would let one object's
+                    # delta leak into another's chain; no builder
+                    # produces one, but fall back to the scalar path
+                    # rather than crash.
+                    kernel_unavailable = "mixed-object"
+            else:
+                kernel_unavailable = "no-merge-nodes"
+        scc_of_uid = plan.scc_of_uid if plan is not None else {}
         for node in dug.nodes:
             uid = node.uid
-            node_by_uid[uid] = node
+            node_by_uid[uid] = (node, self._node_tag(node))
+            if self._is_seed(node):
+                seeds.append(node)
+            if uid in scc_of_uid:
+                # In the kernel: edges live in the plan (internal or
+                # boundary); the node never enters the worklist.
+                continue
             out = dug.mem_out(node)
             if not out:
                 continue
             by_obj: Dict[int, List[Tuple[MemObject, DUGNode, bool]]] = {}
+            inj_by_obj: Dict[int, List[int]] = {}
             for obj, dst in out:
+                scc = scc_of_uid.get(dst.uid)
+                if scc is not None:
+                    # A delta whose object differs from the merge
+                    # node's own is dropped by the scalar merge
+                    # transfer too (pend lookup misses); skip it.
+                    if obj.id == dst.obj.id:
+                        sccs = inj_by_obj.setdefault(obj.id, [])
+                        if scc not in sccs:
+                            sccs.append(scc)
+                    continue
                 by_obj.setdefault(obj.id, []).append(
                     (obj, dst,
                      bool(to_load) and (uid, obj.id, dst.uid) in to_load))
-            out_edges[uid] = by_obj
+            if by_obj:
+                out_edges[uid] = by_obj
+            if inj_by_obj:
+                inj_targets[uid] = inj_by_obj
+        rank = self._rank
+        rank_key = {uid: (rank.get(uid, 0) << 32) | uid
+                    for uid in node_by_uid}
+        return {
+            "node_by_uid": node_by_uid,
+            "out_edges": out_edges,
+            "inj_targets": inj_targets,
+            "seeds": seeds,
+            "plan": plan,
+            "kernel_unavailable": kernel_unavailable,
+            "rank_key": rank_key,
+        }
 
-    def _seed(self) -> None:
-        """Enqueue only the nodes that can produce facts from nothing:
-        AddrOf statements, copies/phis of function values, and
-        fork-handle chis (their thread-id write needs no incoming
-        state once the handle pointer resolves)."""
-        for node in self.dug.nodes:
-            if isinstance(node, StmtNode):
-                instr = node.instr
-                seed = (isinstance(instr, AddrOf)
-                        or (isinstance(instr, Copy)
-                            and isinstance(instr.src, Function))
-                        or (isinstance(instr, Phi)
-                            and any(isinstance(v, Function)
-                                    for v, _b in instr.incomings)))
+    def _schedule_bundle(self, kernel: bool) -> Dict[str, object]:
+        key = "solver_schedule:kernel" if kernel else "solver_schedule:scalar"
+        cached = self.dug.schedule_cache.get(key)
+        if cached is None:
+            cached = self._build_schedule(kernel)
+            self.dug.schedule_cache[key] = cached
+        return cached
+
+    def _prepare_schedule(self) -> None:
+        """SCC-condense the value-flow graph into topological ranks,
+        build (or reuse) the per-graph schedule bundle, and stand up
+        the kernel backend for this solve."""
+        self._rank, self.scc_count = self.dug.compute_topo_ranks()
+        backend = backend_name(self.config.kernel)
+        if backend is not None and self.provenance is not None:
+            # Provenance records the first-introduction trigger of
+            # every fact at every visit; the kernel skips interior
+            # merge visits entirely, so tracing forces the scalar
+            # path.
+            self.kernel_fallbacks = 1
+            backend = None
+        sched = self._schedule_bundle(backend is not None)
+        if backend is not None and sched["plan"] is None:
+            if sched["kernel_unavailable"] == "mixed-object":
+                self.kernel_fallbacks = 1
+            sched = self._schedule_bundle(False)
+            backend = None
+        self._node_by_uid = sched["node_by_uid"]
+        self._out_edges = sched["out_edges"]
+        self._inj_targets = sched["inj_targets"]
+        self._seeds = sched["seeds"]
+        if backend is not None:
+            self._plan = sched["plan"]
+            if backend == "numpy" and self.config.kernel == "auto" and \
+                    self._plan.max_reach < AUTO_NUMPY_MIN_REACH:
+                # Thin merge chains: one injection reaches a handful of
+                # rows at most, so the vectorized sweep's fixed costs
+                # never amortise — big-int accumulators win.
+                backend = "python"
+            self._kern = make_kernel(backend, self._plan, len(self.universe))
+            self.kernel_backend = backend
+        self._rank_key = sched["rank_key"]
+        self._heap = []
+
+    @staticmethod
+    def _is_seed(node: DUGNode) -> bool:
+        """Nodes that can produce facts from nothing: AddrOf
+        statements, copies/phis of function values, and fork-handle
+        chis (their thread-id write needs no incoming state once the
+        handle pointer resolves)."""
+        if isinstance(node, StmtNode):
+            instr = node.instr
+            return (isinstance(instr, AddrOf)
+                    or (isinstance(instr, Copy)
+                        and isinstance(instr.src, Function))
+                    or (isinstance(instr, Phi)
+                        and any(isinstance(v, Function)
+                                for v, _b in instr.incomings)))
+        return (isinstance(node, CallChiNode)
+                and isinstance(node.site, Fork)
+                and node.site.handle_ptr is not None)
+
+    def _seed(self) -> int:
+        """Activate the fact sources. Top-level-only seeds (AddrOf,
+        function-value copies/phis) read no solver state, so they are
+        evaluated on the spot rather than paying a queue round-trip
+        each; everything else (fork-handle chis) is enqueued. Returns
+        the number of direct evaluations (they count as iterations)."""
+        node_by_uid = self._node_by_uid
+        visited = self._visited
+        direct = 0
+        for node in self._seeds:
+            self.seeded_nodes += 1
+            tag = node_by_uid[node.uid][1]
+            if tag >= TAG_ADDR:
+                visited.add(node.uid)
+                direct += 1
+                self._eval_top_stmt(node, node.instr, tag)
             else:
-                seed = (isinstance(node, CallChiNode)
-                        and isinstance(node.site, Fork)
-                        and node.site.handle_ptr is not None)
-            if seed:
-                self.seeded_nodes += 1
                 self._push_top(node)
+        return direct
 
     def solve(self) -> None:
         self._prepare_schedule()
@@ -333,21 +582,116 @@ class SparseSolver:
         # Interprocedural top-level copies whose sources are constants
         # or function values never re-trigger; evaluate them up front.
         for src, dst in self.dug.top_copies:
-            self._set_top(dst, self.value_pts(src),
+            self._set_top(dst, self._value_mask(src),
                           ("copy-chain", src) if tracing else None)
-        self._seed()
-        work = self._work
+        iterations = self._seed()
         queued = self._queued
         node_by_uid = self._node_by_uid
         visited = self._visited
-        while work:
-            if self.deadline is not None and self.iterations % 256 == 0:
-                self.deadline.check()
-            self.iterations += 1
-            _rank, uid = heappop(work)
-            queued.discard(uid)
-            visited.add(uid)
-            self._eval(node_by_uid[uid])
+        kern = self._kern
+        deadline = self.deadline
+        heap = self._heap
+        top_dirty = self._top_dirty
+        if kern is None:
+            while queued:
+                if deadline is not None and iterations % 256 == 0:
+                    deadline.check()
+                iterations += 1
+                uid = heappop(heap) & 0xFFFFFFFF
+                queued.discard(uid)
+                visited.add(uid)
+                node, tag = node_by_uid[uid]
+                if tag >= TAG_ADDR:
+                    # Top-level-only statements (the bulk of visits):
+                    # no memory in-edges, so no pending book to pop.
+                    if uid in top_dirty:
+                        top_dirty.remove(uid)
+                        self._eval_top_stmt(node, node.instr, tag)
+                    continue
+                self._eval(node, tag)
+            self.iterations = iterations
+            self._finalize_states()
+            return
+        deliver = self._deliver_boundary
+        while queued or kern.has_pending:
+            # Rank-gated flush: buffered injections must land before
+            # the worklist evaluates anything that can observe them —
+            # the earliest such visit is at the plan's precomputed
+            # min boundary-reader rank. Flushing no earlier than that
+            # is pure batching: states are monotone, interiors are
+            # never read mid-solve, and the readers' pend deltas are
+            # delivered by the flush itself.
+            if queued:
+                key = heap[0]
+                if kern.pending_min_rank <= key >> 32:
+                    kern.flush(deliver)
+                    continue  # deliveries may have lowered the min key
+                if deadline is not None and iterations % 256 == 0:
+                    deadline.check()
+                iterations += 1
+                heappop(heap)
+                uid = key & 0xFFFFFFFF
+                queued.discard(uid)
+                visited.add(uid)
+                node, tag = node_by_uid[uid]
+                if tag >= TAG_ADDR:
+                    if uid in top_dirty:
+                        top_dirty.remove(uid)
+                        self._eval_top_stmt(node, node.instr, tag)
+                    continue
+                self._eval(node, tag)
+            else:
+                kern.flush(deliver)
+        self.iterations = iterations
+        self._finalize_states()
+        # Interior merge states were never touched during the solve;
+        # reconstruct every final state in one DAG sweep. Rows arrive
+        # grouped by SCC, so each distinct mask is interned once and
+        # the resulting set is shared across all member rows.
+        from_mask = self.universe.from_mask
+        mem = self.mem
+        for mask, nodes in kern.materialize():
+            state = from_mask(mask)
+            for node in nodes:
+                mem[(node.uid, node.obj.id)] = state
+
+    def _finalize_states(self) -> None:
+        """Intern the raw-mask fixpoint into the public PTSet views
+        (``pts_top``/``mem``). The solve itself never touches the
+        interning table for state updates — only distinct final masks
+        are interned, here, once."""
+        from_mask = self.universe.from_mask
+        memo: Dict[int, PTSet] = {}
+        memo_get = memo.get
+        pts_top = self.pts_top
+        for tid, m in self._top_masks.items():
+            s = memo_get(m)
+            if s is None:
+                s = memo[m] = from_mask(m)
+            pts_top[tid] = s
+        mem = self.mem
+        for key, m in self._mem_masks.items():
+            s = memo_get(m)
+            if s is None:
+                s = memo[m] = from_mask(m)
+            mem[key] = s
+
+    def _deliver_boundary(self, boundary_id: int, new_bits: int) -> None:
+        """Kernel flush callback: route a boundary row's newly-grown
+        bits into the scalar pending books, exactly as a scalar
+        ``_set_mem`` at the merge node would have."""
+        pending = self._pending
+        pending_thread = self._pending_thread
+        for obj, dst, thread_to_load in self._plan.boundary_edges[boundary_id]:
+            self.delta_propagations += 1
+            book = pending_thread if thread_to_load else pending
+            slot = book.setdefault(dst.uid, {})
+            entry = slot.get(obj.id)
+            if entry is None:
+                slot[obj.id] = [obj, new_bits]
+            else:
+                entry[1] |= new_bits
+            self._push(dst)
 
     _MERGE_RULES = {
         MemPhiNode: "mem-phi",
@@ -356,21 +700,26 @@ class SparseSolver:
         CallMuNode: "call-mu",
     }
 
-    def _eval(self, node: DUGNode) -> None:
+    def _eval(self, node: DUGNode, tag: int) -> None:
         uid = node.uid
-        dirty = uid in self._top_dirty
-        if dirty:
-            self._top_dirty.discard(uid)
+        top_dirty = self._top_dirty
+        if uid in top_dirty:
+            top_dirty.remove(uid)
+            dirty = True
+        else:
+            dirty = False
+        if tag >= TAG_ADDR:
+            # Top-level-only statements: no memory in-edges, so the
+            # pending book can never hold a delta for them.
+            if dirty:
+                self._eval_top_stmt(node, node.instr, tag)
+            return
         pend = self._pending.pop(uid, None)
-        if isinstance(node, StmtNode):
-            instr = node.instr
-            if isinstance(instr, Load):
-                self._eval_load(node, instr, dirty, pend)
-            elif isinstance(instr, Store):
-                self._eval_store(node, instr, dirty, pend)
-            elif dirty:
-                self._eval_top_stmt(node, instr)
-        elif isinstance(node, CallChiNode):
+        if tag == TAG_LOAD:
+            self._eval_load(node, node.instr, dirty, pend)
+        elif tag == TAG_STORE:
+            self._eval_store(node, node.instr, dirty, pend)
+        elif tag == TAG_CHI:
             self._eval_call_chi(node, dirty, pend)
         elif pend:
             # Merge pseudo-statements (memory phi, formal-in/out,
@@ -383,8 +732,7 @@ class SparseSolver:
                 prov = None
                 if self.provenance is not None:
                     prov = (self._MERGE_RULES[type(node)], node)
-                self._set_mem(node, obj,
-                              self.universe.from_mask(entry[1]), prov)
+                self._set_mem(node, obj, entry[1], prov)
 
     def _eval_call_chi(self, node: CallChiNode, dirty: bool,
                        pend: Optional[Dict[int, List]]) -> None:
@@ -401,33 +749,48 @@ class SparseSolver:
                 # handle slot happens at this chi; the chi is a
                 # top-level user of the handle pointer, so it re-runs
                 # whenever pt(handle) grows.
-                if obj in self.value_pts(site.handle_ptr):
+                if self.universe.mask_contains(
+                        self._value_mask(site.handle_ptr), obj):
                     tid = self.andersen.thread_objects.get(site.id)
                     if tid is not None:
                         mask |= self.universe.singleton(tid).mask
         if mask:
             prov = ("call-chi", node) if self.provenance is not None else None
-            self._set_mem(node, obj, self.universe.from_mask(mask), prov)
+            self._set_mem(node, obj, mask, prov)
 
-    def _eval_top_stmt(self, node: StmtNode, instr) -> None:
+    def _eval_top_stmt(self, node: StmtNode, instr, tag: int) -> None:
         tracing = self.provenance is not None
-        if isinstance(instr, AddrOf):
-            self._set_top(instr.dst, {instr.obj},
-                          ("addr", node) if tracing else None)
-        elif isinstance(instr, Copy):
-            self._set_top(instr.dst, self.value_pts(instr.src),
+        if tag == TAG_COPY:
+            self._set_top(instr.dst, self._value_mask(instr.src),
                           ("copy", node) if tracing else None)
-        elif isinstance(instr, Phi):
-            merged = self.universe.empty
+        elif tag == TAG_ADDR:
+            self._set_top(instr.dst, self.universe.singleton(instr.obj).mask,
+                          ("addr", node) if tracing else None)
+        elif tag == TAG_PHI:
+            mask = 0
             for value, _block in instr.incomings:
-                merged = merged | self.value_pts(value)
-            self._set_top(instr.dst, merged,
+                mask |= self._value_mask(value)
+            self._set_top(instr.dst, mask,
                           ("phi", node) if tracing else None)
-        elif isinstance(instr, Gep):
-            derived = self.universe.make(
-                derive_field(obj, instr.field_index)
-                for obj in self.value_pts(instr.base))
-            self._set_top(instr.dst, derived,
+        elif tag == TAG_GEP:
+            # Incremental: pt(base) is monotone, so only derive fields
+            # for base objects new since the last visit — revisits of
+            # a hot gep stop re-walking the whole base set.
+            cache = self._gep_cache.get(node.uid)
+            if cache is None:
+                cache = self._gep_cache[node.uid] = [0, 0]
+            base_mask = self._value_mask(instr.base)
+            new_bits = base_mask & ~cache[0]
+            if new_bits:
+                cache[0] = base_mask
+                universe = self.universe
+                index = universe.index
+                field_index = instr.field_index
+                derived = 0
+                for obj in universe.iter_mask(new_bits):
+                    derived |= 1 << index(derive_field(obj, field_index))
+                cache[1] |= derived
+            self._set_top(instr.dst, cache[1],
                           ("gep", node) if tracing else None)
         # Call / Fork / Join: top-level linking flows through
         # dug.top_copies; memory effects flow through mu/chi nodes.
@@ -442,17 +805,17 @@ class SparseSolver:
             # The pointer (or mus) view changed: fully read any
             # newly-reachable container once; afterwards its growth
             # arrives as deltas.
-            empty = self.universe.empty
-            containers = self.value_pts(instr.ptr) & \
-                self.builder.mus.get(instr.id, empty)
-            if containers:
+            mus = self.builder.mus.get(instr.id)
+            container_mask = self._value_mask(instr.ptr) & mus.mask \
+                if mus is not None else 0
+            if container_mask:
                 if seen is None:
                     seen = self._load_seen[uid] = set()
-                for obj in containers:
+                for obj in self.universe.iter_mask(container_mask):
                     if obj.id in seen:
                         continue
                     seen.add(obj.id)
-                    mask |= self._in_values(node, obj).mask
+                    mask |= self._in_mask(node, obj)
         if pend and seen:
             for obj_id, entry in pend.items():
                 if obj_id in seen:
@@ -467,7 +830,7 @@ class SparseSolver:
                 mask |= entry[1]
         if mask:
             tracing = self.provenance is not None
-            self._set_top(instr.dst, self.universe.from_mask(mask),
+            self._set_top(instr.dst, mask,
                           ("load", node) if tracing else None)
 
     def _eval_store(self, node: StmtNode, instr: Store, dirty: bool,
@@ -481,37 +844,42 @@ class SparseSolver:
             # states are updated before deltas are enqueued), and
             # deltas into strong/kill-classified objects are dropped
             # by the rules themselves.
-            targets = self.value_pts(instr.ptr)
-            stored = self.value_pts(instr.value)
+            universe = self.universe
+            targets_mask = self._value_mask(instr.ptr)
+            stored_mask = self._value_mask(instr.value)
+            # Exactly one target <=> nonzero mask with one bit set.
+            one_target = targets_mask != 0 and \
+                targets_mask & (targets_mask - 1) == 0
             classes = self._store_class.get(uid)
             if classes is None:
                 classes = self._store_class[uid] = {}
             for obj in self.builder.chis.get(instr.id, self.universe.empty):
-                if not targets:
+                if not targets_mask:
                     # kill(s, p) = A for an empty pointer: the store
                     # goes nowhere known; nothing propagates (paper
                     # Figure 10).
                     classes[obj.id] = KILL
                     continue
-                if obj not in targets:
+                if not universe.mask_contains(targets_mask, obj):
                     # Pass-through: the store cannot touch obj.
                     classes[obj.id] = PASS
-                    self._set_mem(node, obj, self._in_values(node, obj),
+                    self._set_mem(node, obj, self._in_mask(node, obj),
                                   ("store-through", node) if tracing else None)
                     continue
-                strong = len(targets) == 1 and obj.is_singleton
+                strong = one_target and obj.is_singleton
                 if strong and \
                         not self.config.strong_updates_at_interfering_stores:
                     strong = not self.dug.is_interfering(node, obj)
                 if strong:
                     classes[obj.id] = STRONG
                     self.strong_updates += 1
-                    self._set_mem(node, obj, stored,
+                    self._set_mem(node, obj, stored_mask,
                                   ("store-strong", node) if tracing else None)
                 else:
                     classes[obj.id] = WEAK
                     self.weak_updates += 1
-                    self._set_mem(node, obj, stored | self._in_values(node, obj),
+                    self._set_mem(node, obj,
+                                  stored_mask | self._in_mask(node, obj),
                                   ("store-weak", node) if tracing else None)
             return
         if not pend:
@@ -521,15 +889,14 @@ class SparseSolver:
             # Never visited top-dirty: pt(ptr) is still empty, so
             # every object is killed (nothing propagates).
             return
-        from_mask = self.universe.from_mask
         for obj_id, entry in pend.items():
             cls = classes.get(obj_id)
             if cls is PASS:
-                self._set_mem(node, entry[0], from_mask(entry[1]),
+                self._set_mem(node, entry[0], entry[1],
                               ("store-through", node) if tracing else None)
             elif cls is WEAK:
                 self.weak_updates += 1
-                self._set_mem(node, entry[0], from_mask(entry[1]),
+                self._set_mem(node, entry[0], entry[1],
                               ("store-weak", node) if tracing else None)
             # STRONG / KILL: the incoming delta is killed by the rule.
 
@@ -544,13 +911,11 @@ class SparseSolver:
     # read: predecessor states are updated before their deltas are
     # delivered.
 
-    def _record_top(self, target: Temp, current: PTSet, vals,
+    def _record_top(self, target: Temp, current_mask: int, vals_mask: int,
                     prov: Optional[Tuple]) -> None:
         rule, origin = prov if prov is not None else ("seed", None)
         assert self.provenance is not None
-        for obj in vals:
-            if obj in current:
-                continue
+        for obj in self.universe.from_mask(vals_mask & ~current_mask):
             key = top_fact(target.id, obj.id)
             if key in self.provenance:
                 continue
@@ -595,22 +960,25 @@ class SparseSolver:
         checking the sparse (sequential) in-edges first, then the
         [THREAD-VF] edges, so a fact only explicable through thread
         interference is attributed to its thread-aware edge."""
-        empty = self.universe.empty
+        universe = self.universe
+        mem_masks = self._mem_masks
         instr = node.instr
         containers = self.value_pts(instr.ptr) & \
-            self.builder.mus.get(instr.id, empty)
+            self.builder.mus.get(instr.id, universe.empty)
         for container in containers:
             for src in self.dug.mem_defs_of(node, container):
                 # Thread-aware edges also live in _mem_in; defer them
                 # to the second pass so they carry their annotation.
                 if self.dug.is_thread_edge(src, container, node):
                     continue
-                if obj in self.mem.get((src.uid, container.id), empty):
+                if universe.mask_contains(
+                        mem_masks.get((src.uid, container.id), 0), obj):
                     return Derivation(
                         "load", node,
                         mem_fact(src.uid, container.id, obj.id))
         for container, src in self.dug.thread_in_edges(node):
-            if obj in self.mem.get((src.uid, container.id), empty):
+            if universe.mask_contains(
+                    mem_masks.get((src.uid, container.id), 0), obj):
                 return Derivation(
                     "load", node,
                     mem_fact(src.uid, container.id, obj.id),
@@ -619,12 +987,11 @@ class SparseSolver:
         return Derivation("load", node, None)
 
     def _record_mem(self, node: DUGNode, container: MemObject,
-                    current: PTSet, vals, prov: Optional[Tuple]) -> None:
+                    current_mask: int, vals_mask: int,
+                    prov: Optional[Tuple]) -> None:
         rule, origin = prov if prov is not None else ("seed", node)
         assert self.provenance is not None
-        for obj in vals:
-            if obj in current:
-                continue
+        for obj in self.universe.from_mask(vals_mask & ~current_mask):
             key = mem_fact(node.uid, container.id, obj.id)
             if key in self.provenance:
                 continue
@@ -655,9 +1022,11 @@ class SparseSolver:
 
     def _find_mem_trigger(self, node: DUGNode, container: MemObject,
                           obj: MemObject) -> Optional[Tuple]:
-        empty = self.universe.empty
+        universe = self.universe
+        mem_masks = self._mem_masks
         for src in self.dug.mem_defs_of(node, container):
-            if obj in self.mem.get((src.uid, container.id), empty):
+            if universe.mask_contains(
+                    mem_masks.get((src.uid, container.id), 0), obj):
                 return mem_fact(src.uid, container.id, obj.id)
         return None
 
@@ -702,6 +1071,18 @@ class SparseSolver:
                   max(0, self.iterations - len(self._visited)))
         obs.count("solver.delta_propagations", self.delta_propagations)
         obs.count("solver.seeded_nodes", self.seeded_nodes)
+        # Kernel accounting: batches = flush sweeps, injections =
+        # scalar deltas entering the merge subgraph, updates =
+        # boundary rows actually grown, fallbacks = runs that
+        # requested a kernel but had to take the scalar path.
+        kern = self._kern
+        obs.count("solver.kernel_batches", kern.batches if kern else 0)
+        obs.count("solver.kernel_injections", kern.injections if kern else 0)
+        obs.count("solver.kernel_updates", kern.updates if kern else 0)
+        obs.count("solver.kernel_fallbacks", self.kernel_fallbacks)
+        if self._plan is not None:
+            obs.gauge("solver.kernel_rows", self._plan.n_rows)
+            obs.gauge("solver.kernel_boundary_rows", self._plan.n_boundary)
         obs.gauge("solver.sccs", self.scc_count)
         obs.gauge("solver.dug_nodes", len(self.dug.nodes))
         obs.gauge("solver.points_to_entries", self.points_to_entries())
@@ -712,6 +1093,7 @@ class SparseSolver:
         obs.count("pts.union_cache_hits", int(ustats["union_cache_hits"]))
         obs.count("pts.intersect_cache_hits",
                   int(ustats["intersect_cache_hits"]))
+        obs.count("pts.cache_clears", int(ustats["cache_clears"]))
         obs.gauge("pts.distinct_sets", int(ustats["distinct_sets"]))
         obs.gauge("pts.objects", int(ustats["objects"]))
         obs.gauge("pts.dedup_ratio", round(float(ustats["dedup_ratio"]), 3))

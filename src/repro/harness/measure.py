@@ -97,6 +97,37 @@ def measure_fsam(name: str, source: str, config: Optional[FSAMConfig] = None) ->
                      lambda: FSAM(module, config, obs=obs).run(), obs=obs)
 
 
+def time_fsam_solve(result, config: FSAMConfig, reps: int = 5,
+                    warmup: int = 2) -> list:
+    """Per-iteration wall-clock of just the solve phase, re-run on an
+    already-analyzed pipeline (*result* is an ``FSAMResult``).
+
+    Unlike :func:`measure_fsam` this never runs under tracemalloc —
+    allocation tracing taxes every solver allocation and distorts
+    engine comparisons — and it collects garbage before each timed
+    iteration so another run's cycles are not billed to this one.
+    A fresh solver is constructed per iteration (construction is part
+    of the engine's cost); *warmup* iterations populate the DUG's
+    schedule/topology caches and are discarded.
+    """
+    from repro.fsam.reference import ReferenceSolver
+    from repro.fsam.solver import SparseSolver
+    engine = ReferenceSolver \
+        if config.solver_engine == "reference" else SparseSolver
+
+    def one() -> float:
+        solver = engine(result.module, result.dug, result.builder,
+                        result.andersen, config=config)
+        gc.collect()
+        start = time.perf_counter()
+        solver.solve()
+        return time.perf_counter() - start
+
+    for _ in range(warmup):
+        one()
+    return [one() for _ in range(reps)]
+
+
 def measure_nonsparse(name: str, source: str,
                       budget: Optional[float] = None) -> Measurement:
     """Compile and run NONSPARSE under measurement, with OOT budget."""

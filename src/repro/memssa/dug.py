@@ -142,10 +142,21 @@ class DUG:
         # Interference: objects at which a store statement participates
         # in an MHP store-store/store-load pair (set by value-flow).
         self.interfering: Dict[int, Set[MemObject]] = {}
+        # Scheduling-metadata memo. The graph is frozen once the
+        # value-flow phase finishes, but solvers are constructed on it
+        # repeatedly (differential runs, ablation sweeps, benchmark
+        # samples), and the derived structures they need — topological
+        # ranks, the vectorized kernel's merge-subgraph plan, per-node
+        # out-edge caches — are pure functions of the edge set. They
+        # live here under string keys and are dropped wholesale on any
+        # graph mutation.
+        self.schedule_cache: Dict[str, object] = {}
 
     # -- nodes --------------------------------------------------------------
 
     def add_node(self, node: DUGNode) -> DUGNode:
+        if self.schedule_cache:
+            self.schedule_cache.clear()
         self.nodes.append(node)
         if isinstance(node, StmtNode):
             self._stmt_nodes[node.instr.id] = node
@@ -170,6 +181,8 @@ class DUG:
         key = (src.uid, obj.id, dst.uid)
         if key in self._mem_edge_set:
             return False
+        if self.schedule_cache:
+            self.schedule_cache.clear()
         self._mem_edge_set.add(key)
         self._mem_out.setdefault(src.uid, []).append((obj, dst))
         self._mem_in.setdefault(dst.uid, {}).setdefault(obj, []).append(src)
@@ -212,6 +225,8 @@ class DUG:
     # -- top-level def-use ----------------------------------------------------
 
     def add_top_user(self, temp: Temp, node: DUGNode) -> None:
+        if self.schedule_cache:
+            self.schedule_cache.clear()
         self._top_users.setdefault(temp.id, []).append(node)
 
     def top_users(self, temp: Temp) -> List[DUGNode]:
@@ -220,6 +235,8 @@ class DUG:
     def add_top_copy(self, src, dst: Temp) -> None:
         """Record an interprocedural copy (call argument -> parameter,
         return value -> call result)."""
+        if self.schedule_cache:
+            self.schedule_cache.clear()
         pair = (src, dst)
         self.top_copies.append(pair)
         if isinstance(src, Temp):
@@ -252,7 +269,15 @@ class DUG:
         Ranks are pure scheduling metadata: any order reaches the same
         fixpoint (transfer functions are union-monotone), ascending
         ranks just minimise revisits by draining upstream SCCs first.
+
+        Memoized in :attr:`schedule_cache` (the dominant cost is the
+        full-graph Tarjan pass): repeat solves on the same frozen
+        graph pay it once.
         """
+        cached = self.schedule_cache.get("topo_ranks")
+        if cached is not None:
+            return cached
+
         from repro.graphs.scc import topo_ranks_dense
 
         # Densify: statement nodes take slots 0..n-1 (list position),
@@ -272,9 +297,11 @@ class DUG:
                 succ.append([])
             return s
 
+        mem_out = self._mem_out
+        empty_out: List[Tuple[MemObject, DUGNode]] = []
         for i, node in enumerate(nodes):
             out = succ[i]
-            for _obj, dst in self.mem_out(node):
+            for _obj, dst in mem_out.get(node.uid, empty_out):
                 out.append(slot_of_uid[dst.uid])
             instr = getattr(node, "instr", None)
             if instr is not None:
@@ -292,8 +319,51 @@ class DUG:
             else:
                 tslot(dst.id)
         rank, scc_count = topo_ranks_dense(succ)
-        return ({node.uid: rank[i] for i, node in enumerate(nodes)},
-                scc_count)
+        result = ({node.uid: rank[i] for i, node in enumerate(nodes)},
+                  scc_count)
+        self.schedule_cache["topo_ranks"] = result
+        return result
+
+    def merge_topology(self, members: List[DUGNode]) -> Tuple[
+            List[List[int]], List[List[Tuple[MemObject, DUGNode]]]]:
+        """Split *members*' out-edges into the merge-internal subgraph
+        and its boundary, in flat row-indexed arrays.
+
+        *members* are per-object merge pseudo-statements (one
+        ``node.obj`` each). Returns ``(internal, boundary)`` where
+        ``internal[i]`` lists the row indices (positions in *members*)
+        of member-to-member successors and ``boundary[i]`` lists the
+        remaining ``(obj, dst)`` out-edges verbatim. This is the edge
+        grouping the sparse solver's vectorized kernel plans over:
+        rows ordered by creation, internal edges as dense ints ready
+        for SCC condensation, boundary edges keeping their node/object
+        identity for scalar delivery.
+
+        A member-to-member edge whose label differs from the shared
+        object of its endpoints would let one object's delta leak into
+        another object's merge chain; the builder never produces one,
+        and this guards the invariant the kernel relies on.
+        """
+        row_of_uid = {node.uid: i for i, node in enumerate(members)}
+        internal: List[List[int]] = [[] for _ in members]
+        boundary: List[List[Tuple[MemObject, DUGNode]]] = [[] for _ in members]
+        mem_out = self._mem_out
+        empty_out: List[Tuple[MemObject, DUGNode]] = []
+        for i, node in enumerate(members):
+            obj_id = node.obj.id
+            internal_i = internal[i]
+            boundary_i = boundary[i]
+            for obj, dst in mem_out.get(node.uid, empty_out):
+                j = row_of_uid.get(dst.uid)
+                if j is not None:
+                    if obj.id != obj_id or dst.obj.id != obj_id:
+                        raise ValueError(
+                            f"mixed-object merge edge {node!r} --"
+                            f"{obj.name}--> {dst!r}")
+                    internal_i.append(j)
+                else:
+                    boundary_i.append((obj, dst))
+        return internal, boundary
 
     # -- interference bookkeeping ---------------------------------------------
 

@@ -19,7 +19,19 @@ a compact shared one:
 The universe also memoises union and intersection results for hot
 pairs of interned sets, and keeps the counters behind the dedup-ratio
 statistic reported by ``benchmarks/test_pts_representation.py``
-(total set references handed out / distinct interned sets).
+(total set references handed out / distinct interned sets). The memo
+caches are *bounded*: when one reaches ``cache_cap`` entries it is
+generation-cleared (dropped wholesale and rebuilt by subsequent
+traffic), so a long-lived process analysing many programs — or one
+very large program — holds at most ``2 * cache_cap`` memo entries per
+universe instead of growing without bound.
+
+For batch consumers (the sparse solver's vectorized kernel, merge
+re-evaluations) :meth:`PTUniverse.union_many` and
+:meth:`PTUniverse.diff_many` fold an arbitrary number of operand
+masks with plain int arithmetic and touch the interning table exactly
+once for the final result, instead of interning every intermediate
+union.
 
 ``PTSet`` is deliberately duck-typed against ``frozenset[MemObject]``:
 it iterates ``MemObject``s, supports ``in``/``len``/``bool``, and its
@@ -152,6 +164,12 @@ def mask_from_hex(text: str) -> int:
     return int(text, 16)
 
 
+#: Default bound on each binary-operation memo cache. Reaching it
+#: triggers a generation clear, so steady-state memo memory per
+#: universe is O(cache_cap) however many sets flow through it.
+DEFAULT_CACHE_CAP = 1 << 15
+
+
 class PTUniverse:
     """Dense ``MemObject`` numbering plus the intern table for
     :class:`PTSet`.
@@ -161,13 +179,18 @@ class PTUniverse:
     masks from different runs are never mixed.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cache_cap: int = DEFAULT_CACHE_CAP) -> None:
         self._objects: List[MemObject] = []        # dense index -> object
         self._indices: Dict[int, int] = {}         # MemObject.id -> dense index
         self._interned: Dict[int, PTSet] = {}      # mask -> canonical PTSet
         self._singletons: Dict[int, PTSet] = {}    # dense index -> {obj}
         self._union_cache: Dict[Tuple[int, int], PTSet] = {}
         self._intersect_cache: Dict[Tuple[int, int], PTSet] = {}
+        # Memo caches are generation-cleared at this many entries.
+        # Clearing costs only the lost hits (results are unaffected:
+        # the caches memoise, they do not define, the operations).
+        self.cache_cap = cache_cap
+        self.cache_clears = 0
         # Dedup statistics: every time a set reference is handed out
         # (interned-table hit or miss) counts as one reference.
         self.set_references = 0
@@ -232,6 +255,20 @@ class PTUniverse:
             self._singletons[idx] = cached
         return cached
 
+    def mask_contains(self, mask: int, obj: MemObject) -> bool:
+        """Membership test directly on a raw mask (no PTSet needed) —
+        the solvers' hot paths keep state as plain ints."""
+        idx = self._indices.get(obj.id)
+        return idx is not None and (mask >> idx) & 1 == 1
+
+    def iter_mask(self, mask: int) -> Iterator[MemObject]:
+        """Iterate the objects of a raw mask without interning it."""
+        objects = self._objects
+        while mask:
+            low = mask & -mask
+            yield objects[low.bit_length() - 1]
+            mask ^= low
+
     def make(self, objs: Iterable[MemObject]) -> PTSet:
         if isinstance(objs, PTSet):
             if objs.universe is self:
@@ -241,6 +278,46 @@ class PTUniverse:
         for obj in objs:
             mask |= 1 << self.index(obj)
         return self.from_mask(mask)
+
+    # -- bulk operations ----------------------------------------------------
+
+    def _fold_masks(self, parts: Iterable) -> int:
+        """OR together the masks of *parts* (ints, :class:`PTSet`
+        instances from this universe, or iterables of objects)."""
+        mask = 0
+        for part in parts:
+            if type(part) is int:
+                mask |= part
+            elif isinstance(part, PTSet):
+                mask |= part.mask
+            else:
+                mask |= self.make(part).mask
+        return mask
+
+    def union_many(self, parts: Iterable) -> PTSet:
+        """Union of arbitrarily many operands, interned once.
+
+        The bulk primitive behind the sparse solver's batched merge
+        paths: the fold is plain int ``|=`` per operand and the
+        interning table is consulted exactly once for the final mask
+        (a chained ``a | b | c`` interns every prefix).
+        """
+        return self.from_mask(self._fold_masks(parts))
+
+    def diff_many(self, base, parts: Iterable) -> PTSet:
+        """``base`` minus the union of *parts*, interned once.
+
+        The kernel's delta extraction (``new bits = delta & ~state``)
+        in set form; like :meth:`union_many`, no intermediate set is
+        interned.
+        """
+        base_mask = base if type(base) is int else self._mask_like(base)
+        return self.from_mask(base_mask & ~self._fold_masks(parts))
+
+    def _mask_like(self, part) -> int:
+        if isinstance(part, PTSet):
+            return part.mask
+        return self.make(part).mask
 
     # -- cached binary operations -----------------------------------------
 
@@ -255,6 +332,9 @@ class PTUniverse:
             hit = self._union_cache.get(key)
             if hit is None:
                 hit = self.from_mask(mask)
+                if len(self._union_cache) >= self.cache_cap:
+                    self._union_cache.clear()
+                    self.cache_clears += 1
                 self._union_cache[key] = hit
             else:
                 self.set_references += 1
@@ -276,6 +356,9 @@ class PTUniverse:
             hit = self._intersect_cache.get(key)
             if hit is None:
                 hit = self.from_mask(mask)
+                if len(self._intersect_cache) >= self.cache_cap:
+                    self._intersect_cache.clear()
+                    self.cache_clears += 1
                 self._intersect_cache[key] = hit
             else:
                 self.set_references += 1
@@ -309,4 +392,6 @@ class PTUniverse:
             "intersect_cache_entries": len(self._intersect_cache),
             "union_cache_hits": self.union_cache_hits,
             "intersect_cache_hits": self.intersect_cache_hits,
+            "cache_cap": self.cache_cap,
+            "cache_clears": self.cache_clears,
         }

@@ -13,7 +13,10 @@ Request entries use the same forms as the batch spec (see
 verbatim so clients can correlate out-of-order pipelines. The loop
 ends at EOF. Responses carry the request digest, cache disposition,
 degradation status, and the artifact summary; malformed lines produce
-an ``{"error": ...}`` response instead of killing the loop.
+a structured error record — ``{"status": "error", "error": {"type":
+..., "message": ...}}`` with the ``id`` still echoed — instead of
+killing the loop, and a response that itself fails to serialize is
+downgraded to the same record rather than tearing down the server.
 
 Requests are executed through the same cache + pool machinery as
 ``repro batch``: warm requests are served from the artifact cache
@@ -50,6 +53,32 @@ def _response(outcome: RequestOutcome, request_id) -> Dict[str, object]:
     return response
 
 
+def _error_response(exc: BaseException, request_id) -> Dict[str, object]:
+    response: Dict[str, object] = {
+        "status": "error",
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def _emit(response: Dict[str, object], out_stream: TextIO,
+          request_id, obs: Observer) -> bool:
+    """Write one response line; returns False if the response had to
+    be downgraded to an error record because it would not serialize."""
+    try:
+        text = json.dumps(response, sort_keys=True)
+        ok = True
+    except (TypeError, ValueError) as exc:
+        obs.count("serve.errors")
+        text = json.dumps(_error_response(exc, request_id), sort_keys=True)
+        ok = False
+    out_stream.write(text + "\n")
+    out_stream.flush()
+    return ok
+
+
 def serve_loop(in_stream: TextIO, out_stream: TextIO,
                workers: int = 1,
                cache: Optional[ArtifactCache] = None,
@@ -66,6 +95,7 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
         if not line:
             continue
         request_id = None
+        error = False
         try:
             entry = json.loads(line)
             if isinstance(entry, dict):
@@ -86,20 +116,17 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             if cache is not None and outcome.cache == "miss":
                 cache.put(outcome.digest, outcome.artifact)
             response = _response(outcome, request_id)
-            served += 1
             obs.count("serve.requests")
             if outcome.cache == "hit":
                 obs.count("serve.cache_hits")
             if outcome.artifact.degraded:
                 obs.count("serve.degraded")
         except Exception as exc:  # noqa: BLE001 - reported on the wire
-            response = {"error": f"{type(exc).__name__}: {exc}"}
-            if request_id is not None:
-                response["id"] = request_id
+            response = _error_response(exc, request_id)
+            error = True
             obs.count("serve.errors")
-        json.dump(response, out_stream, sort_keys=True)
-        out_stream.write("\n")
-        out_stream.flush()
+        if _emit(response, out_stream, request_id, obs) and not error:
+            served += 1
     if pool is not None:
         pool.flush_obs(obs)
     if cache is not None:

@@ -21,11 +21,22 @@ import pytest
 from repro.frontend import compile_source
 from repro.fsam.analysis import FSAM
 from repro.fsam.config import FSAMConfig
+from repro.fsam.kernel import numpy_available
 from repro.fsam.reference import ReferenceSolver
 from repro.fsam.solver import SparseSolver, store_update_classes
+from repro.trace import Tracer
 from repro.workloads import get_workload, workload_names
 
 ABLATIONS = ["interleaving", "value_flow", "lock_analysis"]
+KERNELS = ("numpy", "python", "none")
+
+
+def _fixpoint(solver):
+    """The three comparable faces of a solved fixpoint, as raw masks
+    over the shared interning universe."""
+    return ({k: v.mask for k, v in solver.pts_top.items()},
+            {k: v.mask for k, v in solver.mem.items()},
+            store_update_classes(solver))
 
 
 def _assert_engines_agree(source: str, config: FSAMConfig) -> None:
@@ -61,6 +72,47 @@ class TestEnginesAgreeOnWorkloads:
         _assert_engines_agree(
             get_workload("radiosity").source(1),
             FSAMConfig(strong_updates_at_interfering_stores=False))
+
+
+class TestKernelBackendsBitIdentical:
+    """Every kernel backend and the kernel-less scalar engine compute
+    the reference fixpoint bit-for-bit, over one shared pipeline."""
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_four_way_pinning(self, name):
+        source = get_workload(name).source(1)
+        result = FSAM(compile_source(source), FSAMConfig()).run()
+        ref = ReferenceSolver(result.module, result.dug, result.builder,
+                              result.andersen, config=FSAMConfig())
+        ref.solve()
+        expected = _fixpoint(ref)
+        for kernel in KERNELS:
+            if kernel == "numpy" and not numpy_available():
+                continue
+            solver = SparseSolver(result.module, result.dug,
+                                  result.builder, result.andersen,
+                                  config=FSAMConfig(kernel=kernel))
+            solver.solve()
+            assert _fixpoint(solver) == expected, kernel
+            if kernel == "none":
+                assert solver.kernel_backend is None
+
+    @pytest.mark.parametrize("name", workload_names())
+    def test_tracer_forces_scalar_fallback(self, name):
+        """Provenance tracing records every interior merge visit the
+        kernel would skip, so a traced solve must take the scalar
+        path — and still land on the identical fixpoint."""
+        source = get_workload(name).source(1)
+        result = FSAM(compile_source(source), FSAMConfig()).run()
+        expected = _fixpoint(result.solver)
+        traced = SparseSolver(result.module, result.dug, result.builder,
+                              result.andersen, config=FSAMConfig(),
+                              tracer=Tracer(name="diff"))
+        traced.solve()
+        assert traced._kern is None          # no batches ran
+        assert traced.kernel_backend is None
+        assert traced.kernel_fallbacks > 0
+        assert _fixpoint(traced) == expected
 
 
 class TestEngineSelection:

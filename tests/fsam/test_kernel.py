@@ -1,0 +1,238 @@
+"""Unit tests for the vectorized delta-propagation kernel.
+
+The differential suite pins whole-solve bit-identity; these tests pin
+the kernel's pieces in isolation — backend selection (including the
+no-numpy gate and the adaptive ``auto`` demotion), the plan's
+condensed-DAG invariants, and the inject/flush/materialize contract
+on a hand-built plan where the expected sweeps are enumerable.
+"""
+
+import os
+import subprocess
+import sys
+from array import array
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.fsam.kernel as kernel_mod
+import repro.fsam.solver as solver_mod
+from repro.frontend import compile_source
+from repro.fsam.analysis import FSAM
+from repro.fsam.config import FSAMConfig
+from repro.fsam.kernel import (
+    AUTO_NUMPY_MIN_REACH,
+    NO_RANK,
+    KernelPlan,
+    NumpyKernel,
+    PythonKernel,
+    backend_name,
+    make_kernel,
+    numpy_available,
+)
+from repro.workloads import get_workload
+
+SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+needs_numpy = pytest.mark.skipif(not numpy_available(),
+                                 reason="numpy not importable")
+
+
+def _solve(name, config):
+    source = get_workload(name).source(1)
+    return FSAM(compile_source(source), config).run().solver
+
+
+class TestBackendName:
+    def test_mapping(self):
+        assert backend_name("none") is None
+        assert backend_name("python") == "python"
+        assert backend_name("auto") in ("numpy", "python")
+
+    def test_unknown_value_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backend_name("simd")
+
+    def test_explicit_numpy_fails_loudly_without_numpy(self, monkeypatch):
+        monkeypatch.setattr(kernel_mod, "_np", None)
+        with pytest.raises(RuntimeError, match="not importable"):
+            backend_name("numpy")
+        assert backend_name("auto") == "python"
+
+    @needs_numpy
+    def test_explicit_numpy_with_numpy(self):
+        assert backend_name("numpy") == "numpy"
+
+    def test_repro_no_numpy_env_hides_numpy(self):
+        """The env gate is evaluated at import: a fresh interpreter
+        with REPRO_NO_NUMPY set must run the pure-Python fallback."""
+        code = ("from repro.fsam.kernel import backend_name, "
+                "numpy_available; "
+                "assert not numpy_available(); "
+                "assert backend_name('auto') == 'python'")
+        env = dict(os.environ, REPRO_NO_NUMPY="1", PYTHONPATH=SRC_DIR)
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestAutoBackendSelection:
+    @needs_numpy
+    def test_auto_demotes_thin_plans(self, monkeypatch):
+        monkeypatch.setattr(solver_mod, "AUTO_NUMPY_MIN_REACH", 1 << 30)
+        solver = _solve("word_count", FSAMConfig(kernel="auto"))
+        assert solver.kernel_backend == "python"
+
+    @needs_numpy
+    def test_auto_keeps_numpy_on_wide_plans(self, monkeypatch):
+        monkeypatch.setattr(solver_mod, "AUTO_NUMPY_MIN_REACH", 0)
+        solver = _solve("word_count", FSAMConfig(kernel="auto"))
+        assert solver.kernel_backend == "numpy"
+
+    @needs_numpy
+    def test_explicit_backend_never_demoted(self):
+        solver = _solve("word_count", FSAMConfig(kernel="numpy"))
+        assert solver.kernel_backend == "numpy"
+
+    def test_threshold_is_positive(self):
+        assert AUTO_NUMPY_MIN_REACH > 1
+
+    def test_make_kernel_unknown_backend(self):
+        with pytest.raises(ValueError):
+            make_kernel("simd", KernelPlan(), 64)
+
+
+class TestBuiltPlan:
+    def test_condensed_dag_invariants(self):
+        solver = _solve("radiosity", FSAMConfig(kernel="python"))
+        plan = solver._plan
+        assert plan.n_rows > 0
+        assert plan.n_boundary > 0
+        assert len(plan.scc_succs) == plan.n_sccs == len(plan.scc_preds)
+        for s, succs in enumerate(plan.scc_succs):
+            for t in succs:
+                # SCC ids are topological ranks: edges ascend, and the
+                # pred table is the exact inverse of the succ table.
+                assert t > s
+                assert s in plan.scc_preds[t]
+        assert plan.max_reach == max(
+            m.bit_count() for m in plan._reach_bits)
+        assert plan.max_reach >= 1
+        for uid, bid in plan.brow_of_uid.items():
+            assert plan.rows[plan.boundary_rows[bid]].uid == uid
+        # A boundary row's own SCC reaches it, and can first matter no
+        # later than its earliest reader.
+        for bid, row in enumerate(plan.boundary_rows):
+            scc = plan.scc_of_row[row]
+            assert bid in plan.reach(scc)
+            assert plan.first_rank[scc] < NO_RANK
+
+
+def _chain_plan():
+    """Three single-row SCCs in a chain, every row a boundary row:
+    injections at SCC 0 sweep three rows (the vectorized path),
+    injections at SCC 2 sweep one (the tiny-reach path)."""
+    plan = KernelPlan()
+    plan.rows = ["r0", "r1", "r2"]
+    plan.scc_of_row = [0, 1, 2]
+    plan.scc_of_uid = {}
+    plan.n_sccs = 3
+    plan.scc_preds = [(), (0,), (1,)]
+    plan.scc_succs = [(1,), (2,), ()]
+    plan.boundary_rows = array("l", [0, 1, 2])
+    plan.boundary_edges = [[], [], []]
+    plan.brow_of_uid = {}
+    plan.first_rank = [3, 5, 7]
+    plan.scc_members = [["r0"], ["r1"], ["r2"]]
+    plan._reach_bits = [0b111, 0b110, 0b100]
+    plan.max_reach = 3
+    return plan
+
+
+def _backends():
+    yield PythonKernel(_chain_plan())
+    if numpy_available():
+        yield NumpyKernel(_chain_plan(), universe_bits=8)
+
+
+class TestInjectFlushMaterialize:
+    def test_flush_delivers_new_bits_downstream(self):
+        for kern in _backends():
+            delivered = []
+            kern.inject(0, 0b101)
+            assert kern.has_pending
+            assert kern.pending_min_rank == 3
+            kern.flush(lambda b, new: delivered.append((b, new)))
+            assert sorted(delivered) == [(0, 0b101), (1, 0b101),
+                                         (2, 0b101)], kern.name
+            assert not kern.has_pending
+            assert kern.pending_min_rank == NO_RANK
+            assert kern.batches == 1
+            assert kern.updates == 3
+
+    def test_redundant_injection_delivers_nothing(self):
+        for kern in _backends():
+            kern.inject(0, 0b11)
+            kern.flush(lambda b, new: None)
+            delivered = []
+            kern.inject(0, 0b11)
+            kern.flush(lambda b, new: delivered.append((b, new)))
+            assert delivered == [], kern.name
+            assert kern.updates == 3
+
+    def test_coalescing_and_partial_growth(self):
+        for kern in _backends():
+            kern.inject(2, 0b001)
+            kern.inject(2, 0b010)      # coalesces with the first
+            assert kern.injections == 2
+            delivered = []
+            kern.flush(lambda b, new: delivered.append((b, new)))
+            assert delivered == [(2, 0b011)], kern.name
+            # Upstream injection overlapping the delivered bits: only
+            # row 2's complement and rows 0/1's full mask are new.
+            delivered.clear()
+            kern.inject(0, 0b111)
+            kern.flush(lambda b, new: delivered.append((b, new)))
+            assert sorted(delivered) == [(0, 0b111), (1, 0b111),
+                                         (2, 0b100)], kern.name
+
+    def test_boundary_mask_reads_exact_state(self):
+        for kern in _backends():
+            kern.inject(1, 0b1010)
+            kern.flush(lambda b, new: None)
+            assert kern.boundary_mask(0) == 0, kern.name
+            assert kern.boundary_mask(1) == 0b1010
+            assert kern.boundary_mask(2) == 0b1010
+
+    def test_materialize_unions_along_the_dag(self):
+        for kern in _backends():
+            kern.inject(0, 0b001)
+            kern.inject(2, 0b100)
+            kern.flush(lambda b, new: None)
+            got = {members[0]: mask for mask, members in kern.materialize()}
+            assert got == {"r0": 0b001, "r1": 0b001,
+                           "r2": 0b101}, kern.name
+
+    def test_materialize_skips_untouched_sccs(self):
+        for kern in _backends():
+            kern.inject(2, 0b1)
+            kern.flush(lambda b, new: None)
+            got = list(kern.materialize())
+            assert got == [(0b1, ["r2"])], kern.name
+
+    @needs_numpy
+    def test_numpy_widens_past_initial_words(self):
+        """Field derivation can register objects mid-solve: a mask
+        wider than the initial matrix must widen it, keep the int
+        mirror in sync, and deliver exact new bits."""
+        kern = NumpyKernel(_chain_plan(), universe_bits=8)
+        wide = (1 << 200) | 0b1
+        delivered = []
+        kern.inject(0, wide)
+        kern.flush(lambda b, new: delivered.append((b, new)))
+        assert sorted(delivered) == [(0, wide), (1, wide), (2, wide)]
+        assert kern.boundary_mask(1) == wide
+        # Matrix and mirror agree bit-for-bit after widening.
+        row = int.from_bytes(kern._acc[1].tobytes(), "little")
+        assert row == kern._acc_int[1] == wide

@@ -1,0 +1,91 @@
+"""Regression tests: the PTUniverse memo caches stay bounded.
+
+A long-lived process (the batch service's worker pool, a REPL, the
+bench harness) pushes many solver runs through one universe. Before
+the generation-clearing bound, the union/intersect memo caches grew
+monotonically with every distinct pair of interned sets the process
+ever produced; these tests pin the bound so it cannot silently
+regress.
+"""
+
+import pytest
+
+from repro.fsam.analysis import analyze_source
+from repro.fsam.config import FSAMConfig
+from repro.fsam.solver import SparseSolver
+from repro.ir.types import INT
+from repro.ir.values import MemObject, ObjectKind
+from repro.pts import DEFAULT_CACHE_CAP, PTUniverse
+from repro.workloads import get_workload
+
+
+def objs(n):
+    return [MemObject(f"o{i}", INT, ObjectKind.GLOBAL) for i in range(n)]
+
+
+class TestUnitBound:
+    def test_union_cache_generation_clears_at_cap(self):
+        cap = 8
+        universe = PTUniverse(cache_cap=cap)
+        singles = [universe.singleton(o) for o in objs(40)]
+        for i in range(len(singles) - 1):
+            universe.union_masks(singles[i], singles[i + 1].mask)
+            assert len(universe._union_cache) <= cap
+        assert universe.cache_clears > 0
+
+    def test_intersect_cache_generation_clears_at_cap(self):
+        cap = 8
+        universe = PTUniverse(cache_cap=cap)
+        items = objs(40)
+        # Overlapping windows: each intersection is a strict subset of
+        # both operands, so the subset fast path cannot skip the memo.
+        lefts = [universe.make(items[i:i + 3]) for i in range(36)]
+        rights = [universe.make(items[i + 1:i + 4]) for i in range(36)]
+        for a, b in zip(lefts, rights):
+            got = universe.intersect_masks(a, b.mask)
+            assert got.mask == a.mask & b.mask
+            assert len(universe._intersect_cache) <= cap
+        assert universe.cache_clears > 0
+
+    def test_results_survive_a_clear(self):
+        """Clearing loses only hits — operations stay correct and
+        canonical (same interned instance for the same mask)."""
+        cap = 4
+        universe = PTUniverse(cache_cap=cap)
+        singles = [universe.singleton(o) for o in objs(20)]
+        first = universe.union_masks(singles[0], singles[1].mask)
+        for i in range(2, len(singles) - 1):
+            universe.union_masks(singles[i], singles[i + 1].mask)
+        assert universe.cache_clears > 0
+        again = universe.union_masks(singles[0], singles[1].mask)
+        assert again is first
+        assert again.mask == singles[0].mask | singles[1].mask
+
+    def test_default_cap_applied(self):
+        assert PTUniverse().cache_cap == DEFAULT_CACHE_CAP
+
+
+class TestManyAnalysesOneUniverse:
+    def test_repeated_solves_bounded(self):
+        """Many solver runs over one shared pipeline (the batch-worker
+        lifecycle) never push a memo cache past its cap."""
+        source = get_workload("word_count").source(1)
+        result = analyze_source(source, FSAMConfig())
+        universe = result.solver.universe
+        universe.cache_cap = 64
+        universe._union_cache.clear()
+        universe._intersect_cache.clear()
+        for _ in range(5):
+            solver = SparseSolver(result.module, result.dug, result.builder,
+                                  result.andersen, config=FSAMConfig())
+            solver.solve()
+            assert len(universe._union_cache) <= 64
+            assert len(universe._intersect_cache) <= 64
+
+    def test_stats_report_cache_fields(self):
+        universe = PTUniverse(cache_cap=16)
+        stats = universe.stats()
+        assert stats["cache_cap"] == 16
+        assert stats["cache_clears"] == 0
+        assert "union_cache_entries" in stats
+        assert "intersect_cache_entries" in stats

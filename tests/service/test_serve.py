@@ -47,6 +47,46 @@ class TestServeLoop:
         assert responses[1]["id"] == "after"
         assert responses[2]["status"] == "ok"
 
+    def test_error_record_is_structured(self):
+        """Garbage then a valid request: the garbage line yields a
+        typed error record, the valid line is still served."""
+        served, responses = _serve([
+            '<<< not json >>>',
+            '{"workload": "word_count", "id": 3}',
+        ])
+        assert served == 1
+        err = responses[0]
+        assert err["status"] == "error"
+        assert err["error"]["type"] == "JSONDecodeError"
+        assert err["error"]["message"]
+        assert responses[1]["id"] == 3
+        assert responses[1]["status"] == "ok"
+
+    def test_unserializable_response_degrades_to_error_record(
+            self, monkeypatch):
+        """A response json cannot encode must not tear down the loop."""
+        import repro.service.serve as serve_mod
+        from repro.service.runner import RequestOutcome
+
+        class _Artifact:
+            degraded = False
+            degraded_reason = None
+            summary = {"weird": object()}
+
+        def fake_run(request):
+            return RequestOutcome(name=request.name, digest="d0",
+                                  artifact=_Artifact(), cache="miss",
+                                  seconds=0.0, attempts=1)
+
+        monkeypatch.setattr(serve_mod, "run_request_inline", fake_run)
+        served, responses = _serve([
+            '{"workload": "word_count", "id": 9}',
+        ])
+        assert served == 0
+        assert responses[0]["status"] == "error"
+        assert responses[0]["error"]["type"] == "TypeError"
+        assert responses[0]["id"] == 9
+
     def test_blank_lines_skipped(self):
         served, responses = _serve(["", '{"workload": "word_count"}', ""])
         assert served == 1
