@@ -418,7 +418,8 @@ def cmd_batch(args) -> int:
 
     report = run_batch(requests, workers=workers, cache=cache,
                        timeout=timeout,
-                       name=os.path.basename(args.spec))
+                       name=os.path.basename(args.spec),
+                       incremental=not args.no_incremental)
     doc = validate_batch_report(report.to_dict())
     if args.out:
         with open(args.out, "w") as handle:
@@ -445,7 +446,8 @@ def cmd_serve(args) -> int:
                workers=args.workers,
                cache=cache,
                timeout=args.timeout,
-               base_dir=args.base_dir)
+               base_dir=args.base_dir,
+               incremental=not args.no_incremental)
     return 0
 
 
@@ -535,6 +537,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeout", type=float, default=None,
                    help="default per-request wall-clock seconds "
                         "(overrides the spec)")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable per-function incremental reuse "
+                        "(cold-solve every cache miss)")
     p.add_argument("--out", metavar="OUT", default=None,
                    help="also write the repro.batch/1 report JSON here")
     p.add_argument("--json", action="store_true",
@@ -554,6 +559,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="default per-request wall-clock seconds")
     p.add_argument("--base-dir", default=".",
                    help="base directory for 'file' request entries")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable per-function incremental reuse")
     p.set_defaults(handler=cmd_serve)
     return parser
 

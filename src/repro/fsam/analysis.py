@@ -49,6 +49,8 @@ class FSAMResult:
         self.phase_times = phase_times
         self.obs = obs
         self.tracer = tracer
+        # Filled by FSAM.run() when an incremental hook participated.
+        self.incremental_stats: Optional[Dict[str, object]] = None
 
     # -- points-to queries ------------------------------------------------
 
@@ -203,13 +205,28 @@ class FSAMResult:
 
 
 class FSAM:
-    """Runs the full pipeline on a module."""
+    """Runs the full pipeline on a module.
+
+    ``incremental`` is an optional hook for function-granular
+    incremental analysis (see :mod:`repro.service.incremental`): a
+    callable invoked after the value-flow phase with ``(module, dug,
+    builder, andersen, config)``, returning either None or a plan
+    object with a ``reuse`` attribute (an
+    :class:`~repro.fsam.solver.IncrementalReuse` or None), a ``stats``
+    dict, and a ``harvest(solver)`` method called after the fixpoint.
+    When the plan carries a reuse, the sparse solve runs through
+    :meth:`~repro.fsam.solver.SparseSolver.solve_incremental` instead
+    of a cold :meth:`~repro.fsam.solver.SparseSolver.solve` — results
+    are bit-identical either way.
+    """
 
     def __init__(self, module: Module, config: Optional[FSAMConfig] = None,
                  obs: Optional[Observer] = None,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 incremental=None) -> None:
         self.module = module
         self.config = config or FSAMConfig()
+        self.incremental = incremental
         # An explicit observer wins; otherwise config.profile decides
         # between a fresh Observer and the shared no-op one.
         if obs is not None:
@@ -271,7 +288,25 @@ class FSAM:
         solver = engine(self.module, dug, builder, andersen,
                         config=self.config, deadline=deadline,
                         tracer=tracer)
-        timed("sparse_solve", solver.solve)
+        plan = None
+        if self.incremental is not None and engine is SparseSolver:
+            plan = timed("incremental_plan",
+                         lambda: self.incremental(self.module, dug, builder,
+                                                  andersen, self.config))
+        if plan is not None and plan.reuse is not None:
+            timed("sparse_solve",
+                  lambda: solver.solve_incremental(plan.reuse))
+        else:
+            timed("sparse_solve", solver.solve)
+        incremental_stats: Optional[Dict[str, object]] = None
+        if plan is not None:
+            timed("incremental_harvest", lambda: plan.harvest(solver))
+            incremental_stats = dict(plan.stats)
+            incremental_stats["seeded_nodes"] = solver.seeded_nodes
+            incremental_stats["dug_nodes"] = len(dug.nodes)
+            for key, value in incremental_stats.items():
+                if isinstance(value, int):
+                    obs.count(f"incremental.{key}", value)
         # The MHP and lock oracles are queried across phases (value
         # flow and downstream clients), so their tallies are flushed
         # once here rather than inside any one phase.
@@ -279,9 +314,11 @@ class FSAM:
         if locks is not None:
             locks.flush_obs(obs)
         solver.flush_obs(obs)
-        return FSAMResult(self.module, solver, andersen, dug, builder,
-                          model, mhp, vf_stats, times, obs=obs,
-                          tracer=tracer)
+        result = FSAMResult(self.module, solver, andersen, dug, builder,
+                            model, mhp, vf_stats, times, obs=obs,
+                            tracer=tracer)
+        result.incremental_stats = incremental_stats
+        return result
 
 
 def analyze_source(source: str, config: Optional[FSAMConfig] = None) -> FSAMResult:

@@ -113,6 +113,31 @@ KILL, PASS, STRONG, WEAK = "kill", "pass", "strong", "weak"
  TAG_ADDR, TAG_COPY, TAG_PHI, TAG_GEP, TAG_TOP_OTHER) = range(9)
 
 
+class IncrementalReuse:
+    """A previous fixpoint's reusable share, for
+    :meth:`SparseSolver.solve_incremental`.
+
+    ``frozen_uids`` must be *predecessor-closed* in the combined
+    value-flow graph (every in-edge of a frozen node comes from a
+    frozen node, every operand temp of a frozen node is a frozen
+    temp): the incremental layer guarantees this by freezing exactly
+    the complement of :meth:`repro.memssa.dug.DUG.downstream_closure`
+    of the changed region. ``top_masks`` holds the frozen temps'
+    fixpoint masks (keyed by ``Temp.id`` of *this* run), ``mem_masks``
+    the frozen nodes' per-object states (keyed by ``(uid, obj.id)`` of
+    this run) — both already translated into this run's universe.
+    """
+
+    __slots__ = ("frozen_uids", "top_masks", "mem_masks")
+
+    def __init__(self, frozen_uids: Set[int],
+                 top_masks: Dict[int, int],
+                 mem_masks: Dict[Tuple[int, int], int]) -> None:
+        self.frozen_uids = frozen_uids
+        self.top_masks = top_masks
+        self.mem_masks = mem_masks
+
+
 class SparseSolver:
     """Delta-propagating worklist solver over the DUG.
 
@@ -199,6 +224,11 @@ class SparseSolver:
         self._kern = None
         self._plan: Optional[KernelPlan] = None
         self._inj_targets: Dict[int, Dict[int, List[int]]] = {}
+        # Incremental solves preload merge states, which the kernel's
+        # empty-start accumulators cannot represent; they force the
+        # scalar path (bit-identical, pinned differentially).
+        self._force_scalar = False
+        self._frozen_uids: Set[int] = frozenset()
         self.kernel_backend: Optional[str] = None
         self.kernel_fallbacks = 0
         self.iterations = 0
@@ -508,6 +538,8 @@ class SparseSolver:
         the kernel backend for this solve."""
         self._rank, self.scc_count = self.dug.compute_topo_ranks()
         backend = backend_name(self.config.kernel)
+        if backend is not None and self._force_scalar:
+            backend = None
         if backend is not None and self.provenance is not None:
             # Provenance records the first-introduction trigger of
             # every fact at every visit; the kernel skips interior
@@ -593,24 +625,7 @@ class SparseSolver:
         heap = self._heap
         top_dirty = self._top_dirty
         if kern is None:
-            while queued:
-                if deadline is not None and iterations % 256 == 0:
-                    deadline.check()
-                iterations += 1
-                uid = heappop(heap) & 0xFFFFFFFF
-                queued.discard(uid)
-                visited.add(uid)
-                node, tag = node_by_uid[uid]
-                if tag >= TAG_ADDR:
-                    # Top-level-only statements (the bulk of visits):
-                    # no memory in-edges, so no pending book to pop.
-                    if uid in top_dirty:
-                        top_dirty.remove(uid)
-                        self._eval_top_stmt(node, node.instr, tag)
-                    continue
-                self._eval(node, tag)
-            self.iterations = iterations
-            self._finalize_states()
+            self._run_scalar_loop(iterations)
             return
         deliver = self._deliver_boundary
         while queued or kern.has_pending:
@@ -654,6 +669,123 @@ class SparseSolver:
             state = from_mask(mask)
             for node in nodes:
                 mem[(node.uid, node.obj.id)] = state
+
+    def _run_scalar_loop(self, iterations: int) -> None:
+        """Drain the worklist on the scalar delta path and finalize.
+        *iterations* counts work already done (direct seed evals)."""
+        queued = self._queued
+        node_by_uid = self._node_by_uid
+        visited = self._visited
+        deadline = self.deadline
+        heap = self._heap
+        top_dirty = self._top_dirty
+        while queued:
+            if deadline is not None and iterations % 256 == 0:
+                deadline.check()
+            iterations += 1
+            uid = heappop(heap) & 0xFFFFFFFF
+            queued.discard(uid)
+            visited.add(uid)
+            node, tag = node_by_uid[uid]
+            if tag >= TAG_ADDR:
+                # Top-level-only statements (the bulk of visits):
+                # no memory in-edges, so no pending book to pop.
+                if uid in top_dirty:
+                    top_dirty.remove(uid)
+                    self._eval_top_stmt(node, node.instr, tag)
+                continue
+            self._eval(node, tag)
+        self.iterations = iterations
+        self._finalize_states()
+
+    def solve_incremental(self, reuse: IncrementalReuse) -> None:
+        """Re-solve after an edit, reusing a previous fixpoint's
+        frozen region.
+
+        The frozen node/temp sets are predecessor-closed (see
+        :class:`IncrementalReuse`), so the preloaded states *are* the
+        new fixpoint over that region: the subsystem they solve is
+        isomorphic between runs by construction of the per-function
+        context signatures. The downstream complement is recomputed
+        from scratch, with complete input delivery:
+
+        - **wake rule** — every non-frozen top-level user of a frozen
+          temp with a nonzero mask is pushed dirty, so downstream
+          loads/stores/geps/fork-chis whose operands never change
+          during this solve still classify against them;
+        - **boundary delivery** — every frozen node's per-object state
+          is delivered once as a pending delta along its out-edges
+          into non-frozen successors (the same channel a live
+          ``_set_mem`` would have used);
+        - **seeding** — fact sources (AddrOf, function-valued
+          copies/phis, fork-handle chis) are seeded only outside the
+          frozen region; inside it their effects are already in the
+          preloaded states.
+
+        Frozen nodes are never enqueued: their in-edges all come from
+        frozen nodes (whose states never grow — they are complete) and
+        the wake rule filters them out explicitly. The result is
+        bit-identical to :meth:`solve` on the same graph.
+        """
+        self._force_scalar = True
+        self._prepare_schedule()
+        frozen = reuse.frozen_uids
+        self._frozen_uids = frozen
+        tracing = self.provenance is not None
+        # Preload the frozen share of the previous fixpoint.
+        self._top_masks.update(reuse.top_masks)
+        self._mem_masks.update(reuse.mem_masks)
+        # Wake rule.
+        for temp_id, mask in reuse.top_masks.items():
+            if not mask:
+                continue
+            for user in self._top_users_map.get(temp_id, ()):
+                if user.uid not in frozen:
+                    self._push_top(user)
+        # Boundary delivery.
+        pending = self._pending
+        pending_thread = self._pending_thread
+        for (uid, obj_id), mask in reuse.mem_masks.items():
+            if not mask:
+                continue
+            by_obj = self._out_edges.get(uid)
+            if by_obj is None:
+                continue
+            for out_obj, dst, thread_to_load in by_obj.get(obj_id, ()):
+                if dst.uid in frozen:
+                    continue
+                self.delta_propagations += 1
+                book = pending_thread if thread_to_load else pending
+                slot = book.setdefault(dst.uid, {})
+                entry = slot.get(obj_id)
+                if entry is None:
+                    slot[obj_id] = [out_obj, mask]
+                else:
+                    entry[1] |= mask
+                self._push(dst)
+        # Constant/function-valued interprocedural copies, as in
+        # solve(): a frozen destination already holds a superset of
+        # every source (its copy sources are frozen too), so these
+        # no-op there and only feed the downstream region.
+        for src, dst in self.dug.top_copies:
+            self._set_top(dst, self._value_mask(src),
+                          ("copy-chain", src) if tracing else None)
+        # Seed the downstream region only.
+        node_by_uid = self._node_by_uid
+        visited = self._visited
+        direct = 0
+        for node in self._seeds:
+            if node.uid in frozen:
+                continue
+            tag = node_by_uid[node.uid][1]
+            if tag >= TAG_ADDR:
+                visited.add(node.uid)
+                direct += 1
+                self._eval_top_stmt(node, node.instr, tag)
+            else:
+                self._push_top(node)
+        self.seeded_nodes = direct + len(self._queued)
+        self._run_scalar_loop(direct)
 
     def _finalize_states(self) -> None:
         """Intern the raw-mask fixpoint into the public PTSet views

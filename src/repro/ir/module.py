@@ -136,6 +136,35 @@ def canonical_temp_index(module: Module) -> Dict[int, int]:
     return {temp.id: i for i, temp in enumerate(canonical_temps(module))}
 
 
+def function_temps(fn: Function) -> List["Temp"]:
+    """One function's temps in deterministic first-sight order — the
+    restriction of :func:`canonical_temps` to a single function.
+    Temps never cross function boundaries in this IR, so this is the
+    contiguous slice the whole-module walk assigns to *fn*, renumbered
+    from zero. Incremental per-function artifacts use these indices as
+    their doc-local temp keys."""
+    from repro.ir.values import Temp
+
+    seen: Dict[int, int] = {}
+    order: List[Temp] = []
+
+    def see(value: object) -> None:
+        if isinstance(value, Temp) and value.id not in seen:
+            seen[value.id] = len(order)
+            order.append(value)
+
+    for param in fn.params:
+        see(param)
+    for block in fn.blocks:
+        for instr in block.instructions:
+            defined = instr.defined_temp()
+            if defined is not None:
+                see(defined)
+            for operand in instr.operands():
+                see(operand)
+    return order
+
+
 def canonical_instr_index(module: Module) -> Dict[int, int]:
     """``Instruction.id -> canonical index`` in program order (same
     rationale as :func:`canonical_temp_index`: raw instruction ids are

@@ -182,3 +182,16 @@ class Function(Value):
 
     def __repr__(self) -> str:
         return f"@{self.name}"
+
+
+def object_key(obj: MemObject) -> str:
+    """A cross-process identity key for an abstract object.
+
+    Raw ``MemObject.id`` values come from a process-global counter;
+    incremental analysis needs to match objects of a previous run
+    against objects of a fresh pipeline, so it keys them by kind plus
+    allocation-site-derived name instead. The key is only usable when
+    it is globally unique within a module — the incremental layer
+    verifies that and falls back to a cold solve when it is not.
+    """
+    return f"{obj.kind.value}:{obj.name}"

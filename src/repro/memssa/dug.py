@@ -107,6 +107,26 @@ class CallChiNode(DUGNode):
         return f"[chi {self.obj.name} @ {self.site!r}]"
 
 
+def node_function(node: DUGNode) -> Function:
+    """The function a DUG node belongs to. Every node kind anchors to
+    one: statements via their block, memory phis via theirs, formal
+    in/out nodes directly, callsite mu/chi nodes via the call site's
+    block. Incremental analysis partitions the graph by this."""
+    instr = getattr(node, "instr", None)
+    if instr is not None:
+        return instr.block.function
+    block = getattr(node, "block", None)
+    if block is not None:
+        return block.function
+    fn = getattr(node, "fn", None)
+    if fn is not None:
+        return fn
+    site = getattr(node, "site", None)
+    if site is not None:
+        return site.block.function
+    raise TypeError(f"DUG node {node!r} has no owning function")
+
+
 class DUG:
     """The def-use graph: nodes plus labelled edges, with the indexes
     the sparse solver needs (per-node incoming memory defs grouped by
@@ -364,6 +384,89 @@ class DUG:
                 else:
                     boundary_i.append((obj, dst))
         return internal, boundary
+
+    # -- incremental partitioning ----------------------------------------------
+
+    def nodes_by_function(self) -> Dict[str, List[DUGNode]]:
+        """Nodes grouped by owning function name, each group in
+        creation (``nodes`` list) order. Memoized in
+        :attr:`schedule_cache` like the other derived structures."""
+        cached = self.schedule_cache.get("nodes_by_function")
+        if cached is None:
+            cached = {}
+            for node in self.nodes:
+                cached.setdefault(node_function(node).name, []).append(node)
+            self.schedule_cache["nodes_by_function"] = cached
+        return cached
+
+    def downstream_closure(self, root_nodes: Iterable[DUGNode],
+                           root_temp_ids: Iterable[int]
+                           ) -> Tuple[Set[int], Set[int]]:
+        """Everything the roots can influence in the combined
+        value-flow graph: node uids and temp ids reachable from
+        *root_nodes* / *root_temp_ids* over memory out-edges
+        (including [THREAD-VF] ones), statement-to-defined-temp,
+        temp-to-top-user, and the interprocedural copy graph.
+
+        One closure rule beyond plain reachability: a reached temp
+        pulls in **all** statement nodes defining it. Partial SSA
+        leaves multi-def temps (phi operands, loop-carried loads), and
+        an incremental re-solve that recomputes a temp from scratch
+        must also re-run its other defs — a def left frozen would
+        never fire and its contribution to the temp would be lost.
+
+        Returns ``(downstream node uids, downstream temp ids)``; the
+        complements are the frozen sets an incremental solve may
+        preload from a previous fixpoint.
+        """
+        defs_of_temp: Dict[int, List[DUGNode]] = {}
+        for node in self.nodes:
+            instr = getattr(node, "instr", None)
+            if instr is not None:
+                defined = instr.defined_temp()
+                if defined is not None:
+                    defs_of_temp.setdefault(defined.id, []).append(node)
+
+        down_nodes: Set[int] = set()
+        down_temps: Set[int] = set()
+        node_work: List[DUGNode] = []
+        temp_work: List[int] = []
+
+        def touch_node(node: DUGNode) -> None:
+            if node.uid not in down_nodes:
+                down_nodes.add(node.uid)
+                node_work.append(node)
+
+        def touch_temp(temp_id: int) -> None:
+            if temp_id not in down_temps:
+                down_temps.add(temp_id)
+                temp_work.append(temp_id)
+
+        for node in root_nodes:
+            touch_node(node)
+        for temp_id in root_temp_ids:
+            touch_temp(temp_id)
+
+        empty_out: List[Tuple[MemObject, DUGNode]] = []
+        while node_work or temp_work:
+            while node_work:
+                node = node_work.pop()
+                for _obj, dst in self._mem_out.get(node.uid, empty_out):
+                    touch_node(dst)
+                instr = getattr(node, "instr", None)
+                if instr is not None:
+                    defined = instr.defined_temp()
+                    if isinstance(defined, Temp):
+                        touch_temp(defined.id)
+            while temp_work:
+                temp_id = temp_work.pop()
+                for user in self._top_users.get(temp_id, ()):
+                    touch_node(user)
+                for _src, dst in self._copies_by_src.get(temp_id, ()):
+                    touch_temp(dst.id)
+                for def_node in defs_of_temp.get(temp_id, ()):
+                    touch_node(def_node)
+        return down_nodes, down_temps
 
     # -- interference bookkeeping ---------------------------------------------
 

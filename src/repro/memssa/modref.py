@@ -14,6 +14,7 @@ visible at and after the join.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, List, Optional, Set
 
 from repro.andersen import AndersenResult
@@ -22,7 +23,7 @@ from repro.graphs.digraph import DiGraph
 from repro.graphs.scc import tarjan_scc
 from repro.ir.instructions import Call, Fork, Instruction, Join, Load, Store
 from repro.ir.module import Module
-from repro.ir.values import Function, MemObject, Temp
+from repro.ir.values import Function, MemObject, Temp, object_key
 from repro.pts import PTSet
 
 
@@ -111,6 +112,27 @@ class ModRefAnalysis:
             for fn in scc:
                 self.mod[fn] = scc_mod
                 self.ref[fn] = scc_ref
+
+    # -- summary signatures -----------------------------------------------
+
+    def signature(self, fn: Function, key=object_key) -> str:
+        """A content hash of *fn*'s MOD/REF summary over cross-process
+        object keys. Two runs agree on a function's signature exactly
+        when its transitive memory side effects are the same sets of
+        (kind, allocation-site-name) objects — the ingredient the
+        per-function cache digest mixes in for every callee, so an
+        edit that moves a summary invalidates all its callers. *key*
+        lets callers substitute an edit-stable key function (the
+        incremental layer strips absolute source lines from
+        allocation-site names)."""
+        empty = self.universe.empty
+        payload = "|".join([
+            ",".join(sorted(key(obj)
+                            for obj in self.mod.get(fn, empty))),
+            ",".join(sorted(key(obj)
+                            for obj in self.ref.get(fn, empty))),
+        ])
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     # -- per-site queries -------------------------------------------------
 

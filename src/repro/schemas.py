@@ -10,6 +10,8 @@ emitting modules; this module is the single source of truth:
 - ``repro.bench/1``    — benchmark snapshots (``benchmarks/run_bench.py``)
 - ``repro.artifact/1`` — cached analysis artifacts
   (:mod:`repro.service.artifacts`)
+- ``repro.funcartifact/1`` — per-function artifact sub-documents for
+  incremental analysis (:mod:`repro.service.incremental`)
 - ``repro.batch/1``    — batch reports (:mod:`repro.service.batch`)
 
 ``CODE_VERSION`` participates in the content-addressed cache key
@@ -28,6 +30,7 @@ PROFILE_SCHEMA = "repro.obs/1"
 TRACE_SCHEMA = "repro.trace/1"
 BENCH_SCHEMA = "repro.bench/1"
 ARTIFACT_SCHEMA = "repro.artifact/1"
+FUNC_ARTIFACT_SCHEMA = "repro.funcartifact/1"
 BATCH_SCHEMA = "repro.batch/1"
 
 #: Version of the analysis semantics + artifact format. Part of the

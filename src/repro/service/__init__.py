@@ -17,27 +17,34 @@ Turns the single-shot FSAM pipeline into a servable system:
   cache consultation, pool dispatch, and one aggregated
   ``repro.batch/1`` report;
 - :mod:`repro.service.serve` — a long-lived stdin/JSONL request loop
-  (``repro serve``).
+  (``repro serve``);
+- :mod:`repro.service.incremental` — function-granular incremental
+  analysis over the cache's per-function artifact store
+  (``repro.funcartifact/1``): warm requests whose program digest
+  misses reuse the previous fixpoint for unchanged functions and
+  re-solve only downstream of the edit.
 """
 
 from repro.service.artifacts import (
     AnalysisArtifact, artifact_from_andersen, artifact_from_result,
-    validate_artifact,
+    validate_artifact, validate_funcartifact,
 )
 from repro.service.batch import (
     BatchReport, render_batch_report, run_batch, validate_batch_report,
 )
-from repro.service.cache import ArtifactCache
+from repro.service.cache import ArtifactCache, FuncArtifactStore
+from repro.service.requests import (
+    AnalysisRequest, function_digest, request_digest,
+)
 from repro.service.pool import WorkerPool
-from repro.service.requests import AnalysisRequest, request_digest
 from repro.service.runner import RequestOutcome, run_request_inline
 from repro.service.serve import serve_loop
 
 __all__ = [
     "AnalysisArtifact", "artifact_from_result", "artifact_from_andersen",
-    "validate_artifact",
-    "ArtifactCache",
-    "AnalysisRequest", "request_digest",
+    "validate_artifact", "validate_funcartifact",
+    "ArtifactCache", "FuncArtifactStore",
+    "AnalysisRequest", "request_digest", "function_digest",
     "RequestOutcome", "run_request_inline",
     "WorkerPool",
     "BatchReport", "run_batch", "render_batch_report",

@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.pts import mask_to_hex
-from repro.schemas import ARTIFACT_SCHEMA, CODE_VERSION
+from repro.schemas import ARTIFACT_SCHEMA, CODE_VERSION, FUNC_ARTIFACT_SCHEMA
 
 #: Valid store update classes (mirrors repro.fsam.solver constants).
 _STORE_CLASSES = ("kill", "pass", "strong", "weak")
@@ -137,6 +137,11 @@ def artifact_from_result(name: str, result) -> AnalysisArtifact:
         "threads": stats["threads"],
         "solver_iterations": stats["solver_iterations"],
     }
+    incremental = getattr(result, "incremental_stats", None)
+    if incremental is not None:
+        # Rides in the summary, which payload_digest() excludes: a
+        # warm run's artifact stays bit-identical to a cold run's.
+        summary["incremental"] = incremental
     profile = result.profile() if result.obs.enabled else None
     return AnalysisArtifact(
         name=name,
@@ -234,4 +239,34 @@ def validate_artifact(doc: object) -> Dict[str, object]:
     profile = doc.get("profile")
     _check(profile is None or isinstance(profile, dict),
            "profile is neither null nor an object")
+    return doc
+
+
+def validate_funcartifact(doc: object) -> Dict[str, object]:
+    """Check *doc* against ``repro.funcartifact/1``; returns it
+    unchanged. A funcartifact is one function's share of a solved
+    fixpoint, keyed by doc-*local* indices: ``objects`` is the local
+    object-key table, ``top`` maps local canonical temp index to a hex
+    mask over that table, and ``mem`` maps ``"<local node
+    idx>:<local obj idx>"`` rows likewise."""
+    _check(isinstance(doc, dict), "top level is not an object")
+    assert isinstance(doc, dict)
+    _check(doc.get("schema") == FUNC_ARTIFACT_SCHEMA,
+           f"schema is {doc.get('schema')!r}, "
+           f"expected {FUNC_ARTIFACT_SCHEMA!r}")
+    _check(isinstance(doc.get("code_version"), str) and doc["code_version"],
+           "code_version missing")
+    _check(isinstance(doc.get("function"), str) and doc["function"],
+           "function name missing")
+    for key in ("digest", "context_sig"):
+        _check(isinstance(doc.get(key), str) and doc[key],
+               f"{key} missing")
+    objects = doc.get("objects")
+    _check(isinstance(objects, list), "objects is not a list")
+    assert isinstance(objects, list)
+    for i, obj_key in enumerate(objects):
+        _check(isinstance(obj_key, str) and ":" in obj_key,
+               f"objects[{i}] is not a kind:name key")
+    _check_mask_map(doc.get("top"), "top")
+    _check_mask_map(doc.get("mem"), "mem")
     return doc

@@ -28,7 +28,7 @@ from typing import Dict, List, Optional
 from repro.fsam.config import FSAMConfig
 from repro.obs import Observer
 from repro.schemas import BATCH_SCHEMA
-from repro.service.cache import ArtifactCache
+from repro.service.cache import ArtifactCache, FuncArtifactStore
 from repro.service.pool import WorkerPool
 from repro.service.requests import AnalysisRequest
 from repro.service.runner import RequestOutcome, run_request_inline
@@ -54,6 +54,11 @@ class BatchReport:
                 "status": outcome.status,
                 "cache": outcome.cache,
                 "seconds": round(outcome.seconds, 6),
+                # Per-attempt wall clocks, one per degradation rung.
+                # ``seconds`` measures from first spawn and includes
+                # killed attempts plus requeue wait; these do not.
+                "attempt_seconds": [round(s, 6)
+                                    for s in outcome.attempt_seconds],
                 "attempts": outcome.attempts,
                 "summary": dict(outcome.artifact.summary),
             }
@@ -110,7 +115,8 @@ def run_batch(requests: List[AnalysisRequest],
               timeout: Optional[float] = None,
               obs: Optional[Observer] = None,
               name: str = "batch",
-              pool: Optional[WorkerPool] = None) -> BatchReport:
+              pool: Optional[WorkerPool] = None,
+              incremental: bool = True) -> BatchReport:
     """Run *requests* to completion and aggregate the report.
 
     ``workers <= 1`` runs inline (no subprocesses) — the serial
@@ -118,8 +124,16 @@ def run_batch(requests: List[AnalysisRequest],
     escape hatch. *pool* injects a preconfigured
     :class:`~repro.service.pool.WorkerPool` (tests use this to force a
     start method); otherwise one is built from ``workers``/``timeout``.
+
+    With *incremental* (the default) and a cache configured, a
+    per-function artifact store lives next to the whole-program
+    entries under ``<cache>/func``: requests whose program digest
+    misses can still reuse the previous fixpoint for unchanged
+    functions (see :mod:`repro.service.incremental`).
     """
     observer = obs if obs is not None else Observer(name=name)
+    funcstore = FuncArtifactStore(cache.root) \
+        if incremental and cache is not None else None
     start = time.perf_counter()
 
     # 1. dedup by content digest.
@@ -150,7 +164,9 @@ def run_batch(requests: List[AnalysisRequest],
     if to_run:
         if workers > 1:
             worker_pool = pool if pool is not None else \
-                WorkerPool(workers=workers, timeout=timeout)
+                WorkerPool(workers=workers, timeout=timeout,
+                           funcstore_root=str(cache.root)
+                           if funcstore is not None else None)
             fresh = worker_pool.run(to_run)
             worker_pool.flush_obs(observer)
         else:
@@ -168,7 +184,8 @@ def run_batch(requests: List[AnalysisRequest],
                             config=config, timeout=request.timeout)
                     budgeted.append(request)
                 to_run = budgeted
-            fresh = [run_request_inline(request) for request in to_run]
+            fresh = [run_request_inline(request, funcstore=funcstore)
+                     for request in to_run]
         for outcome in fresh:
             resolved[outcome.digest] = outcome
             if cache is not None:
@@ -203,6 +220,21 @@ def run_batch(requests: List[AnalysisRequest],
     observer.count("batch.solver_iterations",
                    sum(o.artifact.solver_iterations()
                        for o in outcomes if o.cache == "miss"))
+    if funcstore is not None:
+        # Pool workers' FuncArtifactStore counters die with the worker
+        # process; the per-run incremental stats travel back inside
+        # each artifact's summary, so aggregate from there — uniform
+        # across inline and pooled dispatch.
+        func_hits = seeded = 0
+        for outcome in outcomes:
+            if outcome.cache != "miss":
+                continue
+            incr = outcome.artifact.summary.get("incremental")
+            if isinstance(incr, dict):
+                func_hits += int(incr.get("func_hits", 0))
+                seeded += int(incr.get("seeded_nodes", 0))
+        observer.count("cache.func_hits", func_hits)
+        observer.count("incremental.seeded_nodes", seeded)
     if cache is not None:
         cache.flush_obs(observer)
     observer.gauge("batch.workers", workers)
@@ -257,6 +289,12 @@ def validate_batch_report(doc: object) -> Dict[str, object]:
         _check(isinstance(row.get("seconds"), (int, float))
                and row["seconds"] >= 0,
                f"requests[{i}] seconds missing or negative")
+        attempt_seconds = row.get("attempt_seconds", [])
+        _check(isinstance(attempt_seconds, list)
+               and all(isinstance(s, (int, float)) and s >= 0
+                       for s in attempt_seconds),
+               f"requests[{i}] attempt_seconds is not a list of "
+               "non-negative numbers")
         _check(isinstance(row.get("attempts"), int) and row["attempts"] >= 0,
                f"requests[{i}] attempts is not a non-negative integer")
         _check(isinstance(row.get("summary"), dict),

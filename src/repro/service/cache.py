@@ -15,11 +15,21 @@ Policies:
   Andersen-only result under the same key as the full result would be
   served to later, unbudgeted runs;
 - **reads validate** the document schema and code version; a corrupt
-  or stale entry reads as a miss (and is removed), never as an error.
+  or version-stale entry reads as a miss, never as an error. Removal
+  of a bad entry is *tolerant*: the slot is re-stat()ed and compared
+  against the file that was actually read, so a fresh artifact that a
+  concurrent worker just ``os.replace``d into the same slot is never
+  unlinked — it is re-read and served instead.
 
 Counters (``cache.hits`` / ``cache.misses`` / ``cache.stores`` /
-``cache.corrupt``) flush into a :class:`repro.obs.Observer` like any
-other pipeline stage.
+``cache.corrupt`` / ``cache.stale``) flush into a
+:class:`repro.obs.Observer` like any other pipeline stage.
+
+The module also hosts :class:`FuncArtifactStore`, the per-function
+sub-document layer (``repro.funcartifact/1``) used by incremental
+analysis: same fan-out layout under ``<root>/func/``, same atomic
+writes and tolerant reads, keyed by per-function digests (see
+:func:`repro.service.requests.function_digest`).
 """
 
 from __future__ import annotations
@@ -28,11 +38,55 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.obs import Observer
-from repro.schemas import CODE_VERSION
-from repro.service.artifacts import AnalysisArtifact, validate_artifact
+from repro.schemas import CODE_VERSION, FUNC_ARTIFACT_SCHEMA
+from repro.service.artifacts import (
+    AnalysisArtifact, validate_artifact, validate_funcartifact,
+)
+
+
+def _handle_sig(handle) -> Tuple[int, int, int]:
+    """Identity of the open file: survives a concurrent os.replace of
+    the path (the *path* then names a different inode)."""
+    st = os.fstat(handle.fileno())
+    return (st.st_ino, st.st_size, st.st_mtime_ns)
+
+
+def _tolerant_drop(path: Path, sig: Optional[Tuple[int, int, int]]) -> bool:
+    """Remove *path* only while it still names the entry we just read.
+
+    Returns True when the slot now holds a *different* file — a
+    concurrent worker ``os.replace``d a fresh artifact in after our
+    failed read — in which case nothing is removed and the caller
+    should re-read instead of discarding the fresh entry."""
+    try:
+        st = os.stat(path)
+    except OSError:
+        return False  # already gone: nothing left to drop
+    if sig is None or (st.st_ino, st.st_size, st.st_mtime_ns) != sig:
+        return True
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+    return False
+
+
+def _atomic_write(path: Path, doc: Dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(doc, handle, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 class ArtifactCache:
@@ -44,40 +98,45 @@ class ArtifactCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.stale = 0
 
     def path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest[2:]}.json"
 
     def get(self, digest: str) -> Optional[AnalysisArtifact]:
         """The cached artifact for *digest*, or None on miss. Corrupt
-        and version-stale entries are dropped and read as misses."""
+        and version-stale entries are dropped and read as misses —
+        unless a concurrent writer already replaced the slot with a
+        fresh entry, which is re-read once and served."""
         path = self.path(digest)
-        try:
-            with open(path) as handle:
-                doc = json.load(handle)
-            artifact = AnalysisArtifact.from_dict(doc)
-        except FileNotFoundError:
-            self.misses += 1
-            return None
-        except (json.JSONDecodeError, ValueError, KeyError, OSError):
-            self.corrupt += 1
-            self.misses += 1
+        for retry in (True, False):
+            sig = None
             try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
-        if artifact.code_version != CODE_VERSION:
-            # Structurally valid but produced by other analysis code:
-            # stale, not corrupt. Drop it so the slot gets rewritten.
-            self.misses += 1
-            try:
-                os.unlink(path)
-            except OSError:
-                pass
-            return None
-        self.hits += 1
-        return artifact
+                with open(path) as handle:
+                    sig = _handle_sig(handle)
+                    doc = json.load(handle)
+                artifact = AnalysisArtifact.from_dict(doc)
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except (json.JSONDecodeError, ValueError, KeyError, OSError):
+                self.corrupt += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.misses += 1
+                return None
+            if artifact.code_version != CODE_VERSION:
+                # Structurally valid but produced by other analysis
+                # code: stale, not corrupt. Drop it so the slot gets
+                # rewritten.
+                self.stale += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.misses += 1
+                return None
+            self.hits += 1
+            return artifact
+        return None  # pragma: no cover - loop always returns
 
     def put(self, digest: str, artifact: AnalysisArtifact) -> Optional[Path]:
         """Store *artifact* under *digest*; returns the path, or None
@@ -85,20 +144,9 @@ class ArtifactCache:
         if artifact.degraded:
             return None
         path = self.path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
         doc = artifact.to_dict()
         validate_artifact(doc)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(doc, handle, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        _atomic_write(path, doc)
         self.stores += 1
         return path
 
@@ -110,6 +158,7 @@ class ArtifactCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "stale": self.stale,
         }
 
     def flush_obs(self, obs: Observer) -> None:
@@ -117,3 +166,79 @@ class ArtifactCache:
         obs.count("cache.misses", self.misses)
         obs.count("cache.stores", self.stores)
         obs.count("cache.corrupt", self.corrupt)
+        obs.count("cache.stale", self.stale)
+
+
+class FuncArtifactStore:
+    """Per-function artifact layer (``repro.funcartifact/1``).
+
+    Lives under ``<root>/func/`` beside (usually inside) an
+    :class:`ArtifactCache` root, with the same two-hex fan-out,
+    atomic-write, and tolerant-read policies. Keys are per-function
+    digests: H(canonical function IR + callee mod-ref signatures +
+    fixpoint config + code version), so an entry hits exactly when
+    nothing that can influence the function's local value flow or its
+    calls' summaries has changed.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root) / "func"
+        self.func_hits = 0
+        self.func_misses = 0
+        self.func_stores = 0
+        self.corrupt = 0
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """The validated funcartifact document for *digest*, or None."""
+        path = self.path(digest)
+        for retry in (True, False):
+            sig = None
+            try:
+                with open(path) as handle:
+                    sig = _handle_sig(handle)
+                    doc = json.load(handle)
+                validate_funcartifact(doc)
+            except FileNotFoundError:
+                self.func_misses += 1
+                return None
+            except (json.JSONDecodeError, ValueError, KeyError, OSError):
+                self.corrupt += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.func_misses += 1
+                return None
+            if doc.get("code_version") != CODE_VERSION:
+                self.corrupt += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.func_misses += 1
+                return None
+            self.func_hits += 1
+            return doc
+        return None  # pragma: no cover - loop always returns
+
+    def put(self, digest: str, doc: Dict[str, object]) -> Path:
+        if doc.get("schema") != FUNC_ARTIFACT_SCHEMA:
+            raise ValueError(f"not a funcartifact document: {doc.get('schema')}")
+        path = self.path(digest)
+        _atomic_write(path, doc)
+        self.func_stores += 1
+        return path
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "func_hits": self.func_hits,
+            "func_misses": self.func_misses,
+            "func_stores": self.func_stores,
+            "corrupt": self.corrupt,
+        }
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("cache.func_hits", self.func_hits)
+        obs.count("cache.func_misses", self.func_misses)
+        obs.count("cache.func_stores", self.func_stores)

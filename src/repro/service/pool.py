@@ -38,12 +38,17 @@ from repro.service.runner import (
 _POLL_INTERVAL = 0.02
 
 
-def _pool_worker(payload: Dict[str, object], conn) -> None:
+def _pool_worker(payload: Dict[str, object], conn,
+                 funcstore_root: Optional[str] = None) -> None:
     """Worker-process entry: run one attempt, send one message."""
     try:
         request = AnalysisRequest.from_payload(payload)
+        funcstore = None
+        if funcstore_root is not None:
+            from repro.service.cache import FuncArtifactStore
+            funcstore = FuncArtifactStore(funcstore_root)
         try:
-            artifact = run_full(request)
+            artifact = run_full(request, funcstore=funcstore)
             conn.send({"status": "ok", "artifact": artifact.to_dict()})
         except AnalysisTimeout:
             conn.send({"status": "budget-exhausted"})
@@ -60,16 +65,19 @@ def _pool_worker(payload: Dict[str, object], conn) -> None:
 class _Attempt:
     """One in-flight worker process."""
 
-    __slots__ = ("index", "request", "attempt", "proc", "conn", "deadline")
+    __slots__ = ("index", "request", "attempt", "proc", "conn", "deadline",
+                 "started_at")
 
     def __init__(self, index: int, request: AnalysisRequest, attempt: int,
-                 proc, conn, deadline: Optional[float]) -> None:
+                 proc, conn, deadline: Optional[float],
+                 started_at: float) -> None:
         self.index = index
         self.request = request
         self.attempt = attempt
         self.proc = proc
         self.conn = conn
         self.deadline = deadline
+        self.started_at = started_at
 
 
 class WorkerPool:
@@ -78,11 +86,13 @@ class WorkerPool:
     def __init__(self, workers: Optional[int] = None,
                  timeout: Optional[float] = None,
                  start_method: Optional[str] = None,
-                 retries: int = 1) -> None:
+                 retries: int = 1,
+                 funcstore_root: Optional[str] = None) -> None:
         self.workers = max(1, workers if workers is not None
                            else (os.cpu_count() or 2))
         self.timeout = timeout      # default per-attempt wall clock
         self.retries = retries
+        self.funcstore_root = funcstore_root
         self._ctx = multiprocessing.get_context(start_method)
         # Tallies for flush_obs.
         self.dispatched = 0
@@ -98,6 +108,7 @@ class WorkerPool:
         """Run every request to a terminal outcome, in request order."""
         results: List[Optional[RequestOutcome]] = [None] * len(requests)
         started: Dict[int, float] = {}
+        durations: Dict[int, List[float]] = {}
         pending = deque((i, request, 1) for i, request in enumerate(requests))
         inflight: List[_Attempt] = []
 
@@ -107,7 +118,8 @@ class WorkerPool:
                     inflight.append(self._spawn(*pending.popleft(), started))
                 progressed = False
                 for attempt in list(inflight):
-                    outcome = self._sweep(attempt, pending, started)
+                    outcome = self._sweep(attempt, pending, started,
+                                          durations)
                     if outcome is not _PENDING:
                         inflight.remove(attempt)
                         progressed = True
@@ -128,7 +140,8 @@ class WorkerPool:
                started: Dict[int, float]) -> _Attempt:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
-            target=_pool_worker, args=(request.to_payload(), child_conn),
+            target=_pool_worker,
+            args=(request.to_payload(), child_conn, self.funcstore_root),
             daemon=True)
         proc.start()
         child_conn.close()  # the parent reads; the worker holds the writer
@@ -137,10 +150,18 @@ class WorkerPool:
         timeout = request.timeout if request.timeout is not None else self.timeout
         deadline = (now + timeout) if timeout is not None else None
         self.dispatched += 1
-        return _Attempt(index, request, attempt, proc, parent_conn, deadline)
+        return _Attempt(index, request, attempt, proc, parent_conn, deadline,
+                        started_at=now)
+
+    @staticmethod
+    def _record(attempt: _Attempt,
+                durations: Dict[int, List[float]]) -> None:
+        durations.setdefault(attempt.index, []).append(
+            time.perf_counter() - attempt.started_at)
 
     def _sweep(self, attempt: _Attempt, pending: deque,
-               started: Dict[int, float]):
+               started: Dict[int, float],
+               durations: Dict[int, List[float]]):
         """Advance one in-flight attempt. Returns ``_PENDING`` while
         still running, a :class:`RequestOutcome` when terminal, or
         None when the request was requeued for a retry."""
@@ -157,18 +178,29 @@ class WorkerPool:
             attempt.proc.terminate()
             attempt.proc.join()
             attempt.conn.close()
-            return self._failed(attempt, pending, started,
+            self._record(attempt, durations)
+            return self._failed(attempt, pending, started, durations,
                                 reason="wall-clock-timeout")
         elif not attempt.proc.is_alive():
             attempt.proc.join()
+            # The worker may have sent its result and exited between
+            # the poll above and the liveness check; its message is
+            # still sitting in the pipe. Drain once more before
+            # concluding the process crashed.
+            if attempt.conn.poll(0):
+                try:
+                    message = attempt.conn.recv()
+                except (EOFError, OSError):
+                    message = None
         else:
             return _PENDING
 
         attempt.conn.close()
+        self._record(attempt, durations)
         if message is None:
             # Exited without a message: hard crash (OOM kill, signal).
             self.worker_errors += 1
-            return self._failed(attempt, pending, started,
+            return self._failed(attempt, pending, started, durations,
                                 reason="worker-crash")
         status = message.get("status")
         if status == "ok":
@@ -180,36 +212,43 @@ class WorkerPool:
                 artifact=artifact,
                 seconds=time.perf_counter() - started[attempt.index],
                 attempts=attempt.attempt,
+                attempt_seconds=list(durations.get(attempt.index, [])),
             )
         if status == "budget-exhausted":
             # Deterministic: the same budget exhausts again, so skip
             # the retry rung and degrade now.
             self.budget_exhaustions += 1
-            return self._degrade(attempt, started,
+            return self._degrade(attempt, started, durations,
                                  reason="budget-exhausted")
         self.worker_errors += 1
-        return self._failed(attempt, pending, started,
+        return self._failed(attempt, pending, started, durations,
                             reason=message.get("message", "worker-error"))
 
     def _failed(self, attempt: _Attempt, pending: deque,
-                started: Dict[int, float], reason: str):
+                started: Dict[int, float],
+                durations: Dict[int, List[float]], reason: str):
         if attempt.attempt <= self.retries:
             self.retried += 1
             pending.append((attempt.index, attempt.request,
                             attempt.attempt + 1))
             return None
-        return self._degrade(attempt, started, reason=reason)
+        return self._degrade(attempt, started, durations, reason=reason)
 
     def _degrade(self, attempt: _Attempt, started: Dict[int, float],
+                 durations: Dict[int, List[float]],
                  reason: str) -> RequestOutcome:
         self.degraded += 1
+        rung_start = time.perf_counter()
         artifact = run_degraded(attempt.request, reason=reason)
+        durations.setdefault(attempt.index, []).append(
+            time.perf_counter() - rung_start)
         return RequestOutcome(
             name=attempt.request.name,
             digest=attempt.request.digest(),
             artifact=artifact,
             seconds=time.perf_counter() - started[attempt.index],
             attempts=attempt.attempt,
+            attempt_seconds=list(durations.get(attempt.index, [])),
         )
 
     # -- statistics --------------------------------------------------------

@@ -47,6 +47,27 @@ def request_digest(source: str, config: FSAMConfig,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+def function_digest(fn_text: str, callee_summaries: List[List[str]],
+                    config: FSAMConfig,
+                    code_version: str = CODE_VERSION) -> str:
+    """The second digest level: one function's per-function cache key.
+
+    SHA-256 over the function's canonical printed IR, the sorted
+    ``[callee name, mod-ref signature]`` pairs of every routine its
+    calls/forks/joins can reach (per the Andersen call graph), and the
+    same config/code-version fields as :func:`request_digest`. A hit
+    means nothing that can change this function's local value flow —
+    its own body or any callee's memory side effects — has moved.
+    """
+    blob = json.dumps({
+        "function": fn_text,
+        "callees": callee_summaries,
+        "config": config.cache_key_dict(),
+        "code_version": code_version,
+    }, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class AnalysisRequest:
     """One unit of batch work: a named MiniC source plus its config.

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 from repro.frontend import compile_source
 from repro.fsam import FSAM
@@ -40,20 +40,39 @@ class RequestOutcome:
     digest: str
     artifact: AnalysisArtifact
     cache: str = "miss"            # "hit" | "miss"
-    seconds: float = 0.0
+    seconds: float = 0.0           # total, from the first attempt's start
     attempts: int = 1
+    #: Wall-clock duration of each individual attempt (including the
+    #: final degraded fallback, when one ran). ``seconds`` measures the
+    #: whole request from the first spawn and therefore also contains
+    #: requeue wait between retries; the per-attempt entries do not.
+    attempt_seconds: List[float] = field(default_factory=list)
 
     @property
     def status(self) -> str:
         return "degraded" if self.artifact.degraded else "ok"
 
 
-def run_full(request: AnalysisRequest) -> AnalysisArtifact:
+def run_full(request: AnalysisRequest,
+             funcstore=None) -> AnalysisArtifact:
     """Rung 1: the whole pipeline. Raises
     :class:`~repro.fsam.config.AnalysisTimeout` on budget exhaustion.
+
+    When *funcstore* (a :class:`repro.service.cache.FuncArtifactStore`)
+    is given, the run consults the per-function artifact layer: DUG
+    regions downstream of changed functions are re-solved from scratch
+    while states proven unchanged are preloaded from the store, and the
+    fresh per-function facts are harvested back into the store. Results
+    are bit-identical either way.
     """
     module = compile_source(request.source, name=request.name)
-    result = FSAM(module, request.config).run()
+    if funcstore is not None:
+        from repro.service.incremental import incremental_hook
+        fsam = FSAM(module, request.config,
+                    incremental=incremental_hook(request, funcstore))
+    else:
+        fsam = FSAM(module, request.config)
+    result = fsam.run()
     return artifact_from_result(request.name, result)
 
 
@@ -70,21 +89,28 @@ def run_degraded(request: AnalysisRequest,
                                   reason=reason)
 
 
-def run_request_inline(request: AnalysisRequest) -> RequestOutcome:
+def run_request_inline(request: AnalysisRequest,
+                       funcstore=None) -> RequestOutcome:
     """The serial ladder: full pipeline, degrading on budget
     exhaustion. No retry — re-running the same deterministic analysis
     under the same in-process budget exhausts it again."""
     start = time.perf_counter()
     attempts = 1
+    attempt_seconds = []
     try:
-        artifact = run_full(request)
+        artifact = run_full(request, funcstore=funcstore)
+        attempt_seconds.append(time.perf_counter() - start)
     except AnalysisTimeout:
+        attempt_seconds.append(time.perf_counter() - start)
         attempts += 1
+        rung_start = time.perf_counter()
         artifact = run_degraded(request)
+        attempt_seconds.append(time.perf_counter() - rung_start)
     return RequestOutcome(
         name=request.name,
         digest=request.digest(),
         artifact=artifact,
         seconds=time.perf_counter() - start,
         attempts=attempts,
+        attempt_seconds=attempt_seconds,
     )

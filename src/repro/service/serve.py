@@ -30,7 +30,7 @@ import json
 from typing import Dict, Optional, TextIO
 
 from repro.obs import NULL_OBS, Observer
-from repro.service.cache import ArtifactCache
+from repro.service.cache import ArtifactCache, FuncArtifactStore
 from repro.service.pool import WorkerPool
 from repro.service.requests import request_from_entry
 from repro.service.runner import RequestOutcome, run_request_inline
@@ -84,10 +84,19 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
                cache: Optional[ArtifactCache] = None,
                timeout: Optional[float] = None,
                base_dir: str = ".",
-               obs: Observer = NULL_OBS) -> int:
+               obs: Observer = NULL_OBS,
+               incremental: bool = True) -> int:
     """Serve requests from *in_stream* until EOF; returns the number
-    of successfully served (non-error) responses."""
-    pool = WorkerPool(workers=workers, timeout=timeout) \
+    of successfully served (non-error) responses.
+
+    With *incremental* (the default) and a cache, program-digest
+    misses still reuse per-function fixpoints from ``<cache>/func``
+    (see :mod:`repro.service.incremental`)."""
+    funcstore = FuncArtifactStore(cache.root) \
+        if incremental and cache is not None else None
+    pool = WorkerPool(workers=workers, timeout=timeout,
+                      funcstore_root=str(cache.root)
+                      if funcstore is not None else None) \
         if workers > 1 else None
     served = 0
     for line in in_stream:
@@ -112,13 +121,20 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             elif pool is not None:
                 outcome = pool.run([request])[0]
             else:
-                outcome = run_request_inline(request)
+                outcome = run_request_inline(request, funcstore=funcstore)
             if cache is not None and outcome.cache == "miss":
                 cache.put(outcome.digest, outcome.artifact)
             response = _response(outcome, request_id)
             obs.count("serve.requests")
             if outcome.cache == "hit":
                 obs.count("serve.cache_hits")
+            incr = outcome.artifact.summary.get("incremental") \
+                if outcome.cache == "miss" else None
+            if isinstance(incr, dict):
+                obs.count("cache.func_hits",
+                          int(incr.get("func_hits", 0)))
+                obs.count("incremental.seeded_nodes",
+                          int(incr.get("seeded_nodes", 0)))
             if outcome.artifact.degraded:
                 obs.count("serve.degraded")
         except Exception as exc:  # noqa: BLE001 - reported on the wire

@@ -1,0 +1,158 @@
+"""Differential suite for function-granular incremental analysis.
+
+Every scenario drives the same contract: a warm run that reuses
+per-function fixpoints from the :class:`FuncArtifactStore` must be
+**bit-identical** (payload digest over objects, ``pts_top``, ``mem``,
+and store classes) to a cold run of the same edited source, across all
+ten Table-1 workloads, under
+
+- single-function edits (an address-taken store inserted into one
+  function body),
+- signature-changing edits (a store to a new global, which changes the
+  edited function's mod-ref summary and hence its callers' digests),
+- function addition (an unreferenced function appended), and
+- function deletion (warm run on the base after a cold run on
+  base-plus-added-function).
+"""
+
+import re
+
+import pytest
+
+from repro.service.cache import FuncArtifactStore
+from repro.service.requests import AnalysisRequest
+from repro.service.runner import run_request_inline
+from repro.workloads import WORKLOADS, get_workload
+
+ALL_WORKLOADS = list(WORKLOADS)
+
+#: Top-level function headers in the MiniC sources: return type at
+#: column 0, name, parameter list, opening brace on the same line.
+_HEADER = re.compile(r"^[A-Za-z_][\w \*]*?([A-Za-z_]\w*)\s*\(.*\)\s*\{\s*$")
+
+#: An IR-visible single-function edit. The local is address-taken so
+#: mem2reg cannot promote it and dead-code elimination cannot drop the
+#: store — the edited function's canonical IR is guaranteed to change.
+STORE_EDIT = "    int z_q; int *p_q; p_q = &z_q; *p_q = 1;"
+
+#: An unreferenced function used for the add/delete scenarios.
+ADDED_FN = ("\nint added_fn_q(int a_q) {\n"
+            "    int r_q;\n"
+            "    r_q = a_q + 1;\n"
+            "    return r_q;\n"
+            "}\n")
+
+
+def _functions(source):
+    return [m.group(1) for line in source.split("\n")
+            if (m := _HEADER.match(line))]
+
+
+def _edit_target(source):
+    """The first non-main function — every workload has one."""
+    return next(f for f in _functions(source) if f != "main")
+
+
+def _insert_after_header(source, fn, text):
+    lines = source.split("\n")
+    for i, line in enumerate(lines):
+        m = _HEADER.match(line)
+        if m and m.group(1) == fn:
+            return "\n".join(lines[:i + 1] + [text] + lines[i + 1:])
+    raise AssertionError(f"function {fn} not found")
+
+
+def _store_edit(source):
+    return _insert_after_header(source, _edit_target(source), STORE_EDIT)
+
+
+def _signature_edit(source):
+    """Store to a fresh global: the edited function's mod set gains an
+    object, so callee signatures embedded in callers' digests change
+    too, not just the edited function's own canonical IR."""
+    source = "int g_sig_q;\n" + source
+    return _insert_after_header(source, _edit_target(source),
+                                "    g_sig_q = 2;")
+
+
+def _run(source, name, store=None):
+    request = AnalysisRequest(name=name, source=source)
+    return run_request_inline(request, funcstore=store)
+
+
+def _warm_vs_cold(name, base_source, edited_source, tmp_path):
+    """Cold run on *base_source* to populate the store, warm run on
+    *edited_source*, cold reference on *edited_source*. Returns
+    (warm outcome, cold outcome, warm incremental stats)."""
+    store = FuncArtifactStore(tmp_path)
+    _run(base_source, name, store)
+    warm = _run(edited_source, name, store)
+    cold = _run(edited_source, name)
+    incr = warm.artifact.summary["incremental"]
+    assert isinstance(incr, dict)
+    return warm, cold, incr
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestStoreEdit:
+    def test_bit_identical_and_partial_reuse(self, name, tmp_path):
+        base = get_workload(name).source(1)
+        warm, cold, incr = _warm_vs_cold(name, base, _store_edit(base),
+                                         tmp_path)
+        assert warm.artifact.payload_digest() == \
+            cold.artifact.payload_digest()
+        assert incr["mode"] == "warm"
+        assert 0 < incr["func_hits"] < incr["functions"]
+        # Only the region downstream of the edit is re-solved.
+        assert 0 < incr["seeded_nodes"] < incr["dug_nodes"]
+        assert incr["frozen_nodes"] > 0
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestSignatureEdit:
+    def test_bit_identical(self, name, tmp_path):
+        base = get_workload(name).source(1)
+        warm, cold, incr = _warm_vs_cold(name, base, _signature_edit(base),
+                                         tmp_path)
+        assert warm.artifact.payload_digest() == \
+            cold.artifact.payload_digest()
+        assert incr["mode"] == "warm"
+        assert 0 < incr["func_hits"] < incr["functions"]
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestFunctionAddDelete:
+    def test_add_validates_every_existing_function(self, name, tmp_path):
+        base = get_workload(name).source(1)
+        warm, cold, incr = _warm_vs_cold(name, base, base + ADDED_FN,
+                                         tmp_path)
+        assert warm.artifact.payload_digest() == \
+            cold.artifact.payload_digest()
+        assert incr["mode"] == "warm"
+        # Every pre-existing function hits; only the new one is cold.
+        assert incr["func_hits"] == incr["functions"] - 1
+
+    def test_delete_validates_every_surviving_function(self, name, tmp_path):
+        base = get_workload(name).source(1)
+        warm, cold, incr = _warm_vs_cold(name, base + ADDED_FN, base,
+                                         tmp_path)
+        assert warm.artifact.payload_digest() == \
+            cold.artifact.payload_digest()
+        assert incr["mode"] == "warm"
+        assert incr["func_hits"] == incr["functions"]
+
+
+class TestFullValidation:
+    @pytest.mark.parametrize("name", ("word_count", "raytrace"))
+    def test_unchanged_source_solves_in_zero_iterations(self, name,
+                                                        tmp_path):
+        # The inline runner has no whole-program cache, so an
+        # unchanged source is the extreme warm case: every function
+        # validates, nothing is seeded, the solver runs 0 iterations.
+        base = get_workload(name).source(1)
+        warm, cold, incr = _warm_vs_cold(name, base, base, tmp_path)
+        assert warm.artifact.payload_digest() == \
+            cold.artifact.payload_digest()
+        assert incr["func_hits"] == incr["functions"]
+        assert incr["seeded_nodes"] == 0
+        assert warm.artifact.summary["solver_iterations"] == 0

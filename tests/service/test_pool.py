@@ -1,9 +1,13 @@
 """Worker-pool scheduling: sharding, timeouts, retry, degradation."""
 
+import multiprocessing
+import time
+from collections import deque
+
 import pytest
 
 from repro.fsam.config import FSAMConfig
-from repro.service.pool import WorkerPool
+from repro.service.pool import WorkerPool, _Attempt, _PENDING
 from repro.service.requests import AnalysisRequest
 from repro.service.runner import run_request_inline
 from repro.workloads import get_workload
@@ -33,6 +37,9 @@ class TestPoolHappyPath:
         assert pool.dispatched == len(SMALL)
         assert pool.degraded == 0
         assert pool.retried == 0
+        for outcome in outcomes:
+            assert len(outcome.attempt_seconds) == 1
+            assert 0 < outcome.attempt_seconds[0] <= outcome.seconds + 1e-6
 
     def test_more_workers_than_requests(self):
         outcomes = WorkerPool(workers=8).run(_requests(("word_count",)))
@@ -75,6 +82,12 @@ class TestPoolDegradation:
         assert pool.timeouts >= 1
         assert pool.retried == 1
         assert outcomes[0].attempts == 2
+        # Two killed attempts plus the degraded fallback rung, each
+        # timed individually; ``seconds`` spans the whole request
+        # (including the requeue wait the per-attempt entries exclude).
+        assert len(outcomes[0].attempt_seconds) == 3
+        assert all(s >= 0 for s in outcomes[0].attempt_seconds)
+        assert sum(outcomes[0].attempt_seconds) <= outcomes[0].seconds + 1e-6
 
     def test_mixed_batch_never_fails(self):
         # One doomed request among healthy ones: everyone gets a
@@ -86,6 +99,87 @@ class TestPoolDegradation:
             + _requests(("kmeans",))
         outcomes = WorkerPool(workers=2).run(requests)
         assert [o.status for o in outcomes] == ["ok", "degraded", "ok"]
+
+
+class _ExitedProc:
+    """A worker process that has already exited."""
+
+    def is_alive(self):
+        return False
+
+    def join(self, timeout=None):
+        return None
+
+    def terminate(self):  # pragma: no cover - not reached in these tests
+        return None
+
+
+class _LateMessageConn:
+    """Reproduces the send-then-exit race deterministically: the
+    sweep's first poll sees an empty pipe (the worker had not sent
+    yet), the liveness check then finds the process dead, and only the
+    post-join drain can observe the message the worker sent in
+    between."""
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._polls = 0
+
+    def poll(self, timeout=0):
+        self._polls += 1
+        if self._polls == 1:
+            return False
+        return self._conn.poll(timeout)
+
+    def recv(self):
+        return self._conn.recv()
+
+    def close(self):
+        return self._conn.close()
+
+
+class TestPoolSendExitRace:
+    def test_result_sent_between_poll_and_liveness_check_is_recovered(self):
+        # Regression: a worker that sends its result and exits in the
+        # window between the parent's conn.poll(0) and proc.is_alive()
+        # used to be misclassified as a worker crash (result thrown
+        # away, request retried). The fix drains the pipe once more
+        # after joining the dead process.
+        request = _requests(("word_count",))[0]
+        artifact = run_request_inline(request).artifact
+        reader, writer = multiprocessing.Pipe(duplex=False)
+        writer.send({"status": "ok", "artifact": artifact.to_dict()})
+        writer.close()
+        pool = WorkerPool(workers=1)
+        now = time.perf_counter()
+        attempt = _Attempt(0, request, 1, _ExitedProc(),
+                           _LateMessageConn(reader), deadline=None,
+                           started_at=now)
+        outcome = pool._sweep(attempt, deque(), {0: now}, {})
+        assert outcome is not _PENDING and outcome is not None
+        assert outcome.status == "ok"
+        assert outcome.artifact.payload_digest() == artifact.payload_digest()
+        assert pool.worker_errors == 0
+        assert pool.retried == 0
+        assert len(outcome.attempt_seconds) == 1
+
+    def test_exit_without_message_is_still_a_crash(self):
+        # The drain must not mask a genuine crash: a dead worker with
+        # an empty pipe still lands on the retry/degrade ladder.
+        request = _requests(("word_count",))[0]
+        reader, writer = multiprocessing.Pipe(duplex=False)
+        writer.close()
+        pool = WorkerPool(workers=1)
+        now = time.perf_counter()
+        attempt = _Attempt(0, request, 1, _ExitedProc(),
+                           _LateMessageConn(reader), deadline=None,
+                           started_at=now)
+        pending = deque()
+        outcome = pool._sweep(attempt, pending, {0: now}, {})
+        assert outcome is None          # requeued for the retry
+        assert pool.worker_errors == 1
+        assert pool.retried == 1
+        assert pending and pending[0][2] == 2
 
 
 class TestPoolObs:
