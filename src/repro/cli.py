@@ -302,7 +302,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_diff_profile(args) -> int:
-    """Compare two repro.obs/1 profile documents (report-only)."""
+    """Compare two repro.obs/1 profiles or repro.metrics/1 snapshots
+    (report-only)."""
     from repro.harness import diff_profiles, render_profile_diff
     with open(args.baseline) as handle:
         a = json.load(handle)
@@ -324,6 +325,9 @@ def cmd_diff_profile(args) -> int:
                               for k, v in diff.changed_counters().items()},
             "gauge_drift": {k: list(v)
                             for k, v in diff.changed_gauges().items()},
+            "histogram_drift": {k: list(v)
+                                for k, v
+                                in diff.changed_histograms().items()},
         }, indent=2))
     else:
         print(render_profile_diff(diff))
@@ -419,7 +423,8 @@ def cmd_batch(args) -> int:
     report = run_batch(requests, workers=workers, cache=cache,
                        timeout=timeout,
                        name=os.path.basename(args.spec),
-                       incremental=not args.no_incremental)
+                       incremental=not args.no_incremental,
+                       slow_ms=args.slow_ms)
     doc = validate_batch_report(report.to_dict())
     if args.out:
         with open(args.out, "w") as handle:
@@ -439,15 +444,43 @@ def cmd_batch(args) -> int:
 
 def cmd_serve(args) -> int:
     """Long-lived stdin/JSONL analysis loop (one request per line)."""
+    from repro.obs import Observer
     from repro.service import ArtifactCache, serve_loop
 
     cache = ArtifactCache(args.cache) if args.cache else None
-    serve_loop(sys.stdin, sys.stdout,
-               workers=args.workers,
-               cache=cache,
-               timeout=args.timeout,
-               base_dir=args.base_dir,
-               incremental=not args.no_incremental)
+    # Live telemetry: periodic repro.metrics/1 snapshots to --metrics-out
+    # (or stderr, keeping stdout pure response JSONL).
+    metrics_stream = None
+    if args.metrics_out:
+        metrics_stream = open(args.metrics_out, "w")
+    elif args.metrics_interval is not None:
+        metrics_stream = sys.stderr
+    try:
+        serve_loop(sys.stdin, sys.stdout,
+                   workers=args.workers,
+                   cache=cache,
+                   timeout=args.timeout,
+                   base_dir=args.base_dir,
+                   obs=Observer(name="serve", track_memory=False),
+                   incremental=not args.no_incremental,
+                   metrics_interval=args.metrics_interval,
+                   metrics_stream=metrics_stream)
+    finally:
+        if args.metrics_out and metrics_stream is not None:
+            metrics_stream.close()
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render the telemetry view of a batch report or a metrics JSONL
+    stream: per-phase p50/p99, cache hit rates, degradation/retry
+    counts, and the slowest requests with their dominant phase."""
+    from repro.harness import load_telemetry, render_telemetry_report
+    source = load_telemetry(args.file)
+    if args.json:
+        print(json.dumps(source.metrics, indent=2, sort_keys=True))
+    else:
+        print(render_telemetry_report(source, top=args.top))
     return 0
 
 
@@ -497,10 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_trace)
 
     p = sub.add_parser("diff-profile",
-                       help="compare two repro.obs/1 profiles "
-                            "(report-only)")
-    p.add_argument("baseline", help="baseline profile JSON (A)")
-    p.add_argument("current", help="current profile JSON (B)")
+                       help="compare two repro.obs/1 profiles or "
+                            "repro.metrics/1 snapshots (report-only)")
+    p.add_argument("baseline", help="baseline profile/metrics JSON (A)")
+    p.add_argument("current", help="current profile/metrics JSON (B)")
     p.add_argument("--json", action="store_true", help="emit JSON")
     p.set_defaults(handler=cmd_diff_profile)
 
@@ -546,6 +579,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the report as JSON instead of text")
     p.add_argument("--csv", action="store_true",
                    help="print per-request CSV rows instead of text")
+    p.add_argument("--slow-ms", type=float, default=None,
+                   help="capture the per-phase profile of requests "
+                        "slower than this as exemplars in the report")
     p.set_defaults(handler=cmd_batch)
 
     p = sub.add_parser("serve",
@@ -561,7 +597,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base directory for 'file' request entries")
     p.add_argument("--no-incremental", action="store_true",
                    help="disable per-function incremental reuse")
+    p.add_argument("--metrics-interval", type=float, default=None,
+                   metavar="N",
+                   help="emit a cumulative repro.metrics/1 JSONL "
+                        "snapshot at least N seconds apart (0 = after "
+                        "every request); goes to stderr unless "
+                        "--metrics-out is given")
+    p.add_argument("--metrics-out", metavar="OUT", default=None,
+                   help="write the metrics JSONL stream to this file "
+                        "(final snapshot at EOF even without "
+                        "--metrics-interval)")
     p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser("report",
+                       help="render service telemetry from a "
+                            "repro.batch/1 report or a repro.metrics/1 "
+                            "JSONL stream")
+    p.add_argument("file", help="batch report JSON, metrics snapshot "
+                                "JSON, or metrics JSONL stream")
+    p.add_argument("--top", type=int, default=5,
+                   help="slowest requests to list (default 5)")
+    p.add_argument("--json", action="store_true",
+                   help="print the final repro.metrics/1 snapshot as "
+                        "JSON instead of the rendered report")
+    p.set_defaults(handler=cmd_report)
     return parser
 
 

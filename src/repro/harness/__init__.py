@@ -20,6 +20,9 @@ from repro.harness.export import (
 from repro.harness.profdiff import (
     PhaseDelta, ProfileDiff, diff_profiles, render_profile_diff,
 )
+from repro.harness.report import (
+    TelemetrySource, load_telemetry, render_telemetry_report,
+)
 
 __all__ = [
     "Measurement", "measure_fsam", "measure_nonsparse",
@@ -29,4 +32,5 @@ __all__ = [
     "table2_to_csv", "table2_to_json", "figure12_to_csv",
     "render_batch_report", "batch_report_to_csv",
     "PhaseDelta", "ProfileDiff", "diff_profiles", "render_profile_diff",
+    "TelemetrySource", "load_telemetry", "render_telemetry_report",
 ]

@@ -63,13 +63,14 @@ def render_batch_report(doc: Dict[str, object]) -> str:
     if rows:
         width = max(len(str(row["name"])) for row in rows)
         lines.append(f"  {'name':<{width}} {'status':<9} {'cache':<6} "
-                     f"{'seconds':>9} {'iters':>8}")
+                     f"{'seconds':>9} {'queue':>8} {'iters':>8}")
         for row in rows:
             summary: Dict[str, object] = row.get("summary", {})  # type: ignore[assignment]
             iters = summary.get("solver_iterations", 0)
             lines.append(
                 f"  {str(row['name']):<{width}} {str(row['status']):<9} "
                 f"{str(row['cache']):<6} {float(row['seconds']):>9.3f} "
+                f"{float(row.get('queue_seconds', 0.0)):>8.3f} "
                 f"{iters:>8}")
     counters: Dict[str, object] = doc.get("counters", {})  # type: ignore[assignment]
     interesting = {k: v for k, v in counters.items()
@@ -86,6 +87,16 @@ def render_batch_report(doc: Dict[str, object]) -> str:
         width = max(len(k) for k in phases)
         for key, seconds in sorted(phases.items()):
             lines.append(f"  {key:<{width}} {float(seconds):>9.4f}s")  # type: ignore[arg-type]
+    exemplars: List[Dict[str, object]] = doc.get("exemplars", [])  # type: ignore[assignment]
+    if exemplars:
+        lines.append("slow-request exemplars (see `repro report` for "
+                     "the full telemetry view):")
+        for exemplar in exemplars:
+            lines.append(
+                f"  {exemplar['name']} ({exemplar.get('request_id')}) "
+                f"{float(exemplar['seconds']):.3f}s "
+                f"queue {float(exemplar.get('queue_seconds', 0.0)):.3f}s "
+                f"dominant {exemplar.get('dominant_phase') or '-'}")
     return "\n".join(lines)
 
 

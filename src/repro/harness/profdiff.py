@@ -3,15 +3,23 @@
 Compares two ``repro.obs/1`` documents (typically the previous CI
 run's profile artifact against the current one): per-phase wall time
 and peak traced memory deltas over the flattened phase paths, plus
-counter and gauge drift. The comparison is report-only — thresholds
-and gating policy belong to whoever reads the report, not here.
+counter and gauge drift. ``repro.metrics/1`` telemetry snapshots are
+accepted on either side — their flattened ``phase_seconds`` stand in
+for the phase tree (no per-phase memory), and their histograms diff as
+(count, p50, p99) summaries. The comparison is report-only —
+thresholds and gating policy belong to whoever reads the report, not
+here.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.obs import _walk_phases, validate_profile
+from repro.obs import _walk_phases, validate_metrics, validate_profile
+from repro.schemas import METRICS_SCHEMA
+
+#: A histogram's diff summary: (count, p50, p99).
+HistSummary = Tuple[int, float, float]
 
 
 class PhaseDelta:
@@ -54,8 +62,10 @@ class ProfileDiff:
                  total_seconds_a: float, total_seconds_b: float,
                  phases: List[PhaseDelta],
                  counters: Dict[str, Tuple[Optional[int], Optional[int]]],
-                 gauges: Dict[str, Tuple[Optional[float], Optional[float]]]
-                 ) -> None:
+                 gauges: Dict[str, Tuple[Optional[float], Optional[float]]],
+                 histograms: Optional[Dict[str, Tuple[Optional[HistSummary],
+                                                      Optional[HistSummary]]]]
+                 = None) -> None:
         self.name_a = name_a
         self.name_b = name_b
         self.total_seconds_a = total_seconds_a
@@ -63,12 +73,17 @@ class ProfileDiff:
         self.phases = phases
         self.counters = counters
         self.gauges = gauges
+        self.histograms = histograms if histograms is not None else {}
 
     def changed_counters(self) -> Dict[str, Tuple[Optional[int], Optional[int]]]:
         return {k: v for k, v in self.counters.items() if v[0] != v[1]}
 
     def changed_gauges(self) -> Dict[str, Tuple[Optional[float], Optional[float]]]:
         return {k: v for k, v in self.gauges.items() if v[0] != v[1]}
+
+    def changed_histograms(self) -> Dict[str, Tuple[Optional[HistSummary],
+                                                    Optional[HistSummary]]]:
+        return {k: v for k, v in self.histograms.items() if v[0] != v[1]}
 
 
 def _flat_phases(doc: Dict[str, object]) -> Dict[str, Dict[str, object]]:
@@ -87,16 +102,44 @@ def _flat_phases(doc: Dict[str, object]) -> Dict[str, Dict[str, object]]:
     return flat
 
 
+def _flat_view(doc: Dict[str, object]
+               ) -> Tuple[Dict[str, Dict[str, object]], float]:
+    """Normalize either document kind to ``(flat phases, total)``.
+
+    A ``repro.metrics/1`` snapshot has no phase tree or per-phase
+    memory — its flattened ``phase_seconds`` paths map directly, with
+    zero peaks, and the total is the sum of its top-level paths."""
+    if doc.get("schema") == METRICS_SCHEMA:
+        validate_metrics(doc)
+        phase_seconds = doc.get("phase_seconds", {})
+        assert isinstance(phase_seconds, dict)
+        flat = {path: {"seconds": float(seconds), "peak_traced_kb": 0.0}
+                for path, seconds in phase_seconds.items()}
+        total = sum(float(seconds) for path, seconds in phase_seconds.items()
+                    if "/" not in path)
+        return flat, total
+    validate_profile(doc)
+    return _flat_phases(doc), float(doc["total_seconds"])  # type: ignore[arg-type]
+
+
+def _hist_summary(doc: Dict[str, object], name: str
+                  ) -> Optional[HistSummary]:
+    hist = doc.get("histograms", {}).get(name)  # type: ignore[union-attr]
+    if hist is None:
+        return None
+    return (int(hist["count"]), float(hist.get("p50", 0.0)),
+            float(hist.get("p99", 0.0)))
+
+
 def diff_profiles(a: Dict[str, object], b: Dict[str, object]) -> ProfileDiff:
     """Compare profile document *a* (baseline) against *b* (current).
 
-    Both documents are validated against ``repro.obs/1`` first, so a
-    malformed artifact fails loudly rather than diffing as empty.
+    Each side may be a ``repro.obs/1`` profile or a ``repro.metrics/1``
+    snapshot; both are validated first, so a malformed artifact fails
+    loudly rather than diffing as empty.
     """
-    validate_profile(a)
-    validate_profile(b)
-    flat_a = _flat_phases(a)
-    flat_b = _flat_phases(b)
+    flat_a, total_a = _flat_view(a)
+    flat_b, total_b = _flat_view(b)
     phases: List[PhaseDelta] = []
     for path in list(flat_a) + [p for p in flat_b if p not in flat_a]:
         pa = flat_a.get(path)
@@ -114,13 +157,19 @@ def diff_profiles(a: Dict[str, object], b: Dict[str, object]) -> ProfileDiff:
         names = sorted(set(da) | set(db))  # type: ignore[arg-type]
         return {name: (da.get(name), db.get(name)) for name in names}  # type: ignore[union-attr]
 
+    hist_names = sorted(set(a.get("histograms", {}))  # type: ignore[arg-type]
+                        | set(b.get("histograms", {})))  # type: ignore[arg-type]
+    histograms = {name: (_hist_summary(a, name), _hist_summary(b, name))
+                  for name in hist_names}
+
     return ProfileDiff(
         name_a=str(a.get("name", "")), name_b=str(b.get("name", "")),
-        total_seconds_a=float(a["total_seconds"]),  # type: ignore[arg-type]
-        total_seconds_b=float(b["total_seconds"]),  # type: ignore[arg-type]
+        total_seconds_a=total_a,
+        total_seconds_b=total_b,
         phases=phases,
         counters=_drift("counters"),
-        gauges=_drift("gauges"))
+        gauges=_drift("gauges"),
+        histograms=histograms)
 
 
 def _fmt_ratio(ratio: Optional[float]) -> str:
@@ -168,4 +217,18 @@ def render_profile_diff(diff: ProfileDiff) -> str:
             lines.append(f"  {name:<{gwidth}} "
                          f"{'-' if va is None else va} -> "
                          f"{'-' if vb is None else vb}")
+    changed_h = diff.changed_histograms()
+    if changed_h:
+        lines.append("histogram drift (count, p50, p99):")
+        hwidth = max(len(k) for k in changed_h)
+
+        def _fmt_hist(summary):
+            if summary is None:
+                return "-"
+            count, p50, p99 = summary
+            return f"n={count} p50={p50:.4f} p99={p99:.4f}"
+
+        for name, (ha, hb) in changed_h.items():
+            lines.append(f"  {name:<{hwidth}} "
+                         f"{_fmt_hist(ha)} -> {_fmt_hist(hb)}")
     return "\n".join(lines)

@@ -18,11 +18,22 @@ whole pipeline shares:
   records its own peak traced size (not just the run-wide peak), and
   each phase snapshot includes the process peak RSS where the
   ``resource`` module is available;
+- **histograms** — ``obs.observe("pool.run_seconds", dt)`` feeds a
+  mergeable log-bucketed :class:`Histogram` (count/sum/min/max plus
+  p50/p95/p99 interpolated from the bucket bounds), the building
+  block of cross-process latency distributions;
 - **export** — :meth:`Observer.to_dict` produces the one JSON
   document (schema ``repro.obs/1``) that the CLI ``--profile`` flag,
   the ``repro stats`` subcommand, and the measurement harness all
   consume; :func:`profile_to_csv` flattens it for spreadsheets and
   :func:`validate_profile` checks a document against the schema.
+  :meth:`Observer.to_metrics_dict` exports the flat telemetry view
+  (schema ``repro.metrics/1``: counters, gauges, histograms, phase
+  seconds) and :meth:`Observer.merge_metrics` folds one such snapshot
+  — typically shipped back from a pool worker process — into another
+  observer, which is how per-request spans aggregate into service
+  rollups; :func:`validate_metrics` / :func:`validate_metrics_stream`
+  check the documents.
 
 Stages that sit on hot paths accumulate plain integer tallies locally
 and flush them into the observer once per phase, so the instrumented
@@ -39,12 +50,13 @@ from __future__ import annotations
 
 import io
 import json
+import math
 import sys
 import time
 import tracemalloc
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from repro.schemas import PROFILE_SCHEMA
+from repro.schemas import METRICS_SCHEMA, PROFILE_SCHEMA
 
 try:  # pragma: no cover - platform dependent
     import resource as _resource
@@ -112,6 +124,135 @@ class _PhaseScope:
         return False  # propagate exceptions (deadlines must still fire)
 
 
+#: Log-bucket growth factor: four buckets per doubling keeps any
+#: bucket-interpolated percentile within ~19% of the true value while
+#: covering microseconds-to-hours in a few dozen sparse buckets.
+HISTOGRAM_BASE = 2.0 ** 0.25
+
+_LOG_BASE = math.log(HISTOGRAM_BASE)
+
+
+class Histogram:
+    """A mergeable log-bucketed value distribution.
+
+    Bucket ``i`` covers ``[BASE**i, BASE**(i+1))``; only touched
+    buckets are stored, so the index may be negative (sub-second
+    latencies live there). Non-positive observations are clamped to a
+    dedicated ``zeros`` bucket — durations cannot be negative, and a
+    clock that reads 0 is a resolution artifact, not a signal.
+
+    Two histograms with the same base merge exactly (bucket counts
+    add), which is what makes per-worker recording + parent-side
+    aggregation sound: merge-of-splits equals the whole, up to float
+    associativity in ``sum``.
+    """
+
+    __slots__ = ("count", "sum", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zeros = 0
+        self.buckets: Dict[int, int] = {}
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        """The bucket holding *value* (> 0): the ``i`` with
+        ``BASE**i <= value < BASE**(i+1)``."""
+        i = math.floor(math.log(value) / _LOG_BASE)
+        # math.log rounds; re-check the invariant at bucket edges so a
+        # value sitting exactly on a bound lands deterministically.
+        if HISTOGRAM_BASE ** (i + 1) <= value:
+            i += 1
+        elif HISTOGRAM_BASE ** i > value:
+            i -= 1
+        return i
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0 or value != value:  # clamp negatives and NaN
+            value = 0.0
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value == 0.0:
+            self.zeros += 1
+        else:
+            i = self.bucket_index(value)
+            self.buckets[i] = self.buckets.get(i, 0) + 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other* into this histogram (bucket-exact)."""
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.sum += other.sum
+        self.zeros += other.zeros
+        assert other.min is not None and other.max is not None
+        self.min = other.min if self.min is None else min(self.min, other.min)
+        self.max = other.max if self.max is None else max(self.max, other.max)
+        for i, n in other.buckets.items():
+            self.buckets[i] = self.buckets.get(i, 0) + n
+        return self
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The *q*-quantile (``0 <= q <= 1``), linearly interpolated
+        inside the covering bucket and clamped to the observed
+        [min, max]. None for an empty histogram."""
+        if self.count == 0:
+            return None
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        cum = self.zeros
+        if self.zeros and target <= cum:
+            return 0.0
+        for i in sorted(self.buckets):
+            n = self.buckets[i]
+            if cum + n >= target:
+                lo = HISTOGRAM_BASE ** i
+                hi = HISTOGRAM_BASE ** (i + 1)
+                value = lo + (hi - lo) * ((target - cum) / n)
+                return max(self.min, min(self.max, value))
+            cum += n
+        return self.max  # pragma: no cover - q > 1 only
+
+    def to_dict(self) -> Dict[str, object]:
+        """Wire form: sparse ``[index, upper_bound, count]`` bucket
+        rows (sorted by index) plus the summary stats and the three
+        headline percentiles."""
+        doc: Dict[str, object] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": 0.0 if self.min is None else self.min,
+            "max": 0.0 if self.max is None else self.max,
+            "zeros": self.zeros,
+            "base": HISTOGRAM_BASE,
+            "buckets": [[i, HISTOGRAM_BASE ** (i + 1), self.buckets[i]]
+                        for i in sorted(self.buckets)],
+        }
+        for key, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            p = self.percentile(q)
+            doc[key] = 0.0 if p is None else p
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "Histogram":
+        hist = cls()
+        hist.count = int(doc["count"])                 # type: ignore[arg-type]
+        hist.sum = float(doc["sum"])                   # type: ignore[arg-type]
+        hist.zeros = int(doc.get("zeros", 0))          # type: ignore[arg-type]
+        if hist.count:
+            hist.min = float(doc["min"])               # type: ignore[arg-type]
+            hist.max = float(doc["max"])               # type: ignore[arg-type]
+        for row in doc.get("buckets", []):             # type: ignore[union-attr]
+            index, _bound, n = row
+            hist.buckets[int(index)] = int(n)
+        return hist
+
+
 class Observer:
     """Collects timers, counters, and gauges for one pipeline run.
 
@@ -127,8 +268,13 @@ class Observer:
         self.track_memory = track_memory
         self.counters: Dict[str, int] = {}
         self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.phases: List[PhaseRecord] = []   # completed top-level phases
         self._stack: List[PhaseRecord] = []
+        # Phase seconds folded in from merged repro.metrics/1 snapshots
+        # (worker spans); kept apart from the locally timed tree so
+        # profile export (repro.obs/1) stays purely local.
+        self._merged_phase_seconds: Dict[str, float] = {}
         # Run-wide peak traced size, folded across the reset_peak
         # segments (see _fold_peak); harnesses read this instead of a
         # raw tracemalloc peak, which per-phase tracking resets.
@@ -146,6 +292,19 @@ class Observer:
     def gauge(self, name: str, value: float) -> None:
         """Record the latest snapshot of gauge *name*."""
         self.gauges[name] = value
+
+    # -- histograms --------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram *name* (created empty on
+        first use). Same flat ``stage.metric`` naming as counters."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    def histogram(self, name: str) -> Optional[Histogram]:
+        return self.histograms.get(name)
 
     # -- hierarchical timers ----------------------------------------------
 
@@ -226,6 +385,60 @@ class Observer:
     def to_csv(self) -> str:
         return profile_to_csv(self.to_dict())
 
+    # -- cross-process telemetry (repro.metrics/1) -------------------------
+
+    def to_metrics_dict(self) -> Dict[str, object]:
+        """The flat telemetry snapshot (schema ``repro.metrics/1``):
+        counters, gauges, histograms, and flattened ``path -> seconds``
+        phase times (local tree plus anything folded in by
+        :meth:`merge_metrics`). This is the wire form a pool worker
+        ships back through the result pipe, and the document ``repro
+        serve --metrics-interval`` / batch-report rollups emit."""
+        phase_seconds = self.phase_seconds()
+        for path, seconds in self._merged_phase_seconds.items():
+            phase_seconds[path] = phase_seconds.get(path, 0.0) + seconds
+        return {
+            "schema": METRICS_SCHEMA,
+            "name": self.name,
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {name: self.histograms[name].to_dict()
+                           for name in sorted(self.histograms)},
+            "phase_seconds": {path: phase_seconds[path]
+                              for path in sorted(phase_seconds)},
+        }
+
+    def merge_metrics(self, doc: Dict[str, object]) -> None:
+        """Fold one ``repro.metrics/1`` snapshot (a worker span) into
+        this observer: counters add, gauges take the snapshot's value,
+        histograms merge bucket-wise, and every phase path both
+        accumulates into the merged totals and is observed into a
+        ``phase.<path>`` histogram — so merging many request spans
+        yields cross-request latency distributions per phase.
+
+        Snapshots that already carry a ``phase.<path>`` histogram
+        (re-merged rollups) keep theirs; the phase seconds are not
+        observed a second time."""
+        for name, value in doc.get("counters", {}).items():  # type: ignore[union-attr]
+            self.count(name, int(value))
+        for name, value in doc.get("gauges", {}).items():  # type: ignore[union-attr]
+            self.gauge(name, value)
+        histograms = doc.get("histograms", {})
+        assert isinstance(histograms, dict)
+        for name, hist_doc in histograms.items():
+            incoming = Histogram.from_dict(hist_doc)
+            mine = self.histograms.get(name)
+            if mine is None:
+                self.histograms[name] = incoming
+            else:
+                mine.merge(incoming)
+        for path, seconds in doc.get("phase_seconds", {}).items():  # type: ignore[union-attr]
+            seconds = float(seconds)
+            self._merged_phase_seconds[path] = \
+                self._merged_phase_seconds.get(path, 0.0) + seconds
+            if f"phase.{path}" not in histograms:
+                self.observe(f"phase.{path}", seconds)
+
 
 class _NullScope:
     __slots__ = ()
@@ -253,6 +466,12 @@ class NullObserver(Observer):
         pass
 
     def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge_metrics(self, doc: Dict[str, object]) -> None:
         pass
 
     def phase(self, name: str) -> _NullScope:  # type: ignore[override]
@@ -326,6 +545,132 @@ def validate_profile(doc: object) -> Dict[str, object]:
         _check(isinstance(key, str) and isinstance(value, (int, float)),
                f"gauge {key!r} is not numeric")
     return doc
+
+
+def _mcheck(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid metrics document: {message}")
+
+
+def _validate_histogram(name: str, doc: object) -> None:
+    _mcheck(isinstance(doc, dict), f"histogram {name!r} is not an object")
+    assert isinstance(doc, dict)
+    count = doc.get("count")
+    _mcheck(isinstance(count, int) and count >= 0,
+            f"histogram {name!r} count is not a non-negative integer")
+    zeros = doc.get("zeros")
+    _mcheck(isinstance(zeros, int) and zeros >= 0,
+            f"histogram {name!r} zeros is not a non-negative integer")
+    _mcheck(isinstance(doc.get("sum"), (int, float)) and doc["sum"] >= 0
+            and math.isfinite(doc["sum"]),
+            f"histogram {name!r} sum missing, negative, or non-finite")
+    base = doc.get("base")
+    _mcheck(isinstance(base, (int, float)) and base > 1,
+            f"histogram {name!r} base must be a number > 1")
+    buckets = doc.get("buckets")
+    _mcheck(isinstance(buckets, list),
+            f"histogram {name!r} buckets is not a list")
+    assert isinstance(buckets, list) and isinstance(count, int) \
+        and isinstance(zeros, int)
+    total = zeros
+    prev_index: Optional[int] = None
+    for row in buckets:
+        _mcheck(isinstance(row, (list, tuple)) and len(row) == 3,
+                f"histogram {name!r} bucket row is not [index, bound, count]")
+        index, bound, n = row
+        _mcheck(isinstance(index, int),
+                f"histogram {name!r} bucket index is not an integer")
+        _mcheck(prev_index is None or index > prev_index,
+                f"histogram {name!r} bucket bounds are not sorted")
+        _mcheck(isinstance(bound, (int, float)) and bound > 0,
+                f"histogram {name!r} bucket bound is not positive")
+        _mcheck(isinstance(n, int) and n >= 0,
+                f"histogram {name!r} has a negative bucket count")
+        prev_index = index
+        total += n
+    _mcheck(total == count,
+            f"histogram {name!r} bucket counts sum to {total}, "
+            f"count says {count}")
+    if count:
+        _mcheck(isinstance(doc.get("min"), (int, float))
+                and isinstance(doc.get("max"), (int, float))
+                and 0 <= doc["min"] <= doc["max"],
+                f"histogram {name!r} min/max invalid")
+    else:
+        _mcheck(not buckets and zeros == 0,
+                f"histogram {name!r} is empty but has buckets")
+    for key in ("p50", "p95", "p99"):
+        if key in doc:
+            _mcheck(isinstance(doc[key], (int, float)),
+                    f"histogram {name!r} {key} is not numeric")
+
+
+def validate_metrics(doc: object) -> Dict[str, object]:
+    """Check *doc* against the ``repro.metrics/1`` schema (same
+    contract as :func:`validate_profile`: returns the document
+    unchanged, raises :class:`ValueError` on the first violation).
+    Rejects negative bucket counts and unsorted bucket bounds; use
+    :func:`validate_metrics_stream` for the cross-snapshot counter
+    monotonicity check."""
+    _mcheck(isinstance(doc, dict), "top level is not an object")
+    assert isinstance(doc, dict)
+    _mcheck(doc.get("schema") == METRICS_SCHEMA,
+            f"schema is {doc.get('schema')!r}, expected {METRICS_SCHEMA!r}")
+    _mcheck(isinstance(doc.get("name"), str), "name is not a string")
+    counters = doc.get("counters")
+    _mcheck(isinstance(counters, dict), "counters is not an object")
+    assert isinstance(counters, dict)
+    for key, value in counters.items():
+        _mcheck(isinstance(key, str) and isinstance(value, int)
+                and value >= 0,
+                f"counter {key!r} is not a non-negative integer")
+    gauges = doc.get("gauges")
+    _mcheck(isinstance(gauges, dict), "gauges is not an object")
+    assert isinstance(gauges, dict)
+    for key, value in gauges.items():
+        _mcheck(isinstance(key, str) and isinstance(value, (int, float)),
+                f"gauge {key!r} is not numeric")
+    histograms = doc.get("histograms")
+    _mcheck(isinstance(histograms, dict), "histograms is not an object")
+    assert isinstance(histograms, dict)
+    for name, hist in histograms.items():
+        _validate_histogram(name, hist)
+    phase_seconds = doc.get("phase_seconds")
+    _mcheck(isinstance(phase_seconds, dict),
+            "phase_seconds is not an object")
+    assert isinstance(phase_seconds, dict)
+    for path, seconds in phase_seconds.items():
+        _mcheck(isinstance(path, str)
+                and isinstance(seconds, (int, float)) and seconds >= 0,
+                f"phase_seconds[{path!r}] is not a non-negative number")
+    return doc
+
+
+def validate_metrics_stream(docs: List[Dict[str, object]]
+                            ) -> List[Dict[str, object]]:
+    """Validate a sequence of ``repro.metrics/1`` snapshots from one
+    emitter (the ``--metrics-interval`` JSONL stream): every document
+    must pass :func:`validate_metrics`, and a counter present in two
+    consecutive snapshots must never regress — counters are cumulative
+    within a stream, so a decrease means lost or reordered telemetry.
+    Returns *docs* unchanged."""
+    _mcheck(isinstance(docs, list) and len(docs) > 0,
+            "metrics stream is empty or not a list")
+    previous: Optional[Dict[str, object]] = None
+    for i, doc in enumerate(docs):
+        validate_metrics(doc)
+        if previous is not None:
+            prev_counters = previous["counters"]
+            assert isinstance(prev_counters, dict)
+            counters = doc["counters"]
+            assert isinstance(counters, dict)
+            for key, before in prev_counters.items():
+                if key in counters and counters[key] < before:
+                    _mcheck(False,
+                            f"counter {key!r} regressed from {before} to "
+                            f"{counters[key]} at stream position {i}")
+        previous = doc
+    return docs
 
 
 # -- renderers -------------------------------------------------------------

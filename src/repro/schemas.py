@@ -13,6 +13,9 @@ emitting modules; this module is the single source of truth:
 - ``repro.funcartifact/1`` — per-function artifact sub-documents for
   incremental analysis (:mod:`repro.service.incremental`)
 - ``repro.batch/1``    — batch reports (:mod:`repro.service.batch`)
+- ``repro.metrics/1``  — service telemetry snapshots: counters,
+  gauges, mergeable latency histograms, and flattened phase times
+  (:mod:`repro.obs`)
 
 ``CODE_VERSION`` participates in the content-addressed cache key
 (see :mod:`repro.service.cache`): bump it whenever an analysis change
@@ -32,6 +35,7 @@ BENCH_SCHEMA = "repro.bench/1"
 ARTIFACT_SCHEMA = "repro.artifact/1"
 FUNC_ARTIFACT_SCHEMA = "repro.funcartifact/1"
 BATCH_SCHEMA = "repro.batch/1"
+METRICS_SCHEMA = "repro.metrics/1"
 
 #: Version of the analysis semantics + artifact format. Part of the
 #: artifact cache key: bumping it invalidates every cached artifact.

@@ -23,6 +23,14 @@ Turns the single-shot FSAM pipeline into a servable system:
   (``repro.funcartifact/1``): warm requests whose program digest
   misses reuse the previous fixpoint for unchanged functions and
   re-solve only downstream of the edit.
+
+Every request runs as a telemetry span (deterministic request id,
+own Observer in the worker process); cache-miss span snapshots merge
+back into a ``repro.metrics/1`` rollup — mergeable latency
+histograms, cross-request per-phase distributions, cache hit-rate
+gauges — embedded in batch reports and streamed live by
+``repro serve --metrics-interval`` (see DESIGN.md "Service
+telemetry"; rendered by ``repro report``).
 """
 
 from repro.service.artifacts import (

@@ -17,6 +17,20 @@ Execution plan for a batch of requests:
    times, as one ``repro.batch/1`` document. Per-request
    ``repro.obs/1`` profiles ride along inside the artifacts; their
    phase trees are summed into ``aggregate.phase_seconds``.
+
+Telemetry: every dispatched request carries a span id (``rNNNN`` in
+request order) and runs under its own Observer — in the worker process
+for pooled dispatch, in-process for inline — whose ``repro.metrics/1``
+snapshot comes back on the outcome. The driver merges miss snapshots
+into the batch observer (cross-request ``phase.*`` latency
+distributions, worker-side counters such as the per-worker
+FuncArtifactStore tallies), records ``pool.run_seconds`` /
+``pool.queue_seconds`` / ``request.seconds`` histograms, and embeds
+the final rollup in the report as ``metrics``. Hits and dedup
+followers contribute nothing to histograms or phase times, so a fully
+warm batch's rollup is byte-identical across reruns (asserted by the
+telemetry suite). Requests slower than ``slow_ms`` capture their
+per-phase profile as ``exemplars``.
 """
 
 from __future__ import annotations
@@ -44,6 +58,11 @@ class BatchReport:
     total_seconds: float
     counters: Dict[str, int] = field(default_factory=dict)
     gauges: Dict[str, float] = field(default_factory=dict)
+    #: The batch's final ``repro.metrics/1`` rollup: counters, gauges,
+    #: merged worker histograms, and cross-request phase seconds.
+    metrics: Optional[Dict[str, object]] = None
+    #: Per-phase profiles auto-captured for requests over ``slow_ms``.
+    exemplars: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         rows = []
@@ -59,9 +78,14 @@ class BatchReport:
                 # killed attempts plus requeue wait; these do not.
                 "attempt_seconds": [round(s, 6)
                                     for s in outcome.attempt_seconds],
+                # Slot wait (enqueue -> spawn + requeue -> respawn),
+                # disjoint from the attempt entries.
+                "queue_seconds": round(outcome.queue_seconds, 6),
                 "attempts": outcome.attempts,
                 "summary": dict(outcome.artifact.summary),
             }
+            if outcome.request_id is not None:
+                row["request_id"] = outcome.request_id
             if outcome.artifact.degraded:
                 row["degraded_reason"] = outcome.artifact.degraded_reason
             rows.append(row)
@@ -87,6 +111,8 @@ class BatchReport:
                 "degraded": sum(
                     1 for o in self.outcomes if o.artifact.degraded),
             },
+            "metrics": self.metrics,
+            "exemplars": list(self.exemplars),
         }
 
     def _aggregate_phase_seconds(self) -> Dict[str, float]:
@@ -116,7 +142,8 @@ def run_batch(requests: List[AnalysisRequest],
               obs: Optional[Observer] = None,
               name: str = "batch",
               pool: Optional[WorkerPool] = None,
-              incremental: bool = True) -> BatchReport:
+              incremental: bool = True,
+              slow_ms: Optional[float] = None) -> BatchReport:
     """Run *requests* to completion and aggregate the report.
 
     ``workers <= 1`` runs inline (no subprocesses) — the serial
@@ -130,11 +157,21 @@ def run_batch(requests: List[AnalysisRequest],
     entries under ``<cache>/func``: requests whose program digest
     misses can still reuse the previous fixpoint for unchanged
     functions (see :mod:`repro.service.incremental`).
+
+    *slow_ms* enables exemplar capture: every cache-miss request whose
+    wall clock exceeds the threshold lands in ``report.exemplars``
+    with its per-phase breakdown and dominant phase.
     """
     observer = obs if obs is not None else Observer(name=name)
     funcstore = FuncArtifactStore(cache.root) \
         if incremental and cache is not None else None
     start = time.perf_counter()
+
+    # 0. span ids, deterministic in request order (rerunning the same
+    # batch assigns the same ids — part of the warm-rollup
+    # byte-identity guarantee).
+    for i, request in enumerate(requests):
+        request.request_id = f"r{i:04d}"
 
     # 1. dedup by content digest.
     digest_of: List[str] = [request.digest() for request in requests]
@@ -156,7 +193,7 @@ def run_batch(requests: List[AnalysisRequest],
                     name=requests[i].name, digest=digest,
                     artifact=artifact, cache="hit",
                     seconds=time.perf_counter() - lookup_start,
-                    attempts=0)
+                    attempts=0, request_id=requests[i].request_id)
                 continue
         to_run.append(requests[i])
 
@@ -181,11 +218,17 @@ def run_batch(requests: List[AnalysisRequest],
                             if request.timeout is not None else timeout
                         request = AnalysisRequest(
                             name=request.name, source=request.source,
-                            config=config, timeout=request.timeout)
+                            config=config, timeout=request.timeout,
+                            request_id=request.request_id)
                     budgeted.append(request)
                 to_run = budgeted
             fresh = [run_request_inline(request, funcstore=funcstore)
                      for request in to_run]
+            if funcstore is not None:
+                # The inline funcstore is shared across every request
+                # in the batch; flush its tallies once (pooled workers
+                # flush their own store into the shipped snapshot).
+                funcstore.flush_obs(observer)
         for outcome in fresh:
             resolved[outcome.digest] = outcome
             if cache is not None:
@@ -203,9 +246,27 @@ def run_batch(requests: List[AnalysisRequest],
             deduped += 1
             outcomes.append(RequestOutcome(
                 name=request.name, digest=digest, artifact=base.artifact,
-                cache="dedup", seconds=0.0, attempts=0))
+                cache="dedup", seconds=0.0, attempts=0,
+                request_id=request.request_id))
 
     total_seconds = time.perf_counter() - start
+
+    # Telemetry: merge each miss's span snapshot (worker-side counters
+    # + per-phase times -> cross-request phase.* distributions) and
+    # record the dispatch histograms. Hits and dedup followers are
+    # deliberately excluded — they did no work, and keeping the warm
+    # path free of wall-clock samples makes a fully cached batch's
+    # rollup byte-identical across reruns.
+    for outcome in outcomes:
+        if outcome.cache != "miss":
+            continue
+        if outcome.obs_snapshot is not None:
+            observer.merge_metrics(outcome.obs_snapshot)
+        for attempt_s in outcome.attempt_seconds:
+            observer.observe("pool.run_seconds", attempt_s)
+        observer.observe("pool.queue_seconds", outcome.queue_seconds)
+        observer.observe("request.seconds", outcome.seconds)
+
     observer.count("batch.requests", len(requests))
     observer.count("batch.unique_requests", len(unique_indices))
     observer.count("batch.deduped", deduped)
@@ -220,24 +281,45 @@ def run_batch(requests: List[AnalysisRequest],
     observer.count("batch.solver_iterations",
                    sum(o.artifact.solver_iterations()
                        for o in outcomes if o.cache == "miss"))
-    if funcstore is not None:
-        # Pool workers' FuncArtifactStore counters die with the worker
-        # process; the per-run incremental stats travel back inside
-        # each artifact's summary, so aggregate from there — uniform
-        # across inline and pooled dispatch.
-        func_hits = seeded = 0
-        for outcome in outcomes:
-            if outcome.cache != "miss":
-                continue
-            incr = outcome.artifact.summary.get("incremental")
-            if isinstance(incr, dict):
-                func_hits += int(incr.get("func_hits", 0))
-                seeded += int(incr.get("seeded_nodes", 0))
-        observer.count("cache.func_hits", func_hits)
-        observer.count("incremental.seeded_nodes", seeded)
     if cache is not None:
         cache.flush_obs(observer)
     observer.gauge("batch.workers", workers)
+    hits = observer.counter("batch.cache_hits")
+    misses = observer.counter("batch.cache_misses")
+    if cache is not None and hits + misses:
+        observer.gauge("cache.hit_rate", round(hits / (hits + misses), 6))
+    func_hits = observer.counter("cache.func_hits")
+    func_misses = observer.counter("cache.func_misses")
+    if func_hits + func_misses:
+        observer.gauge("cache.func_hit_rate",
+                       round(func_hits / (func_hits + func_misses), 6))
+
+    # Exemplars: slow misses keep their full per-phase breakdown in
+    # the report, so "why was r0003 slow?" survives aggregation.
+    exemplars: List[Dict[str, object]] = []
+    if slow_ms is not None:
+        threshold = slow_ms / 1000.0
+        slow = sorted((o for o in outcomes
+                       if o.cache == "miss" and o.seconds >= threshold),
+                      key=lambda o: o.seconds, reverse=True)
+        for outcome in slow[:8]:
+            phases = {}
+            if outcome.obs_snapshot is not None:
+                phases = outcome.obs_snapshot.get("phase_seconds", {})
+            top_level = {path: seconds for path, seconds in phases.items()
+                         if "/" not in path}
+            exemplars.append({
+                "name": outcome.name,
+                "request_id": outcome.request_id,
+                "seconds": round(outcome.seconds, 6),
+                "queue_seconds": round(outcome.queue_seconds, 6),
+                "dominant_phase": max(top_level, key=top_level.get)
+                if top_level else None,
+                "phase_seconds": {path: round(float(seconds), 6)
+                                  for path, seconds
+                                  in sorted(phases.items())},
+            })
+        observer.count("batch.slow_requests", len(exemplars))
 
     return BatchReport(
         name=name,
@@ -246,6 +328,8 @@ def run_batch(requests: List[AnalysisRequest],
         total_seconds=total_seconds,
         counters=dict(observer.counters),
         gauges=dict(observer.gauges),
+        metrics=observer.to_metrics_dict(),
+        exemplars=exemplars,
     )
 
 
@@ -297,6 +381,12 @@ def validate_batch_report(doc: object) -> Dict[str, object]:
                "non-negative numbers")
         _check(isinstance(row.get("attempts"), int) and row["attempts"] >= 0,
                f"requests[{i}] attempts is not a non-negative integer")
+        queue_seconds = row.get("queue_seconds", 0)
+        _check(isinstance(queue_seconds, (int, float)) and queue_seconds >= 0,
+               f"requests[{i}] queue_seconds is not a non-negative number")
+        request_id = row.get("request_id")
+        _check(request_id is None or isinstance(request_id, str),
+               f"requests[{i}] request_id is not a string")
         _check(isinstance(row.get("summary"), dict),
                f"requests[{i}] summary is not an object")
     counters = doc.get("counters")
@@ -312,6 +402,22 @@ def validate_batch_report(doc: object) -> Dict[str, object]:
            "aggregate.phase_seconds is not an object")
     _check(isinstance(aggregate.get("solver_iterations"), int),
            "aggregate.solver_iterations is not an integer")
+    metrics = doc.get("metrics")
+    if metrics is not None:
+        from repro.obs import validate_metrics
+        try:
+            validate_metrics(metrics)
+        except ValueError as exc:
+            _check(False, f"embedded metrics rollup invalid: {exc}")
+    exemplars = doc.get("exemplars", [])
+    _check(isinstance(exemplars, list), "exemplars is not a list")
+    assert isinstance(exemplars, list)
+    for i, exemplar in enumerate(exemplars):
+        _check(isinstance(exemplar, dict)
+               and isinstance(exemplar.get("name"), str)
+               and isinstance(exemplar.get("seconds"), (int, float))
+               and isinstance(exemplar.get("phase_seconds"), dict),
+               f"exemplars[{i}] is not a slow-request record")
     return doc
 
 

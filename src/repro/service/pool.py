@@ -40,18 +40,38 @@ _POLL_INTERVAL = 0.02
 
 def _pool_worker(payload: Dict[str, object], conn,
                  funcstore_root: Optional[str] = None) -> None:
-    """Worker-process entry: run one attempt, send one message."""
+    """Worker-process entry: run one attempt, send one message.
+
+    The attempt runs under its own span :class:`Observer` (named after
+    the request id) whose ``repro.metrics/1`` snapshot rides back on
+    the result message as ``"obs"`` — worker-side phase times and
+    counters used to die with the process; now the parent merges them
+    into the batch/serve rollup. With profiling off, a counters-only
+    observer still ships so the per-worker
+    :class:`~repro.service.cache.FuncArtifactStore` tallies survive.
+    """
     try:
         request = AnalysisRequest.from_payload(payload)
         funcstore = None
         if funcstore_root is not None:
             from repro.service.cache import FuncArtifactStore
             funcstore = FuncArtifactStore(funcstore_root)
+        obs = Observer(name=request.request_id or request.name) \
+            if request.config.profile else None
         try:
-            artifact = run_full(request, funcstore=funcstore)
-            conn.send({"status": "ok", "artifact": artifact.to_dict()})
+            artifact = run_full(request, funcstore=funcstore, obs=obs)
+            message: Dict[str, object] = {"status": "ok",
+                                          "artifact": artifact.to_dict()}
         except AnalysisTimeout:
-            conn.send({"status": "budget-exhausted"})
+            message = {"status": "budget-exhausted"}
+        if funcstore is not None and obs is None:
+            obs = Observer(name=request.request_id or request.name,
+                           track_memory=False)
+        if funcstore is not None:
+            funcstore.flush_obs(obs)
+        if obs is not None:
+            message["obs"] = obs.to_metrics_dict()
+        conn.send(message)
     except Exception as exc:  # noqa: BLE001 - reported to the parent
         try:
             conn.send({"status": "error",
@@ -109,17 +129,24 @@ class WorkerPool:
         results: List[Optional[RequestOutcome]] = [None] * len(requests)
         started: Dict[int, float] = {}
         durations: Dict[int, List[float]] = {}
-        pending = deque((i, request, 1) for i, request in enumerate(requests))
+        # Accumulated slot wait per request index: enqueue -> spawn for
+        # the first attempt, requeue -> respawn for retries. Reported
+        # as RequestOutcome.queue_seconds, separate from attempt work.
+        queue_waits: Dict[int, float] = {}
+        enqueue_ts = time.perf_counter()
+        pending = deque((i, request, 1, enqueue_ts)
+                        for i, request in enumerate(requests))
         inflight: List[_Attempt] = []
 
         try:
             while pending or inflight:
                 while pending and len(inflight) < self.workers:
-                    inflight.append(self._spawn(*pending.popleft(), started))
+                    inflight.append(self._spawn(*pending.popleft(), started,
+                                                queue_waits))
                 progressed = False
                 for attempt in list(inflight):
                     outcome = self._sweep(attempt, pending, started,
-                                          durations)
+                                          durations, queue_waits)
                     if outcome is not _PENDING:
                         inflight.remove(attempt)
                         progressed = True
@@ -137,7 +164,11 @@ class WorkerPool:
         return results  # type: ignore[return-value]
 
     def _spawn(self, index: int, request: AnalysisRequest, attempt: int,
-               started: Dict[int, float]) -> _Attempt:
+               enqueued_at: float, started: Dict[int, float],
+               queue_waits: Optional[Dict[int, float]] = None) -> _Attempt:
+        if queue_waits is not None:
+            queue_waits[index] = queue_waits.get(index, 0.0) \
+                + (time.perf_counter() - enqueued_at)
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         proc = self._ctx.Process(
             target=_pool_worker,
@@ -161,7 +192,8 @@ class WorkerPool:
 
     def _sweep(self, attempt: _Attempt, pending: deque,
                started: Dict[int, float],
-               durations: Dict[int, List[float]]):
+               durations: Dict[int, List[float]],
+               queue_waits: Optional[Dict[int, float]] = None):
         """Advance one in-flight attempt. Returns ``_PENDING`` while
         still running, a :class:`RequestOutcome` when terminal, or
         None when the request was requeued for a retry."""
@@ -180,7 +212,8 @@ class WorkerPool:
             attempt.conn.close()
             self._record(attempt, durations)
             return self._failed(attempt, pending, started, durations,
-                                reason="wall-clock-timeout")
+                                reason="wall-clock-timeout",
+                                queue_waits=queue_waits)
         elif not attempt.proc.is_alive():
             attempt.proc.join()
             # The worker may have sent its result and exited between
@@ -201,7 +234,8 @@ class WorkerPool:
             # Exited without a message: hard crash (OOM kill, signal).
             self.worker_errors += 1
             return self._failed(attempt, pending, started, durations,
-                                reason="worker-crash")
+                                reason="worker-crash",
+                                queue_waits=queue_waits)
         status = message.get("status")
         if status == "ok":
             from repro.service.artifacts import AnalysisArtifact
@@ -213,30 +247,41 @@ class WorkerPool:
                 seconds=time.perf_counter() - started[attempt.index],
                 attempts=attempt.attempt,
                 attempt_seconds=list(durations.get(attempt.index, [])),
+                queue_seconds=(queue_waits or {}).get(attempt.index, 0.0),
+                request_id=attempt.request.request_id,
+                obs_snapshot=message.get("obs"),
             )
         if status == "budget-exhausted":
             # Deterministic: the same budget exhausts again, so skip
             # the retry rung and degrade now.
             self.budget_exhaustions += 1
             return self._degrade(attempt, started, durations,
-                                 reason="budget-exhausted")
+                                 reason="budget-exhausted",
+                                 queue_waits=queue_waits,
+                                 snapshot=message.get("obs"))
         self.worker_errors += 1
         return self._failed(attempt, pending, started, durations,
-                            reason=message.get("message", "worker-error"))
+                            reason=message.get("message", "worker-error"),
+                            queue_waits=queue_waits)
 
     def _failed(self, attempt: _Attempt, pending: deque,
                 started: Dict[int, float],
-                durations: Dict[int, List[float]], reason: str):
+                durations: Dict[int, List[float]], reason: str,
+                queue_waits: Optional[Dict[int, float]] = None):
         if attempt.attempt <= self.retries:
             self.retried += 1
             pending.append((attempt.index, attempt.request,
-                            attempt.attempt + 1))
+                            attempt.attempt + 1, time.perf_counter()))
             return None
-        return self._degrade(attempt, started, durations, reason=reason)
+        return self._degrade(attempt, started, durations, reason=reason,
+                             queue_waits=queue_waits)
 
     def _degrade(self, attempt: _Attempt, started: Dict[int, float],
                  durations: Dict[int, List[float]],
-                 reason: str) -> RequestOutcome:
+                 reason: str,
+                 queue_waits: Optional[Dict[int, float]] = None,
+                 snapshot: Optional[Dict[str, object]] = None
+                 ) -> RequestOutcome:
         self.degraded += 1
         rung_start = time.perf_counter()
         artifact = run_degraded(attempt.request, reason=reason)
@@ -249,6 +294,9 @@ class WorkerPool:
             seconds=time.perf_counter() - started[attempt.index],
             attempts=attempt.attempt,
             attempt_seconds=list(durations.get(attempt.index, [])),
+            queue_seconds=(queue_waits or {}).get(attempt.index, 0.0),
+            request_id=attempt.request.request_id,
+            obs_snapshot=snapshot,
         )
 
     # -- statistics --------------------------------------------------------

@@ -83,6 +83,12 @@ class AnalysisRequest:
     source: str
     config: FSAMConfig = field(default_factory=FSAMConfig)
     timeout: Optional[float] = None
+    #: Span identifier assigned by the dispatcher (batch: ``rNNNN`` in
+    #: request order, serve: ``sNNNN`` in arrival order). Names the
+    #: worker-side Observer so its telemetry snapshot can be tied back
+    #: to the request; like ``name``/``timeout``, it never enters the
+    #: content digest.
+    request_id: Optional[str] = None
 
     def digest(self) -> str:
         return request_digest(self.source, self.config)
@@ -95,6 +101,7 @@ class AnalysisRequest:
             "source": self.source,
             "config": self.config.to_dict(),
             "timeout": self.timeout,
+            "request_id": self.request_id,
         }
 
     @classmethod
@@ -104,6 +111,7 @@ class AnalysisRequest:
             source=payload["source"],                          # type: ignore[arg-type]
             config=FSAMConfig.from_dict(payload["config"]),    # type: ignore[arg-type]
             timeout=payload.get("timeout"),                    # type: ignore[arg-type]
+            request_id=payload.get("request_id"),              # type: ignore[arg-type]
         )
 
 

@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.frontend import compile_source
 from repro.fsam import FSAM
 from repro.fsam.config import AnalysisTimeout
+from repro.obs import Observer
 from repro.service.artifacts import (
     AnalysisArtifact, artifact_from_andersen, artifact_from_result,
 )
@@ -47,6 +48,18 @@ class RequestOutcome:
     #: whole request from the first spawn and therefore also contains
     #: requeue wait between retries; the per-attempt entries do not.
     attempt_seconds: List[float] = field(default_factory=list)
+    #: Time spent waiting for a worker slot: the delay from enqueue to
+    #: the first spawn plus any requeue wait between retry rungs.
+    #: Disjoint from ``attempt_seconds`` — queue wait vs attempt work
+    #: feed separate latency histograms.
+    queue_seconds: float = 0.0
+    #: Span id assigned by the dispatcher (see ``AnalysisRequest``).
+    request_id: Optional[str] = None
+    #: The request's ``repro.metrics/1`` telemetry span — recorded by
+    #: the worker-side Observer and shipped back through the result
+    #: pipe (pool mode) or captured in-process (inline mode). None when
+    #: profiling is off and no func-store counters accrued.
+    obs_snapshot: Optional[Dict[str, object]] = None
 
     @property
     def status(self) -> str:
@@ -54,7 +67,8 @@ class RequestOutcome:
 
 
 def run_full(request: AnalysisRequest,
-             funcstore=None) -> AnalysisArtifact:
+             funcstore=None, obs: Optional[Observer] = None
+             ) -> AnalysisArtifact:
     """Rung 1: the whole pipeline. Raises
     :class:`~repro.fsam.config.AnalysisTimeout` on budget exhaustion.
 
@@ -64,14 +78,23 @@ def run_full(request: AnalysisRequest,
     while states proven unchanged are preloaded from the store, and the
     fresh per-function facts are harvested back into the store. Results
     are bit-identical either way.
+
+    When *obs* is given it becomes the request's span: the compile and
+    every FSAM phase are timed under it (instead of a run-private
+    observer), so its ``repro.metrics/1`` snapshot captures the whole
+    attempt for shipping back to the dispatcher.
     """
-    module = compile_source(request.source, name=request.name)
+    kwargs: Dict[str, object] = {}
     if funcstore is not None:
         from repro.service.incremental import incremental_hook
-        fsam = FSAM(module, request.config,
-                    incremental=incremental_hook(request, funcstore))
+        kwargs["incremental"] = incremental_hook(request, funcstore)
+    if obs is not None:
+        with obs.phase("compile"):
+            module = compile_source(request.source, name=request.name)
+        kwargs["obs"] = obs
     else:
-        fsam = FSAM(module, request.config)
+        module = compile_source(request.source, name=request.name)
+    fsam = FSAM(module, request.config, **kwargs)
     result = fsam.run()
     return artifact_from_result(request.name, result)
 
@@ -93,12 +116,22 @@ def run_request_inline(request: AnalysisRequest,
                        funcstore=None) -> RequestOutcome:
     """The serial ladder: full pipeline, degrading on budget
     exhaustion. No retry — re-running the same deterministic analysis
-    under the same in-process budget exhausts it again."""
+    under the same in-process budget exhausts it again.
+
+    When the request profiles (``config.profile``), the whole attempt
+    runs under a per-request span Observer whose ``repro.metrics/1``
+    snapshot lands on ``outcome.obs_snapshot`` — the same shape a pool
+    worker ships back, so batch/serve aggregation is dispatch-agnostic.
+    (The shared inline *funcstore* is deliberately not flushed here:
+    its counters span the whole batch and are flushed once by the
+    dispatcher, not once per request.)"""
+    obs = Observer(name=request.request_id or request.name) \
+        if request.config.profile else None
     start = time.perf_counter()
     attempts = 1
     attempt_seconds = []
     try:
-        artifact = run_full(request, funcstore=funcstore)
+        artifact = run_full(request, funcstore=funcstore, obs=obs)
         attempt_seconds.append(time.perf_counter() - start)
     except AnalysisTimeout:
         attempt_seconds.append(time.perf_counter() - start)
@@ -113,4 +146,6 @@ def run_request_inline(request: AnalysisRequest,
         seconds=time.perf_counter() - start,
         attempts=attempts,
         attempt_seconds=attempt_seconds,
+        request_id=request.request_id,
+        obs_snapshot=obs.to_metrics_dict() if obs is not None else None,
     )

@@ -22,11 +22,21 @@ Requests are executed through the same cache + pool machinery as
 ``repro batch``: warm requests are served from the artifact cache
 without running any analysis, cold ones run in a worker process under
 the per-request wall-clock timeout (inline when ``workers <= 1``).
+
+Telemetry: each request gets a serial span id (``sNNNN``) and runs
+under its own Observer; cache-miss snapshots merge into the loop's
+*obs*, building cross-request ``phase.*`` histograms plus
+``pool.run_seconds`` / ``pool.queue_seconds`` distributions. With
+*metrics_stream* set, the loop emits the cumulative ``repro.metrics/1``
+snapshot as one JSONL line at least *metrics_interval* seconds apart
+(0 = after every request) and once more at EOF — the live feed
+``repro serve --metrics-interval`` exposes.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from typing import Dict, Optional, TextIO
 
 from repro.obs import NULL_OBS, Observer
@@ -43,9 +53,12 @@ def _response(outcome: RequestOutcome, request_id) -> Dict[str, object]:
         "status": outcome.status,
         "cache": outcome.cache,
         "seconds": round(outcome.seconds, 6),
+        "queue_seconds": round(outcome.queue_seconds, 6),
         "attempts": outcome.attempts,
         "summary": dict(outcome.artifact.summary),
     }
+    if outcome.request_id is not None:
+        response["span"] = outcome.request_id
     if outcome.artifact.degraded:
         response["degraded_reason"] = outcome.artifact.degraded_reason
     if request_id is not None:
@@ -79,19 +92,41 @@ def _emit(response: Dict[str, object], out_stream: TextIO,
     return ok
 
 
+def _emit_metrics(obs: Observer, metrics_stream: Optional[TextIO]) -> None:
+    """Write one cumulative ``repro.metrics/1`` snapshot line."""
+    if metrics_stream is None:
+        return
+    metrics_stream.write(json.dumps(obs.to_metrics_dict(),
+                                    sort_keys=True) + "\n")
+    metrics_stream.flush()
+
+
 def serve_loop(in_stream: TextIO, out_stream: TextIO,
                workers: int = 1,
                cache: Optional[ArtifactCache] = None,
                timeout: Optional[float] = None,
                base_dir: str = ".",
                obs: Observer = NULL_OBS,
-               incremental: bool = True) -> int:
+               incremental: bool = True,
+               metrics_interval: Optional[float] = None,
+               metrics_stream: Optional[TextIO] = None) -> int:
     """Serve requests from *in_stream* until EOF; returns the number
     of successfully served (non-error) responses.
 
     With *incremental* (the default) and a cache, program-digest
     misses still reuse per-function fixpoints from ``<cache>/func``
-    (see :mod:`repro.service.incremental`)."""
+    (see :mod:`repro.service.incremental`).
+
+    With *metrics_stream*, cumulative ``repro.metrics/1`` snapshots go
+    out as JSONL: one line whenever at least *metrics_interval* seconds
+    (default 0: every request) have passed since the last, plus a final
+    line at EOF after the pool/cache/funcstore tallies are flushed.
+    Counters in the stream are cumulative and therefore monotonic
+    (checked by :func:`repro.obs.validate_metrics_stream`)."""
+    if metrics_stream is not None and not obs.enabled:
+        # A metrics stream without a live observer would emit empty
+        # snapshots; upgrade to a real (memory-tracking-free) one.
+        obs = Observer(name="serve", track_memory=False)
     funcstore = FuncArtifactStore(cache.root) \
         if incremental and cache is not None else None
     pool = WorkerPool(workers=workers, timeout=timeout,
@@ -99,6 +134,9 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
                       if funcstore is not None else None) \
         if workers > 1 else None
     served = 0
+    serial = 0
+    interval = metrics_interval if metrics_interval is not None else 0.0
+    last_emit = time.monotonic()
     for line in in_stream:
         line = line.strip()
         if not line:
@@ -110,6 +148,8 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             if isinstance(entry, dict):
                 request_id = entry.pop("id", None)
             request = request_from_entry(entry, base_dir=base_dir)
+            request.request_id = f"s{serial:04d}"
+            serial += 1
             if timeout is not None and request.timeout is None:
                 request.timeout = timeout
             digest = request.digest()
@@ -117,7 +157,8 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             if artifact is not None:
                 outcome = RequestOutcome(
                     name=request.name, digest=digest, artifact=artifact,
-                    cache="hit", seconds=0.0, attempts=0)
+                    cache="hit", seconds=0.0, attempts=0,
+                    request_id=request.request_id)
             elif pool is not None:
                 outcome = pool.run([request])[0]
             else:
@@ -128,13 +169,17 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             obs.count("serve.requests")
             if outcome.cache == "hit":
                 obs.count("serve.cache_hits")
-            incr = outcome.artifact.summary.get("incremental") \
-                if outcome.cache == "miss" else None
-            if isinstance(incr, dict):
-                obs.count("cache.func_hits",
-                          int(incr.get("func_hits", 0)))
-                obs.count("incremental.seeded_nodes",
-                          int(incr.get("seeded_nodes", 0)))
+            if outcome.cache == "miss":
+                # The request's span: worker-side (or inline) counters
+                # and phase times merge into the loop observer; hits
+                # stay out of the latency histograms — they did no
+                # analysis work.
+                if outcome.obs_snapshot is not None:
+                    obs.merge_metrics(outcome.obs_snapshot)
+                for attempt_s in outcome.attempt_seconds:
+                    obs.observe("pool.run_seconds", attempt_s)
+                obs.observe("pool.queue_seconds", outcome.queue_seconds)
+                obs.observe("request.seconds", outcome.seconds)
             if outcome.artifact.degraded:
                 obs.count("serve.degraded")
         except Exception as exc:  # noqa: BLE001 - reported on the wire
@@ -143,8 +188,22 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             obs.count("serve.errors")
         if _emit(response, out_stream, request_id, obs) and not error:
             served += 1
+        if metrics_stream is not None \
+                and time.monotonic() - last_emit >= interval:
+            _emit_metrics(obs, metrics_stream)
+            last_emit = time.monotonic()
     if pool is not None:
         pool.flush_obs(obs)
+    if funcstore is not None and pool is None:
+        # Inline dispatch shares one funcstore across the whole loop;
+        # pooled workers flush their own store into the shipped span.
+        funcstore.flush_obs(obs)
     if cache is not None:
         cache.flush_obs(obs)
+    if cache is not None:
+        hits = obs.counter("serve.cache_hits")
+        total = obs.counter("serve.requests")
+        if total:
+            obs.gauge("cache.hit_rate", round(hits / total, 6))
+    _emit_metrics(obs, metrics_stream)
     return served

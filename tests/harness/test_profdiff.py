@@ -18,6 +18,19 @@ def make_profile(name="run", counters=None, gauges=None, phases=("a", "b")):
     return obs.to_dict()
 
 
+def make_metrics(name="run", counters=None, observations=(0.5, 1.0),
+                 phases=("a", "b")):
+    obs = Observer(name=name, track_memory=False)
+    for phase in phases:
+        with obs.phase(phase):
+            pass
+    for key, value in (counters or {}).items():
+        obs.count(key, value)
+    for value in observations:
+        obs.observe("pool.run_seconds", value)
+    return obs.to_metrics_dict()
+
+
 class TestDiff:
     def test_common_phases_get_ratios(self):
         diff = diff_profiles(make_profile(), make_profile())
@@ -58,6 +71,49 @@ class TestDiff:
                 pass
         diff = diff_profiles(obs.to_dict(), obs.to_dict())
         assert {d.path for d in diff.phases} == {"outer", "outer/inner"}
+
+
+class TestMetricsDocs:
+    def test_metrics_doc_on_both_sides(self):
+        diff = diff_profiles(make_metrics(), make_metrics())
+        assert {d.path for d in diff.phases} == {"a", "b"}
+        # Metrics snapshots carry no per-phase memory: peaks read 0.
+        assert all(d.peak_kb_a == 0.0 and d.peak_kb_b == 0.0
+                   for d in diff.phases)
+
+    def test_metrics_doc_against_profile(self):
+        diff = diff_profiles(make_profile(phases=("a",)),
+                             make_metrics(phases=("a", "extra")))
+        by_path = {d.path: d for d in diff.phases}
+        assert by_path["a"].status == "common"
+        assert by_path["extra"].status == "added"
+
+    def test_histogram_drift(self):
+        diff = diff_profiles(make_metrics(observations=(0.5,)),
+                             make_metrics(observations=(0.5, 4.0, 4.0)))
+        drift = diff.changed_histograms()
+        assert "pool.run_seconds" in drift
+        before, after = drift["pool.run_seconds"]
+        assert before[0] == 1 and after[0] == 3
+        assert after[2] >= before[2]     # p99 grew
+
+    def test_identical_histograms_not_drift(self):
+        diff = diff_profiles(make_metrics(), make_metrics())
+        assert diff.changed_histograms() == {}
+
+    def test_rejects_malformed_metrics(self):
+        bad = make_metrics()
+        bad["histograms"]["pool.run_seconds"]["count"] = -1
+        with pytest.raises(ValueError):
+            diff_profiles(bad, make_metrics())
+
+    def test_render_includes_histogram_drift(self):
+        text = render_profile_diff(
+            diff_profiles(make_metrics(observations=(0.5,)),
+                          make_metrics(observations=(0.5, 4.0))))
+        assert "histogram drift" in text
+        assert "pool.run_seconds" in text
+        assert "n=1" in text and "n=2" in text
 
 
 class TestRender:

@@ -286,6 +286,19 @@ class TestSubcommandSmoke:
         response = json.loads(capsys.readouterr().out)
         assert response["status"] == "ok"
 
+    def test_report(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps(
+            {"requests": [{"workload": "word_count",
+                           "config": {"profile": True}}]}))
+        out_path = tmp_path / "batch.json"
+        assert main(["batch", str(spec), "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report" in out
+        assert "pool.run_seconds" in out
+
 
 class TestBatchServeCLI:
     """Deeper ``repro batch`` / ``repro serve`` behaviour."""
@@ -349,3 +362,29 @@ class TestBatchServeCLI:
         responses = [json.loads(line)
                      for line in capsys.readouterr().out.splitlines()]
         assert [r["cache"] for r in responses] == ["miss", "hit"]
+
+    def test_batch_slow_ms_captures_exemplars(self, spec, capsys):
+        assert main(["batch", spec, "--slow-ms", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "slow-request exemplars" in out
+        assert "r0000" in out
+
+    def test_serve_metrics_stream(self, tmp_path, monkeypatch, capsys):
+        import io
+        from repro.obs import validate_metrics_stream
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO('{"workload": "word_count"}\n'
+                        '{"workload": "word_count"}\n'))
+        metrics_path = tmp_path / "metrics.jsonl"
+        assert main(["serve", "--cache", str(tmp_path / "c"),
+                     "--metrics-interval", "0",
+                     "--metrics-out", str(metrics_path)]) == 0
+        docs = [json.loads(line)
+                for line in metrics_path.read_text().splitlines()]
+        validate_metrics_stream(docs)
+        assert len(docs) >= 2
+        assert docs[-1]["counters"]["serve.requests"] == 2
+        capsys.readouterr()
+        assert main(["report", str(metrics_path)]) == 0
+        assert "telemetry report" in capsys.readouterr().out

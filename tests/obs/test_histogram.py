@@ -1,0 +1,238 @@
+"""Histogram + metrics-document tests: bucket indexing, merge
+algebra (merge-of-splits == whole), percentile behaviour, the
+``repro.metrics/1`` validators, and Observer's observe/merge plumbing."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import (
+    HISTOGRAM_BASE, Histogram, NullObserver, Observer, validate_metrics,
+    validate_metrics_stream,
+)
+from repro.schemas import METRICS_SCHEMA
+
+SETTINGS = settings(max_examples=100, deadline=None)
+
+positive_values = st.floats(min_value=1e-9, max_value=1e9,
+                            allow_nan=False, allow_infinity=False)
+value_lists = st.lists(positive_values, min_size=1, max_size=60)
+
+
+def _filled(values):
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestBucketing:
+    def test_bucket_index_consistent_with_bounds(self):
+        # Every observed value must land in a bucket whose exported
+        # (lower, upper] range actually contains it — the float-boundary
+        # fixup in bucket_index exists exactly for this invariant.
+        for exp in range(-30, 31):
+            for nudge in (0.999999999, 1.0, 1.000000001):
+                value = (HISTOGRAM_BASE ** exp) * nudge
+                i = Histogram.bucket_index(value)
+                assert HISTOGRAM_BASE ** i <= value < HISTOGRAM_BASE ** (i + 1)
+
+    def test_nonpositive_and_nan_go_to_zeros(self):
+        hist = Histogram()
+        hist.observe(0.0)
+        hist.observe(-1.5)
+        hist.observe(float("nan"))
+        assert hist.zeros == 3
+        assert hist.count == 3
+        assert hist.sum == 0.0
+        assert not hist.buckets
+
+    def test_four_buckets_per_doubling(self):
+        # base 2**0.25 means values 1 and 2 are exactly 4 buckets apart.
+        assert Histogram.bucket_index(2.0) - Histogram.bucket_index(1.0) == 4
+
+
+class TestPercentiles:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.percentile(0.5) is None
+        doc = hist.to_dict()
+        assert doc["p50"] == 0.0 and doc["count"] == 0
+
+    def test_single_value_all_percentiles(self):
+        hist = _filled([0.25])
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert hist.percentile(q) == pytest.approx(0.25)
+
+    def test_clamped_to_min_max(self):
+        hist = _filled([0.1, 0.2, 0.4, 0.8])
+        assert hist.percentile(0.0) >= hist.min
+        assert hist.percentile(1.0) <= hist.max
+
+    @given(value_lists)
+    @SETTINGS
+    def test_monotonic_and_bounded(self, values):
+        hist = _filled(values)
+        qs = [i / 20.0 for i in range(21)]
+        estimates = [hist.percentile(q) for q in qs]
+        for lo, hi in zip(estimates, estimates[1:]):
+            assert lo <= hi
+        assert all(hist.min <= e <= hist.max for e in estimates)
+
+    @given(value_lists)
+    @SETTINGS
+    def test_p50_within_bucket_error(self, values):
+        # The cumulative walk lands in the bucket holding the sample at
+        # rank ceil(n/2); linear interpolation stays inside that bucket,
+        # so the estimate is within one bucket width (base - 1 ~= 19%)
+        # of that sample. Small extra slack for float edges.
+        hist = _filled(values)
+        ordered = sorted(values)
+        covering = ordered[(len(ordered) + 1) // 2 - 1]
+        estimate = hist.percentile(0.5)
+        assert covering / HISTOGRAM_BASE / 1.01 <= estimate \
+            <= covering * HISTOGRAM_BASE * 1.01
+
+
+class TestMerge:
+    @given(value_lists, st.integers(min_value=1, max_value=5))
+    @SETTINGS
+    def test_merge_of_splits_equals_whole(self, values, pieces):
+        # The core mergeability law: splitting a stream across workers
+        # and merging the per-worker histograms gives exactly the
+        # histogram of the whole stream (exact on counts and buckets,
+        # approximate only on float sum).
+        whole = _filled(values)
+        merged = Histogram()
+        for k in range(pieces):
+            merged.merge(_filled(values[k::pieces]) if values[k::pieces]
+                         else Histogram())
+        assert merged.count == whole.count
+        assert merged.zeros == whole.zeros
+        assert merged.buckets == whole.buckets
+        assert merged.min == whole.min
+        assert merged.max == whole.max
+        assert merged.sum == pytest.approx(whole.sum)
+        for q in (0.5, 0.95, 0.99):
+            assert merged.percentile(q) == pytest.approx(whole.percentile(q))
+
+    def test_merge_empty_identity(self):
+        hist = _filled([0.1, 0.3])
+        before = hist.to_dict()
+        hist.merge(Histogram())
+        assert hist.to_dict() == before
+
+    @given(value_lists)
+    @SETTINGS
+    def test_dict_round_trip_exact(self, values):
+        hist = _filled(values)
+        doc = json.loads(json.dumps(hist.to_dict()))
+        assert Histogram.from_dict(doc).to_dict() == hist.to_dict()
+
+
+class TestObserverMetrics:
+    def test_observe_and_export(self):
+        obs = Observer(name="unit", track_memory=False)
+        obs.observe("pool.run_seconds", 0.5)
+        obs.observe("pool.run_seconds", 1.0)
+        obs.count("cache.hits", 2)
+        obs.gauge("cache.hit_rate", 1.0)
+        doc = obs.to_metrics_dict()
+        validate_metrics(doc)
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["histograms"]["pool.run_seconds"]["count"] == 2
+        assert doc["counters"]["cache.hits"] == 2
+        assert doc["gauges"]["cache.hit_rate"] == 1.0
+
+    def test_merge_metrics_builds_phase_histograms(self):
+        worker = Observer(name="w0", track_memory=False)
+        with worker.phase("sparse_solve"):
+            pass
+        worker.count("solver.iterations", 7)
+        parent = Observer(name="batch", track_memory=False)
+        parent.merge_metrics(worker.to_metrics_dict())
+        parent.merge_metrics(worker.to_metrics_dict())
+        doc = parent.to_metrics_dict()
+        assert doc["counters"]["solver.iterations"] == 14
+        assert doc["histograms"]["phase.sparse_solve"]["count"] == 2
+        assert doc["phase_seconds"]["sparse_solve"] >= 0.0
+
+    def test_remerged_rollup_does_not_double_observe(self):
+        # Merging a doc that already carries phase.* histograms must
+        # take the histograms, not re-derive samples from its
+        # phase_seconds (that would double-count on rollup-of-rollups).
+        worker = Observer(name="w0", track_memory=False)
+        with worker.phase("sparse_solve"):
+            pass
+        mid = Observer(name="mid", track_memory=False)
+        mid.merge_metrics(worker.to_metrics_dict())
+        top = Observer(name="top", track_memory=False)
+        top.merge_metrics(mid.to_metrics_dict())
+        doc = top.to_metrics_dict()
+        assert doc["histograms"]["phase.sparse_solve"]["count"] == 1
+
+    def test_null_observer_noops(self):
+        null = NullObserver()
+        null.observe("x", 1.0)
+        null.merge_metrics({"anything": True})
+        doc = null.to_metrics_dict()
+        validate_metrics(doc)
+        assert doc["histograms"] == {} and doc["counters"] == {}
+
+
+class TestValidators:
+    def _doc(self, **overrides):
+        obs = Observer(name="v", track_memory=False)
+        obs.observe("latency", 0.25)
+        obs.count("requests", 1)
+        doc = obs.to_metrics_dict()
+        doc.update(overrides)
+        return doc
+
+    def test_accepts_real_doc(self):
+        validate_metrics(self._doc())
+
+    def test_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="schema"):
+            validate_metrics(self._doc(schema="repro.obs/1"))
+
+    def test_rejects_negative_bucket_count(self):
+        doc = self._doc()
+        doc["histograms"]["latency"]["buckets"][0][2] = -1
+        with pytest.raises(ValueError, match="bucket"):
+            validate_metrics(doc)
+
+    def test_rejects_unsorted_bounds(self):
+        doc = self._doc()
+        hist = doc["histograms"]["latency"]
+        hist["buckets"] = [[4, 2.0, 1], [2, 1.4142, 1]]
+        hist["count"] = 2
+        with pytest.raises(ValueError, match="sorted"):
+            validate_metrics(doc)
+
+    def test_rejects_count_mismatch(self):
+        doc = self._doc()
+        doc["histograms"]["latency"]["count"] = 99
+        with pytest.raises(ValueError, match="count"):
+            validate_metrics(doc)
+
+    def test_stream_rejects_counter_regression(self):
+        first = self._doc()
+        second = self._doc()
+        second["counters"]["requests"] = 0
+        with pytest.raises(ValueError, match="regressed"):
+            validate_metrics_stream([first, second])
+
+    def test_stream_accepts_monotonic(self):
+        first = self._doc()
+        second = self._doc()
+        second["counters"]["requests"] = 5
+        validate_metrics_stream([first, second])
+
+    def test_histogram_sum_must_be_finite(self):
+        doc = self._doc()
+        doc["histograms"]["latency"]["sum"] = math.inf
+        with pytest.raises(ValueError):
+            validate_metrics(doc)

@@ -1,0 +1,184 @@
+"""Cross-process service telemetry: worker span snapshots, the batch
+``repro.metrics/1`` rollup, queue-wait attribution, determinism of
+warm-batch metrics, and the serve-loop metrics stream."""
+
+import io
+import json
+import shutil
+
+from repro.fsam.config import FSAMConfig
+from repro.harness.report import TelemetrySource, render_telemetry_report
+from repro.obs import validate_metrics, validate_metrics_stream
+from repro.service.batch import run_batch
+from repro.service.cache import ArtifactCache
+from repro.service.pool import WorkerPool
+from repro.service.requests import AnalysisRequest
+from repro.service.serve import serve_loop
+from repro.workloads import get_workload
+
+SMALL = ("word_count", "kmeans", "automount")
+
+
+def _requests(names=SMALL, **config_kwargs):
+    config = FSAMConfig(**config_kwargs)
+    return [AnalysisRequest(name=name,
+                            source=get_workload(name).source(1),
+                            config=config)
+            for name in names]
+
+
+class TestBatchRollup:
+    def test_pooled_cold_batch_rollup(self, tmp_path):
+        """The ISSUE acceptance scenario: a 2-worker batch over the
+        three smallest workloads yields a validated metrics rollup
+        with dispatch histograms, worker-merged phase distributions,
+        and cache hit-rate gauges."""
+        report = run_batch(_requests(profile=True), workers=2,
+                           cache=ArtifactCache(tmp_path), slow_ms=0)
+        metrics = report.metrics
+        validate_metrics(metrics)
+
+        for name in ("pool.run_seconds", "pool.queue_seconds",
+                     "request.seconds"):
+            hist = metrics["histograms"][name]
+            assert hist["count"] == len(SMALL)
+            assert hist["p99"] >= hist["p50"] >= 0.0
+        assert metrics["histograms"]["pool.run_seconds"]["sum"] > 0.0
+
+        # Worker-side spans shipped home: per-phase distributions and
+        # solver counters merged across processes.
+        assert metrics["histograms"]["phase.sparse_solve"]["count"] == \
+            len(SMALL)
+        assert metrics["phase_seconds"]["sparse_solve"] > 0.0
+        assert metrics["counters"]["solver.iterations"] > 0
+
+        assert metrics["gauges"]["cache.hit_rate"] == 0.0
+        assert "cache.func_hit_rate" in metrics["gauges"]
+
+        # Slow-request exemplars (threshold 0ms: every miss) keep the
+        # per-phase breakdown and the dominant phase.
+        assert len(report.exemplars) == len(SMALL)
+        for exemplar in report.exemplars:
+            assert exemplar["request_id"].startswith("r")
+            assert exemplar["dominant_phase"] in exemplar["phase_seconds"]
+
+        text = render_telemetry_report(
+            TelemetrySource("batch", metrics,
+                            rows=report.to_dict()["requests"],
+                            exemplars=report.exemplars))
+        assert "pool.run_seconds" in text
+        assert "sparse_solve" in text
+        assert "cache hit rate" in text
+
+    def test_request_ids_and_queue_in_rows(self, tmp_path):
+        report = run_batch(_requests(), workers=2,
+                           cache=ArtifactCache(tmp_path))
+        rows = report.to_dict()["requests"]
+        assert [row["request_id"] for row in rows] == \
+            ["r0000", "r0001", "r0002"]
+        assert all(row["queue_seconds"] >= 0.0 for row in rows)
+
+    def test_warm_batch_metrics_bit_deterministic(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        run_batch(_requests(profile=True), workers=2, cache=cache)
+        warm1 = run_batch(_requests(profile=True), workers=2,
+                          cache=ArtifactCache(tmp_path))
+        warm2 = run_batch(_requests(profile=True), workers=2,
+                          cache=ArtifactCache(tmp_path))
+        assert json.dumps(warm1.metrics, sort_keys=True) == \
+            json.dumps(warm2.metrics, sort_keys=True)
+        # No wall-clock samples on the warm path at all.
+        assert warm1.metrics["histograms"] == {}
+        assert warm1.metrics["phase_seconds"] == {}
+        assert warm1.metrics["gauges"]["cache.hit_rate"] == 1.0
+
+    def test_inline_batch_rollup_matches_pooled_shape(self):
+        # workers=1 runs in-process; the rollup must still carry the
+        # same histogram set (no pool, so queue waits are zero).
+        report = run_batch(_requests(("word_count",), profile=True),
+                           workers=1)
+        metrics = report.metrics
+        validate_metrics(metrics)
+        assert metrics["histograms"]["pool.run_seconds"]["count"] == 1
+        assert metrics["histograms"]["phase.sparse_solve"]["count"] == 1
+        assert metrics["counters"]["solver.iterations"] > 0
+
+
+class TestQueueWait:
+    def test_queue_wait_split_from_run_time(self):
+        # One worker, two requests: the second request queues behind
+        # the first, and that wait lands in queue_seconds, not in the
+        # per-attempt run times.
+        requests = _requests(("word_count", "kmeans"))
+        pool = WorkerPool(workers=1)
+        outcomes = pool.run(requests)
+        assert outcomes[0].queue_seconds >= 0.0
+        assert outcomes[1].queue_seconds > 0.0
+        # The follower waited at least as long as the leader's run.
+        assert outcomes[1].queue_seconds >= \
+            outcomes[0].attempt_seconds[0] - 1e-3
+        for outcome in outcomes:
+            assert sum(outcome.attempt_seconds) <= \
+                outcome.seconds + 1e-6
+
+
+class TestWorkerSnapshots:
+    def test_snapshot_shipped_with_profile(self):
+        outcomes = WorkerPool(workers=2).run(
+            _requests(("word_count",), profile=True))
+        snapshot = outcomes[0].obs_snapshot
+        assert snapshot is not None
+        validate_metrics(snapshot)
+        assert snapshot["phase_seconds"]["sparse_solve"] > 0.0
+        assert snapshot["counters"]["solver.iterations"] > 0
+
+    def test_func_counters_survive_pooled_workers(self, tmp_path):
+        """Regression for the removed artifact-summary reconstruction
+        path: store-level func-cache counters shipped in worker
+        snapshots must equal the per-artifact incremental summaries
+        they replaced."""
+        cache = ArtifactCache(tmp_path)
+        run_batch(_requests(), workers=2, cache=cache)
+        # Drop the program-level artifacts but keep the per-function
+        # store, so the rerun misses the top cache and reuses the
+        # function layer.
+        for child in tmp_path.iterdir():
+            if child.is_dir() and child.name != "func":
+                shutil.rmtree(child)
+        report = run_batch(_requests(), workers=2,
+                           cache=ArtifactCache(tmp_path))
+        assert all(o.cache == "miss" for o in report.outcomes)
+        summary_hits = sum(
+            o.artifact.summary["incremental"]["func_hits"]
+            for o in report.outcomes)
+        assert summary_hits > 0
+        assert report.counters["cache.func_hits"] == summary_hits
+        assert report.metrics["gauges"]["cache.func_hit_rate"] > 0.0
+
+
+class TestServeMetricsStream:
+    def test_stream_validates_and_accumulates(self, tmp_path):
+        stream = io.StringIO()
+        out = io.StringIO()
+        lines = "\n".join(['{"workload": "word_count"}'] * 2) + "\n"
+        served = serve_loop(io.StringIO(lines), out,
+                            cache=ArtifactCache(tmp_path),
+                            metrics_interval=0.0, metrics_stream=stream)
+        assert served == 2
+        docs = [json.loads(line)
+                for line in stream.getvalue().splitlines()]
+        assert len(docs) >= 2          # per-request snapshots + final
+        validate_metrics_stream(docs)
+        final = docs[-1]
+        assert final["counters"]["serve.requests"] == 2
+        assert final["counters"]["cache.hits"] == 1
+        assert final["gauges"]["cache.hit_rate"] == 0.5
+        assert final["histograms"]["request.seconds"]["count"] == 1
+
+    def test_responses_carry_span_and_queue(self, tmp_path):
+        out = io.StringIO()
+        serve_loop(io.StringIO('{"workload": "word_count"}\n'), out,
+                   cache=ArtifactCache(tmp_path))
+        response = json.loads(out.getvalue().splitlines()[0])
+        assert response["span"] == "s0000"
+        assert response["queue_seconds"] >= 0.0
