@@ -14,7 +14,13 @@ and emits one ``repro.bench/1`` JSON document per run with:
   and with a garbage collection before each, recorded per-iteration
   with the median as the headline number. The engines share one
   compiled+analyzed pipeline, so ``solve_speedup`` (reference median /
-  delta median) isolates exactly the code the engines disagree on.
+  delta median) isolates exactly the code the engines disagree on; and
+- a **query section** (``--queries N``, default 4): N seeded-random +
+  N hot (most-SSA-versioned) top-level variables answered through the
+  demand engine, each median-of-``--reps`` on a *fresh* QueryEngine
+  per repetition (cold slices — no warm-answer accumulation), compared
+  against the same workload's whole-program delta solve median
+  (``median_speedup``), plus the slice-size distribution.
 
 Usage::
 
@@ -31,9 +37,12 @@ the regression (the bench job itself is non-blocking).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import random
 import statistics
 import sys
+import time
 
 from repro.fsam import FSAM
 from repro.fsam.config import FSAMConfig
@@ -83,8 +92,96 @@ def _solve_record(result, engine: str, reps: int, warmup: int) -> dict:
     }
 
 
+def _query_targets(module, count: int):
+    """``count`` seeded-random + ``count`` hot variable names.
+
+    "Hot" = the names with the most SSA-ish versions (temps sharing
+    the name): many definition sites mean many slice roots, biasing
+    toward the demand engine's worst case. The random half keeps the
+    sample honest."""
+    from repro.ir.values import Temp
+
+    versions: dict = {}
+    for fn in module.functions.values():
+        for param in fn.params:
+            versions[param.name] = versions.get(param.name, 0) + 1
+        for instr in fn.instructions():
+            dst = getattr(instr, "dst", None)
+            if isinstance(dst, Temp):
+                versions[dst.name] = versions.get(dst.name, 0) + 1
+    names = sorted(versions)
+    if not names:
+        return []
+    rng = random.Random(0x95A)
+    picks = rng.sample(names, min(count, len(names)))
+    hot = sorted(names, key=lambda n: (-versions[n], n))[:count]
+    targets = []
+    for name in picks + hot:
+        if name not in targets:
+            targets.append(name)
+    return targets
+
+
+def _query_section(result, count: int, reps: int, warmup: int,
+                   solve_median: float) -> dict | None:
+    """Time ``2*count`` demand queries against the shared pipeline.
+
+    Every repetition uses a *fresh* QueryEngine so each timing is a
+    cold slice-and-solve (the engine otherwise accumulates solved
+    slices and later queries come back warm in ~0 time, which is the
+    serving win but not the number this section isolates)."""
+    from repro.fsam.query import QueryEngine
+
+    targets = _query_targets(result.module, count)
+    if not targets:
+        return None
+
+    def fresh():
+        return QueryEngine(result.module, result.dug, result.builder,
+                           result.andersen, config=result.solver.config)
+
+    rows = []
+    for var in targets:
+        times = []
+        answer = None
+        for i in range(warmup + reps):
+            engine = fresh()
+            gc.collect()
+            start = time.perf_counter()
+            answer = engine.query(var)
+            elapsed = time.perf_counter() - start
+            if i >= warmup:
+                times.append(elapsed)
+        rows.append({
+            "var": var,
+            "per_iteration_seconds": [round(t, 6) for t in times],
+            "median_seconds": round(statistics.median(times), 6),
+            "slice_nodes": answer.slice_nodes,
+            "slice_fraction": round(answer.slice_fraction, 6),
+            "iterations": answer.iterations,
+        })
+    medians = [row["median_seconds"] for row in rows]
+    slice_sizes = [row["slice_nodes"] for row in rows]
+    median_query = statistics.median(medians)
+    return {
+        "reps": reps,
+        "warmup": warmup,
+        "count": len(rows),
+        "delta_solve_median_seconds": solve_median,
+        "median_query_seconds": round(median_query, 6),
+        "median_speedup": round(solve_median / median_query, 2)
+        if median_query > 0 else None,
+        "slice_nodes_min": min(slice_sizes),
+        "slice_nodes_p50": int(statistics.median(slice_sizes)),
+        "slice_nodes_max": max(slice_sizes),
+        "slice_fraction_p50": round(statistics.median(
+            [row["slice_fraction"] for row in rows]), 6),
+        "queries": rows,
+    }
+
+
 def run_snapshot(names, scales, engines=ENGINES, reps=5, warmup=2,
-                 verbose=True) -> dict:
+                 queries=4, verbose=True) -> dict:
     workloads = {}
     for name in names:
         scale = scales[name]
@@ -112,6 +209,19 @@ def run_snapshot(names, scales, engines=ENGINES, reps=5, warmup=2,
                     print(f"  {name:>14} [{engine:>9}] solve "
                           f"median={rec['median_seconds']:.4f}s "
                           f"over {reps} reps")
+            delta_solve = entry["engines"].get("delta", {}).get("solve")
+            if queries > 0 and delta_solve:
+                qrec = _query_section(
+                    result, queries, reps, warmup,
+                    delta_solve["median_seconds"])
+                if qrec is not None:
+                    entry["query"] = qrec
+                    if verbose:
+                        print(f"  {name:>14} [{'query':>9}] "
+                              f"median={qrec['median_query_seconds']:.5f}s "
+                              f"over {qrec['count']} queries, "
+                              f"speedup={qrec['median_speedup']}x, "
+                              f"slice p50={qrec['slice_nodes_p50']} nodes")
         if "delta" in entry["engines"] and "reference" in entry["engines"]:
             d, r = entry["engines"]["delta"], entry["engines"]["reference"]
             if d["seconds"] > 0:
@@ -174,6 +284,10 @@ def main(argv=None) -> int:
     parser.add_argument("--warmup", type=int, default=2,
                         help="discarded solve-phase warmup iterations "
                              "(default 2)")
+    parser.add_argument("--queries", type=int, default=4,
+                        help="demand-query section size: N random + N "
+                             "hot variables per workload (default 4; "
+                             "0 skips the query section)")
     args = parser.parse_args(argv)
 
     names = (args.workloads.split(",") if args.workloads
@@ -184,7 +298,8 @@ def main(argv=None) -> int:
     print(f"bench: {len(names)} workloads, scales={args.scales}, "
           f"engines={','.join(engines)}, reps={args.reps}")
     workloads = run_snapshot(names, scales, engines,
-                             reps=args.reps, warmup=args.warmup)
+                             reps=args.reps, warmup=args.warmup,
+                             queries=args.queries)
     doc = {
         "schema": SCHEMA,
         "pr": args.pr,

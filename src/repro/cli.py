@@ -13,6 +13,7 @@
     python -m repro bench     --table 2      # regenerate a paper table
     python -m repro compare   prog.mc        # FSAM vs NONSPARSE
     python -m repro explain   prog.mc x      # derivation chain for x
+    python -m repro query     prog.mc p      # demand points-to query for p
     python -m repro trace     prog.mc        # repro.trace/1 JSONL dump
     python -m repro diff-profile A.json B.json   # profile regression diff
     python -m repro batch     spec.json --workers 4 --cache .repro-cache
@@ -283,6 +284,56 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_query(args) -> int:
+    """Demand-driven points-to query: answer what one variable (or
+    abstract object, with ``--obj``) may point to by solving only the
+    backward DUG slice that can reach it — bit-identical to the
+    whole-program fixpoint, usually a small fraction of the work."""
+    from repro.obs import Observer
+    from repro.service.cache import QueryArtifactStore
+    from repro.service.requests import AnalysisRequest, QueryRequest
+    from repro.service.runner import QueryRunner
+
+    var = args.var
+    line = None
+    if "@" in var:
+        var, _, line_text = var.rpartition("@")
+        try:
+            line = int(line_text)
+        except ValueError:
+            print(f"bad query target {args.var!r}: expected VAR or "
+                  "VAR@LINE", file=sys.stderr)
+            return 2
+    with open(args.file) as handle:
+        source = handle.read()
+    request = AnalysisRequest(name=args.file, source=source,
+                              config=_config_from(args))
+    query = QueryRequest(request=request, var=var, line=line, obj=args.obj)
+    store = QueryArtifactStore(args.cache) if args.cache else None
+    runner = QueryRunner(querystore=store,
+                         obs=Observer(name="query", track_memory=False))
+    try:
+        payload = runner.run(query)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    kind = "object" if args.obj else "variable"
+    where = f"@{line}" if line is not None else ""
+    print(f"{kind} {var}{where} in {args.file}")
+    names = payload["pts"]
+    print(f"  points-to ({len(names)}): "
+          f"{', '.join(names) if names else '(empty)'}")
+    print(f"  cache: {payload['cache']}"
+          f"  slice: {payload['slice_nodes']} nodes"
+          f" ({payload['slice_fraction'] * 100:.1f}% of DUG)"
+          f"  iterations: {payload['iterations']}"
+          f"  {payload['seconds'] * 1000:.1f} ms")
+    return 0
+
+
 def cmd_trace(args) -> int:
     """Run FSAM with tracing on; dump the repro.trace/1 JSONL."""
     module = _load_module(args.file)
@@ -424,7 +475,8 @@ def cmd_batch(args) -> int:
                        timeout=timeout,
                        name=os.path.basename(args.spec),
                        incremental=not args.no_incremental,
-                       slow_ms=args.slow_ms)
+                       slow_ms=args.slow_ms,
+                       queries=options.get("queries"))
     doc = validate_batch_report(report.to_dict())
     if args.out:
         with open(args.out, "w") as handle:
@@ -519,6 +571,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target", default=None,
                    help="legacy mode: name of the pointed-to object")
     p.set_defaults(handler=cmd_explain)
+
+    p = sub.add_parser("query",
+                       help="demand points-to query over a backward "
+                            "DUG slice (bit-identical to the "
+                            "whole-program answer)")
+    p.add_argument("file", help="MiniC source file")
+    p.add_argument("var", help="top-level variable to query, "
+                               "optionally VAR@LINE to pick one "
+                               "definition site")
+    p.add_argument("--obj", action="store_true",
+                   help="query the contents of the abstract object "
+                        "named VAR instead of a variable")
+    p.add_argument("--cache", default=None,
+                   help="artifact cache directory (query sub-results "
+                        "land under <cache>/query)")
+    p.add_argument("--json", action="store_true", help="emit JSON")
+    p.add_argument("--no-interleaving", action="store_true")
+    p.add_argument("--no-value-flow", action="store_true")
+    p.add_argument("--no-lock", action="store_true")
+    p.set_defaults(handler=cmd_query)
 
     p = sub.add_parser("trace",
                        help="run with event tracing on; dump "

@@ -51,6 +51,9 @@ class FSAMResult:
         self.tracer = tracer
         # Filled by FSAM.run() when an incremental hook participated.
         self.incremental_stats: Optional[Dict[str, object]] = None
+        # Lazily-built demand query engine, shared across query() calls
+        # so solved slices accumulate (see repro.fsam.query).
+        self._query_engine = None
 
     # -- points-to queries ------------------------------------------------
 
@@ -108,6 +111,25 @@ class FSAMResult:
 
     def global_pts_names(self, name: str) -> Set[str]:
         return {obj.name for obj in self.global_pts(name)}
+
+    def query(self, name: str, line: Optional[int] = None,
+              obj: bool = False):
+        """Demand-driven points-to query (see :mod:`repro.fsam.query`):
+        answer ``pt(name)`` — or, with *obj*, the accumulated memory
+        state of global *name* — by solving only the backward DUG
+        slice that can influence it. Answers are bit-identical to the
+        whole-program fixpoint. The engine is shared across calls, so
+        repeated queries reuse already-solved slices; under
+        ``solver_mode="demand"`` this is the *only* way results are
+        computed (the whole-program solve was skipped)."""
+        engine = self._query_engine
+        if engine is None:
+            from repro.fsam.query import QueryEngine
+            engine = QueryEngine(self.module, self.dug, self.builder,
+                                 self.andersen, config=self.solver.config,
+                                 obs=self.obs, tracer=self.tracer)
+            self._query_engine = engine
+        return engine.query(name, line=line, obj=obj)
 
     def store_out_at_line(self, line: int, obj: MemObject):
         """The o-state immediately after stores on source *line*."""
@@ -288,12 +310,21 @@ class FSAM:
         solver = engine(self.module, dug, builder, andersen,
                         config=self.config, deadline=deadline,
                         tracer=tracer)
+        # Demand mode: the pipeline up to value flow is identical, but
+        # the fixpoint is deferred to per-query backward slices
+        # (FSAMResult.query). The reference engine has no sliced
+        # variant, so it keeps its whole-program solve.
+        demand = self.config.solver_mode == "demand" \
+            and engine is SparseSolver
         plan = None
-        if self.incremental is not None and engine is SparseSolver:
+        if self.incremental is not None and engine is SparseSolver \
+                and not demand:
             plan = timed("incremental_plan",
                          lambda: self.incremental(self.module, dug, builder,
                                                   andersen, self.config))
-        if plan is not None and plan.reuse is not None:
+        if demand:
+            times["sparse_solve"] = 0.0
+        elif plan is not None and plan.reuse is not None:
             timed("sparse_solve",
                   lambda: solver.solve_incremental(plan.reuse))
         else:

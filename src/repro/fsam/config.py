@@ -80,6 +80,14 @@ class FSAMConfig:
     # reference engine; forced off when trace=True because provenance
     # needs the scalar per-visit path (counted as a kernel fallback).
     kernel: str = "auto"
+    # "full" runs the whole-program sparse solve inside FSAM.run();
+    # "demand" prepares the pipeline (pre-analysis, memory SSA, thread
+    # model, value flow) but defers solving to per-query backward DUG
+    # slices (FSAMResult.query / repro query). Scheduling policy like
+    # solver_engine/kernel: answers on queried variables are
+    # bit-identical to the whole-program fixpoint, so it stays out of
+    # cache_key_dict().
+    solver_mode: str = "full"
 
     def to_dict(self) -> dict:
         """Every field as a JSON-able dict (the wire form used by the
@@ -95,6 +103,7 @@ class FSAMConfig:
             "max_context_depth": self.max_context_depth,
             "solver_engine": self.solver_engine,
             "kernel": self.kernel,
+            "solver_mode": self.solver_mode,
         }
 
     @classmethod

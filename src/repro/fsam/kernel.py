@@ -193,17 +193,29 @@ class KernelPlan:
 
 def build_plan(dug: DUG, merge_nodes: List[DUGNode],
                global_rank: Dict[int, int],
-               thread_to_load) -> KernelPlan:
+               thread_to_load,
+               keep_uids=None) -> KernelPlan:
     """Condense the merge subgraph and precompute boundary reach.
 
-    *global_rank* is the full value-flow topological rank map (for the
+    *global_rank* is the value-flow topological rank map (for the
     solver's flush gate); *thread_to_load* is the set of
     ``(src_uid, obj_id, dst_uid)`` keys whose boundary deliveries take
     the unconditional [THREAD-VF] channel.
+
+    With *keep_uids* (the demand-driven solver's slice), boundary
+    edges whose destination falls outside the set are dropped: the
+    slice is predecessor-closed, so a dst outside it can never feed a
+    slice member and delivering to it would only queue dead work. A
+    row whose boundary edges are all dropped stops being a boundary
+    row, and ``first_rank`` gates come from the kept readers only.
     """
     plan = KernelPlan()
     plan.rows = merge_nodes
     internal, boundary = dug.merge_topology(merge_nodes)
+    if keep_uids is not None:
+        boundary = [[(obj, dst) for obj, dst in edges
+                     if dst.uid in keep_uids]
+                    for edges in boundary]
     # One shared rank per SCC, ranks topologically ascending and unique
     # per SCC: the rank doubles as the SCC id.
     scc_of_row, n_sccs = topo_ranks_dense(internal)

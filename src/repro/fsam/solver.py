@@ -156,9 +156,12 @@ class SparseSolver:
         self.module = module
         self.dug = dug
         # Direct handles on the DUG's adjacency dicts — the per-update
-        # hot paths skip the getter-method indirection.
+        # hot paths skip the getter-method indirection. A demand-driven
+        # solve (solve_demand) swaps these for slice-filtered copies,
+        # which is what confines propagation to the slice.
         self._top_users_map = dug._top_users
         self._copies_by_src = dug._copies_by_src
+        self._top_copies = dug.top_copies
         self.builder = builder
         self.andersen = andersen
         self.universe: PTUniverse = andersen.universe
@@ -340,9 +343,9 @@ class SparseSolver:
             if merged == current:
                 continue
             masks[dst.id] = merged
-            for user in self.dug.top_users(dst):
+            for user in self._top_users_map.get(dst.id, ()):
                 self._push_top(user)
-            for _src, nxt in self.dug.copies_from(dst):
+            for _src, nxt in self._copies_by_src.get(dst.id, ()):
                 if nxt.id not in pending_ids:
                     pending_ids.add(nxt.id)
                     pending.append(nxt)
@@ -570,6 +573,200 @@ class SparseSolver:
         self._rank_key = sched["rank_key"]
         self._heap = []
 
+    # -- demand-driven slice schedules --------------------------------------
+
+    def _demand_static(self) -> Dict[str, object]:
+        """Whole-graph structures every demand-driven slice schedule
+        filters from: the (node, tag) index over all uids, the seed
+        and kernel-merge uid sets, and the thread-edge-into-load keys
+        indexed by destination uid. Pure functions of the frozen DUG,
+        memoized in ``dug.schedule_cache`` and shared across queries —
+        each query then pays only slice-proportional filtering on top
+        (membership probes per slice uid, never a whole-list scan)."""
+        dug = self.dug
+        cached = dug.schedule_cache.get("solver_demand_static")
+        if cached is None:
+            node_by_uid: Dict[int, Tuple[DUGNode, int]] = {}
+            seeds: List[DUGNode] = []
+            merges: List[DUGNode] = []
+            for node in dug.nodes:
+                node_by_uid[node.uid] = (node, self._node_tag(node))
+                if self._is_seed(node):
+                    seeds.append(node)
+                if self._is_kernel_merge(node):
+                    merges.append(node)
+            to_load_by_dst: Dict[int, List[Tuple[int, int, int]]] = {}
+            for src, obj, dst in dug.thread_edges:
+                if isinstance(dst, StmtNode) and isinstance(dst.instr, Load):
+                    to_load_by_dst.setdefault(dst.uid, []).append(
+                        (src.uid, obj.id, dst.uid))
+            cached = {"node_by_uid": node_by_uid,
+                      "seed_uids": {n.uid for n in seeds},
+                      "merge_uids": {n.uid for n in merges},
+                      "to_load_by_dst": to_load_by_dst}
+            dug.schedule_cache["solver_demand_static"] = cached
+        return cached
+
+    def _build_demand_schedule(self, node_uids: Set[int],
+                               temp_ids: Set[int],
+                               kernel: bool) -> Dict[str, object]:
+        """:meth:`_build_schedule` restricted to an upstream-closure
+        slice. The node index, seeds, out-edge caches, kernel plan,
+        and — crucially — the top-level def-use and copy maps cover
+        slice members only: swapping the filtered maps under the hot
+        paths (``_apply_top``, the copy-chain walk, the up-front
+        ``top_copies`` sweep) is what stops propagation at the slice
+        boundary without touching the engine itself."""
+        dug = self.dug
+        static = self._demand_static()
+        full_index = static["node_by_uid"]
+        # Ascending uid is creation order (uids are a creation
+        # counter), so these reproduce the whole-program pass's
+        # creation-ordered seed/merge lists while touching only the
+        # slice — never the full node list.
+        order = sorted(node_uids)
+        node_by_uid = {uid: full_index[uid] for uid in order}
+        seed_uids = static["seed_uids"]
+        seeds = [full_index[uid][0] for uid in order if uid in seed_uids]
+        to_load_by_dst = static["to_load_by_dst"]
+        to_load = set()
+        for uid in order:
+            keys = to_load_by_dst.get(uid)
+            if keys:
+                to_load.update(keys)
+        plan = None
+        kernel_unavailable = None
+        if kernel:
+            merge_uids = static["merge_uids"]
+            merge_nodes = [full_index[uid][0] for uid in order
+                           if uid in merge_uids]
+            if merge_nodes:
+                try:
+                    plan = build_plan(dug, merge_nodes, self._rank, to_load,
+                                      keep_uids=node_uids)
+                except ValueError:
+                    kernel_unavailable = "mixed-object"
+            else:
+                kernel_unavailable = "no-merge-nodes"
+        scc_of_uid = plan.scc_of_uid if plan is not None else {}
+        out_edges: Dict[
+            int, Dict[int, List[Tuple[MemObject, DUGNode, bool]]]] = {}
+        inj_targets: Dict[int, Dict[int, List[int]]] = {}
+        mem_out = dug._mem_out
+        for uid in node_uids:
+            if uid in scc_of_uid:
+                continue
+            out = mem_out.get(uid)
+            if not out:
+                continue
+            by_obj: Dict[int, List[Tuple[MemObject, DUGNode, bool]]] = {}
+            inj_by_obj: Dict[int, List[int]] = {}
+            for obj, dst in out:
+                if dst.uid not in node_uids:
+                    continue  # outside the slice: provably unread
+                scc = scc_of_uid.get(dst.uid)
+                if scc is not None:
+                    if obj.id == dst.obj.id:
+                        sccs = inj_by_obj.setdefault(obj.id, [])
+                        if scc not in sccs:
+                            sccs.append(scc)
+                    continue
+                by_obj.setdefault(obj.id, []).append(
+                    (obj, dst,
+                     bool(to_load) and (uid, obj.id, dst.uid) in to_load))
+            if by_obj:
+                out_edges[uid] = by_obj
+            if inj_by_obj:
+                inj_targets[uid] = inj_by_obj
+        rank = self._rank
+        rank_key = {uid: (rank.get(uid, 0) << 32) | uid
+                    for uid in node_by_uid}
+        full_users = dug._top_users
+        top_users: Dict[int, List[DUGNode]] = {}
+        full_copies = dug._copies_by_src
+        copies_by_src: Dict[int, List[Tuple[object, Temp]]] = {}
+        top_copies: List[Tuple[object, Temp]] = []
+        for tid in temp_ids:
+            users = full_users.get(tid)
+            if users:
+                kept_users = [u for u in users if u.uid in node_uids]
+                if kept_users:
+                    top_users[tid] = kept_users
+            pairs = full_copies.get(tid)
+            if pairs:
+                kept_pairs = [p for p in pairs if p[1].id in temp_ids]
+                if kept_pairs:
+                    copies_by_src[tid] = kept_pairs
+            top_copies.extend(dug._copies_by_dst.get(tid, ()))
+        return {
+            "node_by_uid": node_by_uid,
+            "out_edges": out_edges,
+            "inj_targets": inj_targets,
+            "seeds": seeds,
+            "plan": plan,
+            "kernel_unavailable": kernel_unavailable,
+            "rank_key": rank_key,
+            "top_users": top_users,
+            "copies_by_src": copies_by_src,
+            "top_copies": top_copies,
+        }
+
+    def _prepare_demand_schedule(self, node_uids: Set[int],
+                                 temp_ids: Set[int]) -> None:
+        """:meth:`_prepare_schedule` for a slice: slice-local SCC
+        ranks, a slice-filtered schedule bundle, and the same backend
+        resolution ladder (tracing/mixed-object demote to scalar,
+        auto-numpy demotes to python on thin plans)."""
+        self._rank, self.scc_count = \
+            self.dug.compute_topo_ranks_slice(node_uids, temp_ids)
+        backend = backend_name(self.config.kernel)
+        if backend is not None and self._force_scalar:
+            backend = None
+        if backend is not None and self.provenance is not None:
+            self.kernel_fallbacks = 1
+            backend = None
+        sched = self._build_demand_schedule(node_uids, temp_ids,
+                                            backend is not None)
+        if backend is not None and sched["plan"] is None:
+            if sched["kernel_unavailable"] == "mixed-object":
+                self.kernel_fallbacks = 1
+            sched = self._build_demand_schedule(node_uids, temp_ids, False)
+            backend = None
+        self._node_by_uid = sched["node_by_uid"]
+        self._out_edges = sched["out_edges"]
+        self._inj_targets = sched["inj_targets"]
+        self._seeds = sched["seeds"]
+        if backend is not None:
+            self._plan = sched["plan"]
+            if backend == "numpy" and self.config.kernel == "auto" and \
+                    self._plan.max_reach < AUTO_NUMPY_MIN_REACH:
+                backend = "python"
+            self._kern = make_kernel(backend, self._plan, len(self.universe))
+            self.kernel_backend = backend
+        self._rank_key = sched["rank_key"]
+        self._heap = []
+        self._top_users_map = sched["top_users"]
+        self._copies_by_src = sched["copies_by_src"]
+        self._top_copies = sched["top_copies"]
+
+    def solve_demand(self, node_uids: Set[int], temp_ids: Set[int]) -> None:
+        """Solve only the sub-DUG induced by an upstream-closure
+        slice.
+
+        *node_uids* / *temp_ids* must come from
+        :meth:`repro.memssa.dug.DUG.upstream_closure` and are
+        therefore predecessor-closed: every value a slice member's
+        transfer function reads is itself in the slice, so on slice
+        members the computed fixpoint is bit-identical to
+        :meth:`solve`'s whole-program one (pinned by
+        ``tests/fsam/test_query.py``). States of temps and nodes
+        outside the slice are *not* computed — callers must read
+        results only inside the slice (the query engine enforces
+        this).
+        """
+        self._prepare_demand_schedule(node_uids, temp_ids)
+        self._solve_prepared()
+
     @staticmethod
     def _is_seed(node: DUGNode) -> bool:
         """Nodes that can produce facts from nothing: AddrOf
@@ -610,10 +807,17 @@ class SparseSolver:
 
     def solve(self) -> None:
         self._prepare_schedule()
+        self._solve_prepared()
+
+    def _solve_prepared(self) -> None:
+        """The engine proper, shared by :meth:`solve` (whole-program
+        schedule) and :meth:`solve_demand` (slice schedule): evaluate
+        the interprocedural copies, seed, drain the worklist, and
+        finalize/materialize."""
         tracing = self.provenance is not None
         # Interprocedural top-level copies whose sources are constants
         # or function values never re-trigger; evaluate them up front.
-        for src, dst in self.dug.top_copies:
+        for src, dst in self._top_copies:
             self._set_top(dst, self._value_mask(src),
                           ("copy-chain", src) if tracing else None)
         iterations = self._seed()

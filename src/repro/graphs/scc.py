@@ -166,6 +166,76 @@ def topo_ranks_dense(successors: List[List[int]]) -> Tuple[List[int], int]:
     return [top - e for e in emit], scc_count
 
 
+def topo_ranks_induced(successors: List[List[int]],
+                       member: bytearray,
+                       roots: Iterable[int]) -> Tuple[Dict[int, int], int]:
+    """:func:`topo_ranks_dense` over the subgraph induced by *member*.
+
+    ``member[i]`` is truthy when dense node *i* belongs to the slice;
+    edges to or from non-members are ignored. *roots* enumerates the
+    member slots (Tarjan starts from each unvisited root, so together
+    they must cover the slice; their order fixes SCC numbering).
+    Returns ``(rank_of_slot, scc_count)`` covering exactly the member
+    slots. This is the demand-driven solver's rank pass: a query slice
+    is a small predecessor-closed fragment of the value-flow graph,
+    and every structure here — including the per-node bookkeeping,
+    which is why these are dicts rather than ``n``-sized arrays — is
+    proportional to the slice, not the program.
+    """
+    index: Dict[int, int] = {}
+    low: Dict[int, int] = {}
+    on_stack = set()
+    stack: List[int] = []
+    emit: Dict[int, int] = {}
+    counter = 0
+    scc_count = 0
+    for root in roots:
+        if root in index or not member[root]:
+            continue
+        work = [(root, 0)]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, ci = work[-1]
+            succs = successors[node]
+            advanced = False
+            while ci < len(succs):
+                succ = succs[ci]
+                ci += 1
+                if not member[succ]:
+                    continue
+                if succ not in index:
+                    work[-1] = (node, ci)
+                    index[succ] = low[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack and index[succ] < low[node]:
+                    low[node] = index[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if low[node] < low[parent]:
+                    low[parent] = low[node]
+            if low[node] == index[node]:
+                while True:
+                    member_node = stack.pop()
+                    on_stack.discard(member_node)
+                    emit[member_node] = scc_count
+                    if member_node == node:
+                        break
+                scc_count += 1
+    top = scc_count - 1
+    return {slot: top - e for slot, e in emit.items()}, scc_count
+
+
 def condensation(graph: DiGraph):
     """Condense *graph* into its SCC DAG.
 

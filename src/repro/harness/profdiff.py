@@ -155,12 +155,32 @@ def diff_profiles(a: Dict[str, object], b: Dict[str, object]) -> ProfileDiff:
         da = a.get(key, {})
         db = b.get(key, {})
         names = sorted(set(da) | set(db))  # type: ignore[arg-type]
-        return {name: (da.get(name), db.get(name)) for name in names}  # type: ignore[union-attr]
+        out = {}
+        for name in names:
+            va = da.get(name)  # type: ignore[union-attr]
+            vb = db.get(name)  # type: ignore[union-attr]
+            if name.startswith("query."):
+                # Profiles predating the demand-query engine have no
+                # query.* section; absent means "zero queries ran",
+                # not "unknown", so the diff reads 0 -> N instead of
+                # refusing the comparison.
+                va = 0 if va is None else va
+                vb = 0 if vb is None else vb
+            out[name] = (va, vb)
+        return out
 
     hist_names = sorted(set(a.get("histograms", {}))  # type: ignore[arg-type]
                         | set(b.get("histograms", {})))  # type: ignore[arg-type]
-    histograms = {name: (_hist_summary(a, name), _hist_summary(b, name))
-                  for name in hist_names}
+    histograms = {}
+    for name in hist_names:
+        ha = _hist_summary(a, name)
+        hb = _hist_summary(b, name)
+        if name.startswith("query."):
+            # Same zero-default as counters: a missing query latency
+            # histogram diffs as an empty one.
+            ha = (0, 0.0, 0.0) if ha is None else ha
+            hb = (0, 0.0, 0.0) if hb is None else hb
+        histograms[name] = (ha, hb)
 
     return ProfileDiff(
         name_a=str(a.get("name", "")), name_b=str(b.get("name", "")),

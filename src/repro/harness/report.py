@@ -139,6 +139,19 @@ def render_telemetry_report(source: TelemetrySource, top: int = 5) -> str:
                  f"func layer {_rate(func_rate)} "
                  f"({func_hits} hit / {func_misses} miss)")
 
+    query_requests = counters.get("query.requests")
+    if query_requests is not None:
+        query_hits = counters.get("query.cache_hits", 0)
+        query_misses = counters.get("query.cache_misses", 0)
+        query_rate = query_hits / (query_hits + query_misses) \
+            if query_hits + query_misses else None
+        lines.append(
+            f"  demand queries: {query_requests}, "
+            f"store hit rate {_rate(query_rate)} "
+            f"({query_hits} hit / {query_misses} miss), "
+            f"{counters.get('query.solve_iterations', 0)} solver "
+            f"iteration(s)")
+
     dispatch = {name: hist for name, hist in histograms.items()
                 if not name.startswith("phase.")}
     if dispatch:

@@ -300,11 +300,29 @@ class DUG:
 
         from repro.graphs.scc import topo_ranks_dense
 
-        # Densify: statement nodes take slots 0..n-1 (list position),
-        # temps get slots appended on first sight. Rank computation
-        # runs on every analysis, so this stays allocation-lean — flat
-        # int adjacency instead of a dict keyed by nodes and ('t', id)
-        # marker tuples.
+        succ, _slot_of_uid, _temp_slot = self._dense_value_flow_graph()
+        rank, scc_count = topo_ranks_dense(succ)
+        result = ({node.uid: rank[i] for i, node in enumerate(self.nodes)},
+                  scc_count)
+        self.schedule_cache["topo_ranks"] = result
+        return result
+
+    def _dense_value_flow_graph(self) -> Tuple[
+            List[List[int]], Dict[int, int], Dict[int, int]]:
+        """The combined value-flow graph in dense integer form:
+        ``(succ, slot_of_uid, temp_slot)``.
+
+        Statement nodes take slots 0..n-1 (list position), temps get
+        slots appended on first sight. Rank computation runs on every
+        analysis, so this stays allocation-lean — flat int adjacency
+        instead of a dict keyed by nodes and ('t', id) marker tuples.
+        Memoized in :attr:`schedule_cache`: both the whole-program rank
+        pass and every demand-driven slice ranking reuse one copy.
+        """
+        cached = self.schedule_cache.get("dense_vfg")
+        if cached is not None:
+            return cached
+
         nodes = self.nodes
         slot_of_uid = {node.uid: i for i, node in enumerate(nodes)}
         succ: List[List[int]] = [[] for _ in range(len(nodes))]
@@ -338,11 +356,41 @@ class DUG:
                 succ[tslot(src.id)].append(tslot(dst.id))
             else:
                 tslot(dst.id)
-        rank, scc_count = topo_ranks_dense(succ)
-        result = ({node.uid: rank[i] for i, node in enumerate(nodes)},
-                  scc_count)
-        self.schedule_cache["topo_ranks"] = result
+        result = (succ, slot_of_uid, temp_slot)
+        self.schedule_cache["dense_vfg"] = result
         return result
+
+    def compute_topo_ranks_slice(self, node_uids: Set[int],
+                                 temp_ids: Set[int]
+                                 ) -> Tuple[Dict[int, int], int]:
+        """:meth:`compute_topo_ranks` restricted to a slice.
+
+        Ranks only the subgraph induced by *node_uids* / *temp_ids*
+        (a predecessor-closed :meth:`upstream_closure` slice); edges
+        leaving the slice are ignored. Returns ``(rank_of_uid,
+        scc_count)`` covering exactly the slice's nodes. The dense
+        value-flow graph is shared with the whole-program pass, so a
+        query pays only a slice-proportional Tarjan walk on top of one
+        memoized densification.
+        """
+        from repro.graphs.scc import topo_ranks_induced
+
+        succ, slot_of_uid, temp_slot = self._dense_value_flow_graph()
+        member = bytearray(len(succ))
+        roots = [slot_of_uid[uid] for uid in node_uids]
+        for temp_id in temp_ids:
+            slot = temp_slot.get(temp_id)
+            if slot is not None:
+                roots.append(slot)
+        # Root order fixes SCC numbering; ascending slot order is the
+        # order a whole-range scan would visit, keeping ranks
+        # deterministic regardless of set iteration order.
+        roots.sort()
+        for slot in roots:
+            member[slot] = 1
+        rank, scc_count = topo_ranks_induced(succ, member, roots)
+        rank_of_uid = {uid: rank[slot_of_uid[uid]] for uid in node_uids}
+        return rank_of_uid, scc_count
 
     def merge_topology(self, members: List[DUGNode]) -> Tuple[
             List[List[int]], List[List[Tuple[MemObject, DUGNode]]]]:
@@ -419,14 +467,7 @@ class DUG:
         complements are the frozen sets an incremental solve may
         preload from a previous fixpoint.
         """
-        defs_of_temp: Dict[int, List[DUGNode]] = {}
-        for node in self.nodes:
-            instr = getattr(node, "instr", None)
-            if instr is not None:
-                defined = instr.defined_temp()
-                if defined is not None:
-                    defs_of_temp.setdefault(defined.id, []).append(node)
-
+        defs_of_temp = self._defs_of_temp()
         down_nodes: Set[int] = set()
         down_temps: Set[int] = set()
         node_work: List[DUGNode] = []
@@ -467,6 +508,95 @@ class DUG:
                 for def_node in defs_of_temp.get(temp_id, ()):
                     touch_node(def_node)
         return down_nodes, down_temps
+
+    def _defs_of_temp(self) -> Dict[int, List[DUGNode]]:
+        """Statement nodes grouped by the temp they define (partial
+        SSA leaves multi-def temps). Memoized in
+        :attr:`schedule_cache` alongside the other derived indexes."""
+        cached = self.schedule_cache.get("defs_of_temp")
+        if cached is None:
+            cached = {}
+            for node in self.nodes:
+                instr = getattr(node, "instr", None)
+                if instr is not None:
+                    defined = instr.defined_temp()
+                    if defined is not None:
+                        cached.setdefault(defined.id, []).append(node)
+            self.schedule_cache["defs_of_temp"] = cached
+        return cached
+
+    def _used_temps_of(self) -> Dict[int, List[int]]:
+        """The inverse of :attr:`_top_users`: node uid -> the temp ids
+        whose top-level value the node reads. Memoized; this is the
+        backward edge set :meth:`upstream_closure` walks."""
+        cached = self.schedule_cache.get("used_temps_of")
+        if cached is None:
+            cached = {}
+            for temp_id, users in self._top_users.items():
+                for user in users:
+                    cached.setdefault(user.uid, []).append(temp_id)
+            self.schedule_cache["used_temps_of"] = cached
+        return cached
+
+    def upstream_closure(self, root_nodes: Iterable[DUGNode],
+                         root_temp_ids: Iterable[int]
+                         ) -> Tuple[Set[int], Set[int]]:
+        """Everything that can influence the roots: the transpose of
+        :meth:`downstream_closure`, walked backwards over the same
+        combined value-flow graph — memory in-edges (including
+        [THREAD-VF] ones), top-user-to-temp, defined-temp-to-defining-
+        statement, and the interprocedural copy graph against the
+        flow direction.
+
+        The result is predecessor-closed by construction: every value
+        a slice member's transfer function reads (reaching memory
+        defs of any object, used temps, all defs of a reached temp,
+        Temp sources of copies into a reached temp) is itself in the
+        slice. Running the fixpoint engine over the slice alone
+        therefore reproduces the whole-program fixpoint bit-for-bit
+        on slice members — the demand-driven solver's contract.
+
+        Returns ``(upstream node uids, upstream temp ids)``.
+        """
+        defs_of_temp = self._defs_of_temp()
+        used_temps_of = self._used_temps_of()
+
+        up_nodes: Set[int] = set()
+        up_temps: Set[int] = set()
+        node_work: List[DUGNode] = []
+        temp_work: List[int] = []
+
+        def touch_node(node: DUGNode) -> None:
+            if node.uid not in up_nodes:
+                up_nodes.add(node.uid)
+                node_work.append(node)
+
+        def touch_temp(temp_id: int) -> None:
+            if temp_id not in up_temps:
+                up_temps.add(temp_id)
+                temp_work.append(temp_id)
+
+        for node in root_nodes:
+            touch_node(node)
+        for temp_id in root_temp_ids:
+            touch_temp(temp_id)
+
+        while node_work or temp_work:
+            while node_work:
+                node = node_work.pop()
+                for srcs in self._mem_in.get(node.uid, {}).values():
+                    for src in srcs:
+                        touch_node(src)
+                for temp_id in used_temps_of.get(node.uid, ()):
+                    touch_temp(temp_id)
+            while temp_work:
+                temp_id = temp_work.pop()
+                for def_node in defs_of_temp.get(temp_id, ()):
+                    touch_node(def_node)
+                for src, _dst in self._copies_by_dst.get(temp_id, ()):
+                    if isinstance(src, Temp):
+                        touch_temp(src.id)
+        return up_nodes, up_temps
 
     # -- interference bookkeeping ---------------------------------------------
 

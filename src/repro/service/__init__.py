@@ -22,7 +22,13 @@ Turns the single-shot FSAM pipeline into a servable system:
   analysis over the cache's per-function artifact store
   (``repro.funcartifact/1``): warm requests whose program digest
   misses reuse the previous fixpoint for unchanged functions and
-  re-solve only downstream of the edit.
+  re-solve only downstream of the edit;
+- :mod:`repro.service.digest` — the one canonical-JSON sha256 every
+  service cache key goes through;
+- demand queries (``op: query`` entries, ``repro query``) — answered
+  by :class:`repro.service.runner.QueryRunner` over backward DUG
+  slices, cached per query in the ``repro.queryartifact/1`` store
+  under ``<cache>/query``.
 
 Every request runs as a telemetry span (deterministic request id,
 own Observer in the worker process); cache-miss span snapshots merge
@@ -34,26 +40,34 @@ telemetry"; rendered by ``repro report``).
 """
 
 from repro.service.artifacts import (
-    AnalysisArtifact, artifact_from_andersen, artifact_from_result,
-    validate_artifact, validate_funcartifact,
+    AnalysisArtifact, artifact_from_andersen, artifact_from_query,
+    artifact_from_result, validate_artifact, validate_funcartifact,
+    validate_queryartifact,
 )
 from repro.service.batch import (
     BatchReport, render_batch_report, run_batch, validate_batch_report,
 )
-from repro.service.cache import ArtifactCache, FuncArtifactStore
+from repro.service.cache import (
+    ArtifactCache, FuncArtifactStore, QueryArtifactStore,
+)
+from repro.service.digest import canonical_digest, query_digest
 from repro.service.requests import (
-    AnalysisRequest, function_digest, request_digest,
+    AnalysisRequest, QueryRequest, function_digest, request_digest,
 )
 from repro.service.pool import WorkerPool
-from repro.service.runner import RequestOutcome, run_request_inline
+from repro.service.runner import (
+    QueryRunner, RequestOutcome, run_request_inline,
+)
 from repro.service.serve import serve_loop
 
 __all__ = [
     "AnalysisArtifact", "artifact_from_result", "artifact_from_andersen",
-    "validate_artifact", "validate_funcartifact",
-    "ArtifactCache", "FuncArtifactStore",
-    "AnalysisRequest", "request_digest", "function_digest",
-    "RequestOutcome", "run_request_inline",
+    "artifact_from_query",
+    "validate_artifact", "validate_funcartifact", "validate_queryartifact",
+    "ArtifactCache", "FuncArtifactStore", "QueryArtifactStore",
+    "AnalysisRequest", "QueryRequest", "request_digest", "function_digest",
+    "canonical_digest", "query_digest",
+    "RequestOutcome", "run_request_inline", "QueryRunner",
     "WorkerPool",
     "BatchReport", "run_batch", "render_batch_report",
     "validate_batch_report",

@@ -42,10 +42,14 @@ from typing import Dict, List, Optional
 from repro.fsam.config import FSAMConfig
 from repro.obs import Observer
 from repro.schemas import BATCH_SCHEMA
-from repro.service.cache import ArtifactCache, FuncArtifactStore
+from repro.service.cache import (
+    ArtifactCache, FuncArtifactStore, QueryArtifactStore,
+)
 from repro.service.pool import WorkerPool
-from repro.service.requests import AnalysisRequest
-from repro.service.runner import RequestOutcome, run_request_inline
+from repro.service.requests import AnalysisRequest, QueryRequest
+from repro.service.runner import (
+    QueryRunner, RequestOutcome, run_request_inline,
+)
 
 
 @dataclass
@@ -63,6 +67,9 @@ class BatchReport:
     metrics: Optional[Dict[str, object]] = None
     #: Per-phase profiles auto-captured for requests over ``slow_ms``.
     exemplars: List[Dict[str, object]] = field(default_factory=list)
+    #: Demand-query response payloads (``op: query`` spec entries),
+    #: answered after the analysis dispatch by the demand engine.
+    queries: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         rows = []
@@ -113,6 +120,7 @@ class BatchReport:
             },
             "metrics": self.metrics,
             "exemplars": list(self.exemplars),
+            "queries": list(self.queries),
         }
 
     def _aggregate_phase_seconds(self) -> Dict[str, float]:
@@ -143,7 +151,8 @@ def run_batch(requests: List[AnalysisRequest],
               name: str = "batch",
               pool: Optional[WorkerPool] = None,
               incremental: bool = True,
-              slow_ms: Optional[float] = None) -> BatchReport:
+              slow_ms: Optional[float] = None,
+              queries: Optional[List[QueryRequest]] = None) -> BatchReport:
     """Run *requests* to completion and aggregate the report.
 
     ``workers <= 1`` runs inline (no subprocesses) — the serial
@@ -161,6 +170,13 @@ def run_batch(requests: List[AnalysisRequest],
     *slow_ms* enables exemplar capture: every cache-miss request whose
     wall clock exceeds the threshold lands in ``report.exemplars``
     with its per-phase breakdown and dominant phase.
+
+    *queries* (``op: query`` spec entries, parsed by
+    :func:`repro.service.requests.requests_from_spec`) run after the
+    analysis dispatch through a shared
+    :class:`~repro.service.runner.QueryRunner`: warm answers come from
+    ``<cache>/query`` without building a pipeline; the batch never
+    fails on a bad query — the error rides in the query's row.
     """
     observer = obs if obs is not None else Observer(name=name)
     funcstore = FuncArtifactStore(cache.root) \
@@ -249,6 +265,35 @@ def run_batch(requests: List[AnalysisRequest],
                 cache="dedup", seconds=0.0, attempts=0,
                 request_id=request.request_id))
 
+    # 5. demand queries, after the analysis dispatch (a query against
+    # a program this batch just analysed still slices fresh — the two
+    # cache layers are independent — but its artifact store may already
+    # be warm from an earlier batch).
+    query_rows: List[Dict[str, object]] = []
+    if queries:
+        querystore = QueryArtifactStore(cache.root) \
+            if cache is not None else None
+        queryrunner = QueryRunner(querystore=querystore, obs=observer)
+        for i, query in enumerate(queries):
+            query.request.request_id = f"q{i:04d}"
+            try:
+                row = queryrunner.run(query)
+            except Exception as exc:  # noqa: BLE001 - reported in-row
+                row = {
+                    "op": "query", "name": query.request.name,
+                    "var": query.var, "line": query.line,
+                    "obj": query.obj, "status": "error",
+                    "error": {"type": type(exc).__name__,
+                              "message": str(exc)},
+                }
+            row["request_id"] = query.request.request_id
+            query_rows.append(row)
+        observer.count("batch.queries", len(query_rows))
+        errors = sum(1 for row in query_rows if row["status"] == "error")
+        if errors:
+            observer.count("batch.query_errors", errors)
+        queryrunner.flush_obs(observer)
+
     total_seconds = time.perf_counter() - start
 
     # Telemetry: merge each miss's span snapshot (worker-side counters
@@ -330,6 +375,7 @@ def run_batch(requests: List[AnalysisRequest],
         gauges=dict(observer.gauges),
         metrics=observer.to_metrics_dict(),
         exemplars=exemplars,
+        queries=query_rows,
     )
 
 
@@ -418,6 +464,29 @@ def validate_batch_report(doc: object) -> Dict[str, object]:
                and isinstance(exemplar.get("seconds"), (int, float))
                and isinstance(exemplar.get("phase_seconds"), dict),
                f"exemplars[{i}] is not a slow-request record")
+    # Absent on pre-query reports — missing means "no queries ran".
+    query_rows = doc.get("queries", [])
+    _check(isinstance(query_rows, list), "queries is not a list")
+    assert isinstance(query_rows, list)
+    for i, row in enumerate(query_rows):
+        _check(isinstance(row, dict)
+               and isinstance(row.get("name"), str)
+               and isinstance(row.get("var"), str)
+               and row.get("status") in ("ok", "error"),
+               f"queries[{i}] is not a query record")
+        assert isinstance(row, dict)
+        if row["status"] == "ok":
+            _check(row.get("cache") in ("hit", "warm", "miss"),
+                   f"queries[{i}] cache {row.get('cache')!r} invalid")
+            _check(isinstance(row.get("pts"), list),
+                   f"queries[{i}] pts is not a list")
+            _check(isinstance(row.get("iterations"), int)
+                   and row["iterations"] >= 0,
+                   f"queries[{i}] iterations is not a non-negative "
+                   "integer")
+        else:
+            _check(isinstance(row.get("error"), dict),
+                   f"queries[{i}] error record missing")
     return doc
 
 

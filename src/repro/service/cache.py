@@ -29,7 +29,10 @@ The module also hosts :class:`FuncArtifactStore`, the per-function
 sub-document layer (``repro.funcartifact/1``) used by incremental
 analysis: same fan-out layout under ``<root>/func/``, same atomic
 writes and tolerant reads, keyed by per-function digests (see
-:func:`repro.service.requests.function_digest`).
+:func:`repro.service.requests.function_digest`), and
+:class:`QueryArtifactStore`, the demand-query sub-result layer
+(``repro.queryartifact/1``) under ``<root>/query/``, keyed by
+:func:`repro.service.digest.query_digest`.
 """
 
 from __future__ import annotations
@@ -41,9 +44,12 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.obs import Observer
-from repro.schemas import CODE_VERSION, FUNC_ARTIFACT_SCHEMA
+from repro.schemas import (
+    CODE_VERSION, FUNC_ARTIFACT_SCHEMA, QUERY_ARTIFACT_SCHEMA,
+)
 from repro.service.artifacts import (
     AnalysisArtifact, validate_artifact, validate_funcartifact,
+    validate_queryartifact,
 )
 
 
@@ -242,3 +248,78 @@ class FuncArtifactStore:
         obs.count("cache.func_hits", self.func_hits)
         obs.count("cache.func_misses", self.func_misses)
         obs.count("cache.func_stores", self.func_stores)
+
+
+class QueryArtifactStore:
+    """Demand-query sub-result layer (``repro.queryartifact/1``).
+
+    Lives under ``<root>/query/`` beside an :class:`ArtifactCache`
+    root, with the same two-hex fan-out, atomic-write, and
+    tolerant-read policies. Keys are request digests — H(program
+    digest + var/line/obj + code version), see
+    :func:`repro.service.digest.query_digest` — so a warm hit answers
+    a query without compiling or building any pipeline at all.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root) / "query"
+        self.query_hits = 0
+        self.query_misses = 0
+        self.query_stores = 0
+        self.corrupt = 0
+
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.json"
+
+    def get(self, digest: str) -> Optional[Dict[str, object]]:
+        """The validated queryartifact document for *digest*, or None."""
+        path = self.path(digest)
+        for retry in (True, False):
+            sig = None
+            try:
+                with open(path) as handle:
+                    sig = _handle_sig(handle)
+                    doc = json.load(handle)
+                validate_queryartifact(doc)
+            except FileNotFoundError:
+                self.query_misses += 1
+                return None
+            except (json.JSONDecodeError, ValueError, KeyError, OSError):
+                self.corrupt += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.query_misses += 1
+                return None
+            if doc.get("code_version") != CODE_VERSION:
+                self.corrupt += 1
+                if _tolerant_drop(path, sig) and retry:
+                    continue
+                self.query_misses += 1
+                return None
+            self.query_hits += 1
+            return doc
+        return None  # pragma: no cover - loop always returns
+
+    def put(self, digest: str, doc: Dict[str, object]) -> Path:
+        if doc.get("schema") != QUERY_ARTIFACT_SCHEMA:
+            raise ValueError(
+                f"not a queryartifact document: {doc.get('schema')}")
+        path = self.path(digest)
+        _atomic_write(path, doc)
+        self.query_stores += 1
+        return path
+
+    # -- statistics --------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
+            "query_stores": self.query_stores,
+            "corrupt": self.corrupt,
+        }
+
+    def flush_obs(self, obs: Observer) -> None:
+        obs.count("query.cache_hits", self.query_hits)
+        obs.count("query.cache_misses", self.query_misses)
+        obs.count("query.cache_stores", self.query_stores)

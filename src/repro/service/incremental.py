@@ -53,8 +53,6 @@ does not have; an empty frozen set.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import re
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -69,6 +67,7 @@ from repro.memssa.dug import (
 )
 from repro.pts import mask_to_hex
 from repro.schemas import CODE_VERSION, FUNC_ARTIFACT_SCHEMA
+from repro.service.digest import canonical_digest
 from repro.service.requests import function_digest
 
 #: An absolute source line embedded in an allocation-site name
@@ -370,9 +369,7 @@ class _FunctionContext:
             sources.sort()
             copy_section.append([i, sources])
 
-        blob = json.dumps([node_section, anno_section, copy_section],
-                          sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return canonical_digest([node_section, anno_section, copy_section])
 
     # -- warm-path assembly ------------------------------------------------
 

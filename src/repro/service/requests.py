@@ -22,14 +22,13 @@ Each request entry names its program exactly one way: a registered
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.fsam.config import FSAMConfig
 from repro.schemas import CODE_VERSION
+from repro.service.digest import canonical_digest
 
 
 def request_digest(source: str, config: FSAMConfig,
@@ -39,12 +38,11 @@ def request_digest(source: str, config: FSAMConfig,
     observability toggles deliberately do not participate — they
     change how a run is executed or reported, never what it computes.
     """
-    blob = json.dumps({
+    return canonical_digest({
         "source": source,
         "config": config.cache_key_dict(),
         "code_version": code_version,
-    }, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    })
 
 
 def function_digest(fn_text: str, callee_summaries: List[List[str]],
@@ -59,13 +57,12 @@ def function_digest(fn_text: str, callee_summaries: List[List[str]],
     means nothing that can change this function's local value flow —
     its own body or any callee's memory side effects — has moved.
     """
-    blob = json.dumps({
+    return canonical_digest({
         "function": fn_text,
         "callees": callee_summaries,
         "config": config.cache_key_dict(),
         "code_version": code_version,
-    }, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    })
 
 
 @dataclass
@@ -115,6 +112,44 @@ class AnalysisRequest:
         )
 
 
+@dataclass
+class QueryRequest:
+    """One demand query: a program (an ordinary :class:`AnalysisRequest`
+    carrying the source + config) plus the queried variable. ``obj``
+    flips the answer from "what does *var* point to" to "what may the
+    abstract object named *var* contain"."""
+
+    request: AnalysisRequest
+    var: str
+    line: Optional[int] = None
+    obj: bool = False
+
+
+def query_from_entry(entry: Dict[str, object],
+                     base_dir: str = ".") -> QueryRequest:
+    """An ``{"op": "query", ...}`` spec/serve entry -> QueryRequest.
+
+    The program half uses the same keys as an analysis entry
+    (workload | file | source, config, timeout); the query half is
+    ``var`` (required), ``line`` (optional int), and ``obj``
+    (optional bool)."""
+    if not isinstance(entry, dict):
+        raise ValueError(f"query entry is not an object: {entry!r}")
+    var = entry.get("var")
+    if not isinstance(var, str) or not var:
+        raise ValueError("query entries need a non-empty 'var' string")
+    line = entry.get("line")
+    if line is not None and not isinstance(line, int):
+        raise ValueError(f"query line is not an integer: {line!r}")
+    obj = entry.get("obj", False)
+    if not isinstance(obj, bool):
+        raise ValueError(f"query obj is not a boolean: {obj!r}")
+    program_entry = {key: value for key, value in entry.items()
+                     if key not in ("op", "var", "line", "obj")}
+    request = request_from_entry(program_entry, base_dir=base_dir)
+    return QueryRequest(request=request, var=var, line=line, obj=obj)
+
+
 def request_from_entry(entry: Dict[str, object],
                        base_dir: str = ".") -> AnalysisRequest:
     """One spec/serve request entry -> :class:`AnalysisRequest` (see
@@ -155,14 +190,27 @@ def requests_from_spec(spec: Dict[str, object], base_dir: str = "."
                        ) -> Tuple[List[AnalysisRequest], Dict[str, object]]:
     """Parse a batch spec document. Returns ``(requests, options)``
     where options holds the spec-level ``workers`` / ``cache`` /
-    ``timeout`` settings (CLI flags override them)."""
+    ``timeout`` settings (CLI flags override them). Entries tagged
+    ``"op": "query"`` are split out as :class:`QueryRequest` objects
+    under ``options["queries"]`` — they run after the analysis
+    dispatch, against the demand engine."""
     if not isinstance(spec, dict):
         raise ValueError("batch spec is not a JSON object")
     entries = spec.get("requests")
     if not isinstance(entries, list) or not entries:
         raise ValueError("batch spec needs a non-empty 'requests' list")
-    requests = [request_from_entry(entry, base_dir=base_dir)
-                for entry in entries]
+    requests: List[AnalysisRequest] = []
+    queries: List[QueryRequest] = []
+    for entry in entries:
+        op = entry.get("op", "analyze") if isinstance(entry, dict) else None
+        if op == "query":
+            queries.append(query_from_entry(entry, base_dir=base_dir))
+        elif op == "analyze":
+            requests.append(request_from_entry(entry, base_dir=base_dir))
+        else:
+            raise ValueError(f"unknown request op: {op!r}")
     options = {key: spec[key] for key in ("workers", "cache", "timeout")
                if key in spec}
+    if queries:
+        options["queries"] = queries
     return requests, options

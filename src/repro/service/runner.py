@@ -25,12 +25,14 @@ from typing import Dict, List, Optional
 
 from repro.frontend import compile_source
 from repro.fsam import FSAM
-from repro.fsam.config import AnalysisTimeout
-from repro.obs import Observer
+from repro.fsam.config import AnalysisTimeout, FSAMConfig
+from repro.obs import NULL_OBS, Observer
 from repro.service.artifacts import (
-    AnalysisArtifact, artifact_from_andersen, artifact_from_result,
+    AnalysisArtifact, artifact_from_andersen, artifact_from_query,
+    artifact_from_result,
 )
-from repro.service.requests import AnalysisRequest
+from repro.service.digest import query_digest
+from repro.service.requests import AnalysisRequest, QueryRequest
 
 
 @dataclass
@@ -149,3 +151,126 @@ def run_request_inline(request: AnalysisRequest,
         request_id=request.request_id,
         obs_snapshot=obs.to_metrics_dict() if obs is not None else None,
     )
+
+
+class QueryRunner:
+    """Executes demand queries for the batch and serve front ends.
+
+    Three rungs, cheapest first:
+
+    1. **disk hit**: the query artifact store answers straight from
+       ``<cache>/query/`` — no compile, no pipeline, zero solver work;
+    2. **warm engine**: an already-built demand pipeline for the same
+       program digest whose accumulated solved slices cover the query
+       (``source == "warm"``, zero iterations);
+    3. **cold solve**: build (or reuse) the demand-mode pipeline, slice
+       backward from the query, run the delta engine over the sub-DUG.
+
+    Pipelines are kept in a small per-program-digest LRU so a burst of
+    queries against the same program compiles it once. Queries do not
+    walk the degradation ladder — a demand answer is only useful if it
+    is exact, so budget exhaustion propagates as an error instead of
+    an Andersen-only approximation.
+    """
+
+    def __init__(self, querystore=None, obs=NULL_OBS,
+                 max_pipelines: int = 4) -> None:
+        self.querystore = querystore
+        self.obs = obs
+        self.max_pipelines = max_pipelines
+        self._pipelines: Dict[str, object] = {}  # digest -> FSAMResult
+        self._order: List[str] = []              # LRU, most recent last
+
+    # -- pipeline LRU ------------------------------------------------------
+
+    def _pipeline(self, request: AnalysisRequest, digest: str):
+        result = self._pipelines.get(digest)
+        if result is not None:
+            self._order.remove(digest)
+            self._order.append(digest)
+            return result
+        config_fields = request.config.to_dict()
+        config_fields["solver_mode"] = "demand"
+        config = FSAMConfig(**config_fields)
+        kwargs: Dict[str, object] = {}
+        if getattr(self.obs, "enabled", False):
+            with self.obs.phase("compile"):
+                module = compile_source(request.source, name=request.name)
+            kwargs["obs"] = self.obs
+        else:
+            module = compile_source(request.source, name=request.name)
+        result = FSAM(module, config, **kwargs).run()
+        self._pipelines[digest] = result
+        self._order.append(digest)
+        while len(self._order) > self.max_pipelines:
+            evicted = self._order.pop(0)
+            del self._pipelines[evicted]
+        return result
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, query: QueryRequest) -> Dict[str, object]:
+        """Answer one query; returns the response payload dict.
+
+        Raises ``ValueError`` for an unresolvable variable/object and
+        ``AnalysisTimeout`` on pipeline budget exhaustion — the caller
+        turns either into an error response."""
+        request = query.request
+        program_digest = request.digest()
+        digest = query_digest(program_digest, query.var,
+                              line=query.line, obj=query.obj)
+        start = time.perf_counter()
+        payload: Dict[str, object] = {
+            "op": "query",
+            "status": "ok",
+            "name": request.name,
+            "digest": program_digest,
+            "query_digest": digest,
+            "var": query.var,
+            "line": query.line,
+            "obj": query.obj,
+        }
+        doc = self.querystore.get(digest) \
+            if self.querystore is not None else None
+        if doc is not None:
+            # Disk hit: the stored answer is exact (bit-identity is the
+            # demand engine's contract), so no solver work runs at all.
+            self.obs.count("query.requests", 1)
+            payload.update({
+                "cache": "hit",
+                "pts": list(doc["answer"]["names"]),
+                "mask": doc["answer"]["mask"],
+                "slice_nodes": doc["slice_nodes"],
+                "slice_temps": doc["slice_temps"],
+                "slice_fraction": doc["slice_fraction"],
+                "iterations": 0,
+                "seconds": time.perf_counter() - start,
+            })
+            self.obs.observe("query.request_seconds",
+                             payload["seconds"])
+            return payload
+        result = self._pipeline(request, program_digest)
+        answer = result.query(query.var, line=query.line, obj=query.obj)
+        payload.update({
+            "cache": "warm" if answer.source == "warm" else "miss",
+            "pts": answer.names(),
+            "mask": answer.to_dict()["mask"],
+            "slice_nodes": answer.slice_nodes,
+            "slice_temps": answer.slice_temps,
+            "slice_fraction": round(answer.slice_fraction, 6),
+            "iterations": answer.iterations,
+            "seconds": time.perf_counter() - start,
+        })
+        if self.querystore is not None:
+            engine = result._query_engine
+            signature = engine.slice_signature(answer.node_uids,
+                                               answer.temp_ids)
+            self.querystore.put(
+                digest, artifact_from_query(program_digest, signature,
+                                            answer))
+        self.obs.observe("query.request_seconds", payload["seconds"])
+        return payload
+
+    def flush_obs(self, obs) -> None:
+        if self.querystore is not None:
+            self.querystore.flush_obs(obs)

@@ -10,7 +10,12 @@ from any client::
 
 Request entries use the same forms as the batch spec (see
 :mod:`repro.service.requests`), plus an optional ``id`` echoed back
-verbatim so clients can correlate out-of-order pipelines. The loop
+verbatim so clients can correlate out-of-order pipelines. An entry
+tagged ``{"op": "query", "var": "p", ...}`` is a *demand query*: it
+answers what one variable (or, with ``"obj": true``, one abstract
+object) may point to by solving only the backward DUG slice that can
+reach it — served from the ``<cache>/query/`` artifact store when
+warm (see :class:`repro.service.runner.QueryRunner`). The loop
 ends at EOF. Responses carry the request digest, cache disposition,
 degradation status, and the artifact summary; malformed lines produce
 a structured error record — ``{"status": "error", "error": {"type":
@@ -40,10 +45,14 @@ import time
 from typing import Dict, Optional, TextIO
 
 from repro.obs import NULL_OBS, Observer
-from repro.service.cache import ArtifactCache, FuncArtifactStore
+from repro.service.cache import (
+    ArtifactCache, FuncArtifactStore, QueryArtifactStore,
+)
 from repro.service.pool import WorkerPool
-from repro.service.requests import request_from_entry
-from repro.service.runner import RequestOutcome, run_request_inline
+from repro.service.requests import query_from_entry, request_from_entry
+from repro.service.runner import (
+    QueryRunner, RequestOutcome, run_request_inline,
+)
 
 
 def _response(outcome: RequestOutcome, request_id) -> Dict[str, object]:
@@ -129,6 +138,8 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
         obs = Observer(name="serve", track_memory=False)
     funcstore = FuncArtifactStore(cache.root) \
         if incremental and cache is not None else None
+    querystore = QueryArtifactStore(cache.root) if cache is not None else None
+    queryrunner: Optional[QueryRunner] = None
     pool = WorkerPool(workers=workers, timeout=timeout,
                       funcstore_root=str(cache.root)
                       if funcstore is not None else None) \
@@ -147,6 +158,30 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
             entry = json.loads(line)
             if isinstance(entry, dict):
                 request_id = entry.pop("id", None)
+            if isinstance(entry, dict) and entry.get("op") == "query":
+                # Demand query: answered from the query artifact store,
+                # a warm demand pipeline, or a backward-slice solve —
+                # always inline (the pipeline LRU lives in-process).
+                query = query_from_entry(entry, base_dir=base_dir)
+                query.request.request_id = f"s{serial:04d}"
+                serial += 1
+                if queryrunner is None:
+                    queryrunner = QueryRunner(querystore=querystore,
+                                              obs=obs)
+                response = queryrunner.run(query)
+                response["span"] = query.request.request_id
+                if request_id is not None:
+                    response["id"] = request_id
+                obs.count("serve.requests")
+                if response["cache"] == "hit":
+                    obs.count("serve.cache_hits")
+                if _emit(response, out_stream, request_id, obs):
+                    served += 1
+                if metrics_stream is not None \
+                        and time.monotonic() - last_emit >= interval:
+                    _emit_metrics(obs, metrics_stream)
+                    last_emit = time.monotonic()
+                continue
             request = request_from_entry(entry, base_dir=base_dir)
             request.request_id = f"s{serial:04d}"
             serial += 1
@@ -198,6 +233,8 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
         # Inline dispatch shares one funcstore across the whole loop;
         # pooled workers flush their own store into the shipped span.
         funcstore.flush_obs(obs)
+    if querystore is not None and queryrunner is not None:
+        querystore.flush_obs(obs)
     if cache is not None:
         cache.flush_obs(obs)
     if cache is not None:

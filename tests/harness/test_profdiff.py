@@ -130,3 +130,40 @@ class TestRender:
         text = render_profile_diff(diff_profiles(make_profile(),
                                                  make_profile()))
         assert "no drift" in text
+
+
+class TestQueryZeroDefaults:
+    """Profiles predating the demand-query engine have no query.*
+    section; diffing them against a current profile must read 0 -> N,
+    not refuse or report an unknown baseline."""
+
+    def make_query_metrics(self):
+        obs = Observer(name="with-queries", track_memory=False)
+        obs.count("query.requests", 3)
+        obs.count("query.cache_hits", 2)
+        obs.observe("query.seconds", 0.002)
+        obs.observe("pool.run_seconds", 0.5)
+        return obs.to_metrics_dict()
+
+    def test_missing_query_counters_diff_as_zero(self):
+        diff = diff_profiles(make_metrics(), self.make_query_metrics())
+        drift = diff.changed_counters()
+        assert drift["query.requests"] == (0, 3)
+        assert drift["query.cache_hits"] == (0, 2)
+
+    def test_missing_query_histogram_diffs_as_empty(self):
+        diff = diff_profiles(make_metrics(), self.make_query_metrics())
+        before, after = diff.changed_histograms()["query.seconds"]
+        assert before == (0, 0.0, 0.0)
+        assert after[0] == 1
+
+    def test_non_query_counters_keep_none_baseline(self):
+        new = make_metrics(counters={"serve.errors": 1})
+        diff = diff_profiles(make_metrics(), new)
+        assert diff.changed_counters()["serve.errors"] == (None, 1)
+
+    def test_render_survives_query_only_drift(self):
+        text = render_profile_diff(
+            diff_profiles(make_metrics(), self.make_query_metrics()))
+        assert "query.requests" in text
+        assert "0 -> 3" in text

@@ -114,3 +114,31 @@ class TestRender:
         path.write_text(json.dumps(report.to_dict()))
         text = render_telemetry_report(load_telemetry(str(path)), top=0)
         assert "slowest requests (top 0)" in text
+
+
+class TestQuerySummary:
+    def _query_metrics(self):
+        obs = Observer(name="q", track_memory=False)
+        obs.count("serve.requests", 3)
+        obs.count("query.requests", 2)
+        obs.count("query.cache_hits", 1)
+        obs.count("query.cache_misses", 1)
+        obs.count("query.solve_iterations", 4)
+        obs.observe("query.request_seconds", 0.003)
+        return obs.to_metrics_dict()
+
+    def test_query_counters_render_summary_line(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(self._query_metrics()))
+        text = render_telemetry_report(load_telemetry(str(path)))
+        assert "demand queries: 2" in text
+        assert "1 hit / 1 miss" in text
+        assert "4 solver iteration(s)" in text
+        # The latency histogram joins the generic histogram table.
+        assert "query.request_seconds" in text
+
+    def test_no_queries_no_summary_line(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_metrics_doc()))
+        text = render_telemetry_report(load_telemetry(str(path)))
+        assert "demand queries" not in text
