@@ -18,6 +18,7 @@
     python -m repro diff-profile A.json B.json   # profile regression diff
     python -m repro batch     spec.json --workers 4 --cache .repro-cache
     python -m repro serve     --workers 4    # stdin/JSONL request loop
+    python -m repro gateway   --port 8377    # TCP gateway (JSONL + HTTP)
 
 Reports can also be emitted as JSON (``--json``) for downstream
 tooling.
@@ -469,7 +470,8 @@ def cmd_batch(args) -> int:
     timeout = args.timeout if args.timeout is not None \
         else options.get("timeout")
     cache_dir = args.cache if args.cache is not None else options.get("cache")
-    cache = ArtifactCache(cache_dir) if cache_dir else None
+    cache = ArtifactCache(cache_dir, max_bytes=_cache_max_bytes(args)) \
+        if cache_dir else None
 
     report = run_batch(requests, workers=workers, cache=cache,
                        timeout=timeout,
@@ -494,12 +496,19 @@ def cmd_batch(args) -> int:
     return 3 if doc["aggregate"]["degraded"] else 0
 
 
+def _cache_max_bytes(args) -> Optional[int]:
+    mb = getattr(args, "cache_max_mb", None)
+    return int(mb * 1024 * 1024) if mb is not None else None
+
+
 def cmd_serve(args) -> int:
     """Long-lived stdin/JSONL analysis loop (one request per line)."""
     from repro.obs import Observer
     from repro.service import ArtifactCache, serve_loop
+    from repro.service.serve import ShutdownFlag
 
-    cache = ArtifactCache(args.cache) if args.cache else None
+    cache = ArtifactCache(args.cache, max_bytes=_cache_max_bytes(args)) \
+        if args.cache else None
     # Live telemetry: periodic repro.metrics/1 snapshots to --metrics-out
     # (or stderr, keeping stdout pure response JSONL).
     metrics_stream = None
@@ -507,6 +516,10 @@ def cmd_serve(args) -> int:
         metrics_stream = open(args.metrics_out, "w")
     elif args.metrics_interval is not None:
         metrics_stream = sys.stderr
+    # SIGINT/SIGTERM drain the in-flight request, flush the final
+    # metrics snapshot, and exit 0.
+    shutdown = ShutdownFlag()
+    previous_handlers = shutdown.install()
     try:
         serve_loop(sys.stdin, sys.stdout,
                    workers=args.workers,
@@ -516,7 +529,54 @@ def cmd_serve(args) -> int:
                    obs=Observer(name="serve", track_memory=False),
                    incremental=not args.no_incremental,
                    metrics_interval=args.metrics_interval,
-                   metrics_stream=metrics_stream)
+                   metrics_stream=metrics_stream,
+                   max_request_bytes=args.max_request_bytes,
+                   shutdown=shutdown)
+    finally:
+        ShutdownFlag.restore(previous_handlers)
+        if args.metrics_out and metrics_stream is not None:
+            metrics_stream.close()
+    return 0
+
+
+def cmd_gateway(args) -> int:
+    """The asyncio multi-tenant analysis gateway (JSONL + HTTP on one
+    TCP port; see :mod:`repro.gateway`)."""
+    import asyncio
+
+    from repro.gateway.admission import policies_from_config
+    from repro.gateway.server import Gateway, GatewayOptions
+
+    tenants = None
+    if args.tenants_config:
+        with open(args.tenants_config) as handle:
+            tenants = policies_from_config(json.load(handle))
+    metrics_stream = None
+    if args.metrics_out:
+        metrics_stream = open(args.metrics_out, "w")
+    elif args.metrics_interval is not None:
+        metrics_stream = sys.stderr
+
+    async def _main() -> None:
+        gateway = Gateway(GatewayOptions(
+            host=args.host, port=args.port, workers=args.workers,
+            max_queue=args.max_queue, tenants=tenants,
+            cache_root=args.cache,
+            cache_max_bytes=_cache_max_bytes(args),
+            timeout=args.timeout,
+            max_request_bytes=args.max_request_bytes,
+            metrics_interval=args.metrics_interval,
+            metrics_stream=metrics_stream,
+            base_dir=args.base_dir,
+            incremental=not args.no_incremental))
+        await gateway.start()
+        print(f"gateway listening on {args.host}:{gateway.port} "
+              f"({args.workers} shard(s))", file=sys.stderr, flush=True)
+        gateway.install_signal_handlers()
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(_main())
     finally:
         if args.metrics_out and metrics_stream is not None:
             metrics_stream.close()
@@ -654,6 +714,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slow-ms", type=float, default=None,
                    help="capture the per-phase profile of requests "
                         "slower than this as exemplars in the report")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   help="bound the artifact cache to this many MiB "
+                        "(LRU eviction; default unbounded)")
     p.set_defaults(handler=cmd_batch)
 
     p = sub.add_parser("serve",
@@ -679,7 +742,59 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the metrics JSONL stream to this file "
                         "(final snapshot at EOF even without "
                         "--metrics-interval)")
+    p.add_argument("--max-request-bytes", type=int,
+                   default=1 << 20,
+                   help="refuse request lines larger than this "
+                        "(default 1 MiB)")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   help="bound the artifact cache to this many MiB "
+                        "(LRU eviction; default unbounded)")
     p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser("gateway",
+                       help="asyncio multi-tenant analysis gateway "
+                            "(JSONL + HTTP on one TCP port, warm "
+                            "shard workers, coalescing, streaming)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8377,
+                   help="TCP port (0 = pick an ephemeral port; "
+                        "default 8377)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="persistent shard worker processes (default 2)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="global queued-request high-water mark before "
+                        "lowest-priority shedding (default 64)")
+    p.add_argument("--tenants-config", metavar="JSON", default=None,
+                   help="per-tenant admission policies: JSON object "
+                        "of name -> {rate, burst, priority}")
+    p.add_argument("--cache", default=None,
+                   help="artifact cache directory (shared by all "
+                        "shards)")
+    p.add_argument("--cache-max-mb", type=float, default=None,
+                   help="bound the artifact cache to this many MiB "
+                        "(LRU eviction; default unbounded)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default per-request wall-clock seconds "
+                        "(mid-stream expiry degrades to the already-"
+                        "streamed Andersen frame)")
+    p.add_argument("--max-request-bytes", type=int, default=1 << 20,
+                   help="refuse request lines/bodies larger than this "
+                        "(default 1 MiB)")
+    p.add_argument("--base-dir", default=".",
+                   help="base directory for 'file' request entries")
+    p.add_argument("--no-incremental", action="store_true",
+                   help="disable per-function incremental reuse in "
+                        "the shard workers")
+    p.add_argument("--metrics-interval", type=float, default=None,
+                   metavar="N",
+                   help="emit a cumulative repro.metrics/1 JSONL "
+                        "snapshot every N seconds (stderr unless "
+                        "--metrics-out)")
+    p.add_argument("--metrics-out", metavar="OUT", default=None,
+                   help="write the metrics JSONL stream to this file "
+                        "(final snapshot on shutdown regardless)")
+    p.set_defaults(handler=cmd_gateway)
 
     p = sub.add_parser("report",
                        help="render service telemetry from a "

@@ -245,10 +245,15 @@ class FSAM:
     def __init__(self, module: Module, config: Optional[FSAMConfig] = None,
                  obs: Optional[Observer] = None,
                  tracer: Optional[Tracer] = None,
-                 incremental=None) -> None:
+                 incremental=None, on_preanalysis=None) -> None:
         self.module = module
         self.config = config or FSAMConfig()
         self.incremental = incremental
+        # Optional progressive-results hook (the gateway's streaming
+        # Andersen frame): called once, right after the pre-analysis
+        # phase, with ``(module, andersen)``. Purely observational — it
+        # must not mutate either argument.
+        self.on_preanalysis = on_preanalysis
         # An explicit observer wins; otherwise config.profile decides
         # between a fresh Observer and the shared no-op one.
         if obs is not None:
@@ -285,6 +290,8 @@ class FSAM:
 
         andersen = timed("pre_analysis",
                          lambda: run_andersen(self.module, obs=obs))
+        if self.on_preanalysis is not None:
+            self.on_preanalysis(self.module, andersen)
         icfg = timed("icfg", lambda: ICFG(self.module, andersen.callgraph))
         dug, builder = timed("thread_oblivious_dug",
                              lambda: build_dug(self.module, andersen, obs=obs))

@@ -1,0 +1,25 @@
+"""repro.gateway — the asyncio multi-tenant analysis gateway.
+
+The front end that turns the batch/serve analysis service into a
+long-running network service: one TCP port speaking framed JSONL and
+minimal HTTP/1.1, backed by persistent warm shard workers.
+
+- :mod:`repro.gateway.protocol` — ``repro.gwframe/1`` frames, input
+  hardening (size/depth caps), the stdlib HTTP/1.1 surface;
+- :mod:`repro.gateway.routing` — consistent-hash placement of program
+  digests onto shards;
+- :mod:`repro.gateway.coalesce` — identical in-flight requests share
+  one computation;
+- :mod:`repro.gateway.admission` — per-tenant token buckets and
+  bounded priority queues;
+- :mod:`repro.gateway.shards` — the persistent worker processes and
+  their asyncio-side pool;
+- :mod:`repro.gateway.server` — the :class:`Gateway` tying it all
+  together;
+- :mod:`repro.gateway.trace` — deterministic zipfian request traces
+  for the load-test harness and CI smoke job.
+"""
+
+from repro.gateway.server import Gateway, GatewayOptions, run_gateway
+
+__all__ = ["Gateway", "GatewayOptions", "run_gateway"]

@@ -1,0 +1,98 @@
+"""Consistent-hash request routing.
+
+The gateway pins requests to shard workers by **program source
+digest**, so repeated traffic for a hot program always lands on the
+same worker — whose in-process pipeline LRU, per-program query
+engine, and artifact memo are already warm.  A plain ``digest %
+shards`` mapping would reshuffle *every* key when a worker dies; the
+consistent-hash ring remaps only the dead worker's arc onto its ring
+successors, so the other workers keep their warm state through a
+respawn.
+
+Hashing is SHA-256-based throughout — deterministic across processes
+and ``PYTHONHASHSEED`` values, like every other digest in the service
+layer (see :mod:`repro.service.digest`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional
+
+
+def _point(label: str) -> int:
+    """A stable 64-bit ring coordinate for *label*."""
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over integer shard ids.
+
+    Each shard owns ``replicas`` virtual points; a key routes to the
+    owner of the first point clockwise from the key's own coordinate.
+    ``remove`` (worker died) keeps every other shard's points in
+    place, so only the dead shard's keys move; ``add`` (respawn
+    finished) restores them.
+    """
+
+    def __init__(self, shards: Iterable[int] = (),
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: List[int] = []        # sorted ring coordinates
+        self._owner: Dict[int, int] = {}    # coordinate -> shard id
+        for shard in shards:
+            self.add(shard)
+
+    def __contains__(self, shard: int) -> bool:
+        return any(owner == shard for owner in self._owner.values())
+
+    def __len__(self) -> int:
+        return len({owner for owner in self._owner.values()})
+
+    @property
+    def shards(self) -> List[int]:
+        return sorted({owner for owner in self._owner.values()})
+
+    def add(self, shard: int) -> None:
+        if shard in self:
+            return
+        for replica in range(self.replicas):
+            coord = _point(f"shard-{shard}-replica-{replica}")
+            # A full-width collision between two sha256 prefixes is
+            # astronomically unlikely; skip rather than corrupt the map.
+            if coord in self._owner:  # pragma: no cover
+                continue
+            self._owner[coord] = shard
+            bisect.insort(self._points, coord)
+
+    def remove(self, shard: int) -> None:
+        dead = [coord for coord, owner in self._owner.items()
+                if owner == shard]
+        for coord in dead:
+            del self._owner[coord]
+            index = bisect.bisect_left(self._points, coord)
+            del self._points[index]
+
+    def route(self, key: str) -> Optional[int]:
+        """The shard owning *key* (any string; typically a request
+        digest), or None when the ring is empty."""
+        if not self._points:
+            return None
+        coord = _point(key)
+        index = bisect.bisect_right(self._points, coord)
+        if index == len(self._points):
+            index = 0
+        return self._owner[self._points[index]]
+
+    def spread(self, keys: Iterable[str]) -> Dict[int, int]:
+        """Shard id -> number of *keys* routed to it (diagnostics)."""
+        counts: Dict[int, int] = {shard: 0 for shard in self.shards}
+        for key in keys:
+            shard = self.route(key)
+            if shard is not None:
+                counts[shard] += 1
+        return counts

@@ -18,6 +18,9 @@ emitting modules; this module is the single source of truth:
 - ``repro.metrics/1``  — service telemetry snapshots: counters,
   gauges, mergeable latency histograms, and flattened phase times
   (:mod:`repro.obs`)
+- ``repro.gwframe/1``  — gateway streaming response frames: the
+  progressive-result wire format spoken by the analysis gateway over
+  HTTP chunks and framed JSONL (:mod:`repro.gateway.protocol`)
 
 ``CODE_VERSION`` participates in the content-addressed cache key
 (see :mod:`repro.service.cache`): bump it whenever an analysis change
@@ -39,6 +42,7 @@ FUNC_ARTIFACT_SCHEMA = "repro.funcartifact/1"
 QUERY_ARTIFACT_SCHEMA = "repro.queryartifact/1"
 BATCH_SCHEMA = "repro.batch/1"
 METRICS_SCHEMA = "repro.metrics/1"
+GWFRAME_SCHEMA = "repro.gwframe/1"
 
 #: Version of the analysis semantics + artifact format. Part of the
 #: artifact cache key: bumping it invalidates every cached artifact.

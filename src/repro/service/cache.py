@@ -96,15 +96,29 @@ def _atomic_write(path: Path, doc: Dict[str, object]) -> None:
 
 
 class ArtifactCache:
-    """A content-addressed store of ``repro.artifact/1`` documents."""
+    """A content-addressed store of ``repro.artifact/1`` documents.
 
-    def __init__(self, root) -> None:
+    With *max_bytes* set, the cache is bounded: after every store the
+    top-level artifact tree is walked (only the two-hex fan-out
+    directories — the ``func/`` and ``query/`` sub-stores are never
+    evicted from here) and the least-recently-used entries are removed
+    until the total size fits. Recency is mtime: a cache hit
+    ``os.utime``-touches the entry, so a hot artifact survives
+    arbitrarily many eviction sweeps while cold ones age out.
+    Evictions count in ``cache.evicted``.
+    """
+
+    def __init__(self, root, max_bytes: Optional[int] = None) -> None:
         self.root = Path(root)
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
         self.stale = 0
+        self.evicted = 0
 
     def path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest[2:]}.json"
@@ -141,6 +155,13 @@ class ArtifactCache:
                 self.misses += 1
                 return None
             self.hits += 1
+            if self.max_bytes is not None:
+                # LRU touch: mark the entry recently used so the
+                # eviction sweep ages out cold artifacts first.
+                try:
+                    os.utime(path)
+                except OSError:  # pragma: no cover - entry raced away
+                    pass
             return artifact
         return None  # pragma: no cover - loop always returns
 
@@ -154,7 +175,55 @@ class ArtifactCache:
         validate_artifact(doc)
         _atomic_write(path, doc)
         self.stores += 1
+        if self.max_bytes is not None:
+            self._evict()
         return path
+
+    def _entries(self):
+        """Every top-level artifact file as ``(mtime_ns, size, path)``.
+        Only two-hex fan-out directories are scanned, so the ``func/``
+        and ``query/`` sub-stores sharing this root are exempt."""
+        entries = []
+        try:
+            fanouts = list(self.root.iterdir())
+        except OSError:
+            return entries
+        for fanout in fanouts:
+            name = fanout.name
+            if len(name) != 2 or not fanout.is_dir() \
+                    or any(c not in "0123456789abcdef" for c in name):
+                continue
+            try:
+                files = list(fanout.iterdir())
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            for file in files:
+                if file.suffix != ".json":
+                    continue
+                try:
+                    st = file.stat()
+                except OSError:  # pragma: no cover - racing eviction
+                    continue
+                entries.append((st.st_mtime_ns, st.st_size, file))
+        return entries
+
+    def _evict(self) -> None:
+        """Drop least-recently-used entries until the store fits
+        ``max_bytes``."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _, size, file in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                os.unlink(file)
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            total -= size
+            self.evicted += 1
 
     # -- statistics --------------------------------------------------------
 
@@ -165,6 +234,7 @@ class ArtifactCache:
             "stores": self.stores,
             "corrupt": self.corrupt,
             "stale": self.stale,
+            "evicted": self.evicted,
         }
 
     def flush_obs(self, obs: Observer) -> None:
@@ -173,6 +243,7 @@ class ArtifactCache:
         obs.count("cache.stores", self.stores)
         obs.count("cache.corrupt", self.corrupt)
         obs.count("cache.stale", self.stale)
+        obs.count("cache.evicted", self.evicted)
 
 
 class FuncArtifactStore:

@@ -69,8 +69,8 @@ class RequestOutcome:
 
 
 def run_full(request: AnalysisRequest,
-             funcstore=None, obs: Optional[Observer] = None
-             ) -> AnalysisArtifact:
+             funcstore=None, obs: Optional[Observer] = None,
+             on_preanalysis=None) -> AnalysisArtifact:
     """Rung 1: the whole pipeline. Raises
     :class:`~repro.fsam.config.AnalysisTimeout` on budget exhaustion.
 
@@ -85,11 +85,18 @@ def run_full(request: AnalysisRequest,
     every FSAM phase are timed under it (instead of a run-private
     observer), so its ``repro.metrics/1`` snapshot captures the whole
     attempt for shipping back to the dispatcher.
+
+    *on_preanalysis* is handed to :class:`~repro.fsam.FSAM`: a hook
+    called with ``(module, andersen)`` right after the pre-analysis
+    phase, used by the gateway to stream a progressive Andersen-facts
+    frame while the sparse solve is still running.
     """
     kwargs: Dict[str, object] = {}
     if funcstore is not None:
         from repro.service.incremental import incremental_hook
         kwargs["incremental"] = incremental_hook(request, funcstore)
+    if on_preanalysis is not None:
+        kwargs["on_preanalysis"] = on_preanalysis
     if obs is not None:
         with obs.phase("compile"):
             module = compile_source(request.source, name=request.name)

@@ -41,9 +41,14 @@ snapshot as one JSONL line at least *metrics_interval* seconds apart
 from __future__ import annotations
 
 import json
+import signal
 import time
-from typing import Dict, Optional, TextIO
+from typing import Dict, Optional, TextIO, Tuple
 
+from repro.gateway.protocol import (
+    DEFAULT_MAX_JSON_DEPTH, DEFAULT_MAX_REQUEST_BYTES, RequestTooDeep,
+    RequestTooLarge, json_depth,
+)
 from repro.obs import NULL_OBS, Observer
 from repro.service.cache import (
     ArtifactCache, FuncArtifactStore, QueryArtifactStore,
@@ -101,6 +106,70 @@ def _emit(response: Dict[str, object], out_stream: TextIO,
     return ok
 
 
+class _ShutdownInterrupt(Exception):
+    """Raised by the signal handler only while the loop is blocked in
+    a read — never mid-request, so in-flight work always drains."""
+
+
+class ShutdownFlag:
+    """Cooperative SIGINT/SIGTERM shutdown for :func:`serve_loop`.
+
+    The handler sets :attr:`requested`; if the loop is blocked waiting
+    for the next request line it is interrupted immediately, otherwise
+    the current request finishes and the loop exits before reading
+    another.  Either way the loop flushes its final metrics snapshot
+    and returns normally (the CLI then exits 0).
+    """
+
+    def __init__(self) -> None:
+        self.requested = False
+        self.reading = False
+
+    def trigger(self, signum=None, frame=None) -> None:
+        self.requested = True
+        if self.reading:
+            raise _ShutdownInterrupt()
+
+    def install(self) -> dict:
+        """Route SIGINT and SIGTERM to :meth:`trigger` (main thread
+        only; tests drive :meth:`trigger` directly instead).  Returns
+        the previous dispositions for :meth:`restore` — a caller that
+        leaves the handlers behind poisons every process forked later
+        in the same interpreter (``Process.terminate`` then merely
+        sets this flag in the child instead of killing it)."""
+        previous = {}
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, self.trigger)
+        return previous
+
+    @staticmethod
+    def restore(previous: dict) -> None:
+        """Reinstate the dispositions :meth:`install` replaced."""
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def _read_request_line(in_stream: TextIO, limit: Optional[int]
+                       ) -> Tuple[Optional[str], bool]:
+    """One request line, reading at most ``limit`` characters before
+    deciding the line is oversized.  Returns ``(text, oversized)``;
+    text None means EOF.  An oversized line is drained (in bounded
+    chunks) up to its newline so the loop can keep serving, without
+    the whole hostile payload ever being held in memory."""
+    if limit is None:
+        line = in_stream.readline()
+        return (line if line else None), False
+    line = in_stream.readline(limit + 1)
+    if not line:
+        return None, False
+    if len(line) <= limit or line.endswith("\n"):
+        return line, False
+    while True:  # drain the rest of the oversized line
+        chunk = in_stream.readline(1 << 16)
+        if not chunk or chunk.endswith("\n"):
+            return line[:80], True
+
+
 def _emit_metrics(obs: Observer, metrics_stream: Optional[TextIO]) -> None:
     """Write one cumulative ``repro.metrics/1`` snapshot line."""
     if metrics_stream is None:
@@ -118,9 +187,21 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
                obs: Observer = NULL_OBS,
                incremental: bool = True,
                metrics_interval: Optional[float] = None,
-               metrics_stream: Optional[TextIO] = None) -> int:
+               metrics_stream: Optional[TextIO] = None,
+               max_request_bytes: Optional[int] = DEFAULT_MAX_REQUEST_BYTES,
+               max_json_depth: Optional[int] = DEFAULT_MAX_JSON_DEPTH,
+               shutdown: Optional[ShutdownFlag] = None) -> int:
     """Serve requests from *in_stream* until EOF; returns the number
     of successfully served (non-error) responses.
+
+    Input hardening: request lines over *max_request_bytes* and JSON
+    nested deeper than *max_json_depth* produce structured
+    ``RequestTooLarge`` / ``RequestTooDeep`` error records — the line
+    is refused by a linear pre-scan before ``json.loads`` ever runs.
+
+    With a *shutdown* :class:`ShutdownFlag` (the CLI installs one on
+    SIGINT/SIGTERM), the loop drains the in-flight request, flushes
+    the final metrics snapshot, and returns normally.
 
     With *incremental* (the default) and a cache, program-digest
     misses still reuse per-function fixpoints from ``<cache>/func``
@@ -148,13 +229,39 @@ def serve_loop(in_stream: TextIO, out_stream: TextIO,
     serial = 0
     interval = metrics_interval if metrics_interval is not None else 0.0
     last_emit = time.monotonic()
-    for line in in_stream:
+    while True:
+        if shutdown is not None and shutdown.requested:
+            break
+        try:
+            if shutdown is not None:
+                shutdown.reading = True
+            try:
+                line, oversized = _read_request_line(in_stream,
+                                                     max_request_bytes)
+            finally:
+                if shutdown is not None:
+                    shutdown.reading = False
+        except _ShutdownInterrupt:
+            break
+        if line is None:
+            break
         line = line.strip()
-        if not line:
+        if not line and not oversized:
             continue
         request_id = None
         error = False
         try:
+            if oversized:
+                raise RequestTooLarge(
+                    f"request line exceeds {max_request_bytes} bytes "
+                    f"(starts {line!r}); raise --max-request-bytes to "
+                    "accept it")
+            if max_json_depth is not None:
+                depth = json_depth(line)
+                if depth > max_json_depth:
+                    raise RequestTooDeep(
+                        f"request JSON nests {depth} levels deep "
+                        f"(limit {max_json_depth})")
             entry = json.loads(line)
             if isinstance(entry, dict):
                 request_id = entry.pop("id", None)

@@ -1,0 +1,107 @@
+"""Coalescing: unit tests for the in-flight table, plus the
+satellite's end-to-end check — N concurrent identical requests make
+exactly one pool submission and N identical responses."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway.coalesce import CoalesceTable
+from repro.gateway.server import Gateway, GatewayOptions
+
+
+def _run(coro):
+    return asyncio.new_event_loop().run_until_complete(coro)
+
+
+class TestCoalesceTable:
+    def test_leader_then_followers(self):
+        _run(self._leader_then_followers())
+
+    async def _leader_then_followers(self):
+        table = CoalesceTable()
+        job, leader = table.join("k", "analyze")
+        assert leader
+        same, again = table.join("k", "analyze")
+        assert same is job and not again
+        assert table.coalesced == 1 and table.started == 1
+
+    def test_replay_to_late_subscriber(self):
+        _run(self._replay())
+
+    async def _replay(self):
+        table = CoalesceTable()
+        job, _ = table.join("k", "analyze")
+        early = job.subscribe()
+        job.publish("andersen", {"status": "preview"})
+        late = job.subscribe()  # attaches after the preview
+        job.publish("result", {"status": "ok"}, final=True)
+        for queue in (early, late):
+            kind, body, final = queue.get_nowait()
+            assert (kind, final) == ("andersen", False)
+            kind, body, final = queue.get_nowait()
+            assert (kind, final) == ("result", True)
+
+    def test_publish_after_final_refused(self):
+        _run(self._publish_after_final())
+
+    async def _publish_after_final(self):
+        table = CoalesceTable()
+        job, _ = table.join("k", "analyze")
+        job.publish("result", {}, final=True)
+        with pytest.raises(RuntimeError):
+            job.publish("result", {}, final=True)
+
+    def test_finish_clears_inflight(self):
+        _run(self._finish())
+
+    async def _finish(self):
+        table = CoalesceTable()
+        table.join("k", "analyze")
+        assert len(table) == 1
+        table.finish("k")
+        table.finish("k")  # idempotent
+        assert len(table) == 0
+        _, leader = table.join("k", "analyze")
+        assert leader  # a fresh job, not the dead one
+
+
+class TestGatewayCoalescing:
+    """The satellite's end-to-end requirement."""
+
+    def test_n_identical_requests_one_submission(self, tmp_path):
+        _run(self._coalesce_e2e(tmp_path))
+
+    async def _coalesce_e2e(self, tmp_path):
+        gateway = Gateway(GatewayOptions(
+            workers=1, cache_root=str(tmp_path / "cache")))
+        await gateway.start()
+        try:
+            async def request(i):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", gateway.port)
+                entry = {"workload": "word_count", "id": i}
+                writer.write((json.dumps(entry) + "\n").encode())
+                await writer.drain()
+                writer.write_eof()
+                line = await reader.readline()
+                writer.close()
+                return json.loads(line)
+
+            n = 5
+            frames = await asyncio.gather(*[request(i) for i in range(n)])
+            # N identical responses: same digest, same payload bits.
+            bodies = [frame["body"] for frame in frames]
+            assert len({body["payload_digest"] for body in bodies}) == 1
+            assert len({body["digest"] for body in bodies}) == 1
+            assert all(body["status"] == "ok" for body in bodies)
+            # Each response still carries its own request id.
+            assert sorted(frame["id"] for frame in frames) == list(range(n))
+            # Exactly one computation: one pool dispatch, N-1 coalesced.
+            metrics = gateway.metrics()
+            assert metrics["counters"]["gateway.dispatched"] == 1
+            assert metrics["counters"]["gateway.coalesced"] == n - 1
+            assert gateway.coalesce.started == 1
+        finally:
+            await gateway.shutdown()

@@ -1,0 +1,160 @@
+"""Wire-format and input-hardening units (repro.gateway.protocol)."""
+
+import json
+
+import pytest
+
+from repro.gateway.protocol import (
+    BadRequest, DEFAULT_MAX_JSON_DEPTH, RateLimited, RequestTooDeep,
+    RequestTooLarge, error_body, error_frame, http_chunk, http_response,
+    http_stream_head, http_stream_tail, json_depth, looks_like_http,
+    make_frame, parse_http_head, parse_request_text, validate_gwframe,
+    validate_gwframe_stream,
+)
+from repro.schemas import GWFRAME_SCHEMA
+
+
+class TestJsonDepth:
+    def test_flat(self):
+        assert json_depth('{"a": 1}') == 1
+
+    def test_nested(self):
+        assert json_depth('{"a": [{"b": [1]}]}') == 4
+
+    def test_brackets_inside_strings_ignored(self):
+        assert json_depth('{"a": "[[[[{{{{"}') == 1
+
+    def test_escaped_quote_does_not_end_string(self):
+        assert json_depth('{"a": "x\\"[[", "b": []}') == 2
+
+    def test_hostile_nesting_counted_linearly(self):
+        assert json_depth("[" * 100000) == 100000
+
+
+class TestParseRequestText:
+    def test_valid(self):
+        assert parse_request_text('{"workload": "w"}') == {"workload": "w"}
+
+    def test_oversized(self):
+        with pytest.raises(RequestTooLarge):
+            parse_request_text('{"s": "' + "x" * 64 + '"}',
+                               max_request_bytes=32)
+
+    def test_too_deep_never_reaches_json_loads(self):
+        # 100k-deep brackets would blow the recursive parser's stack;
+        # the pre-scan must refuse first.
+        hostile = "[" * 100000 + "]" * 100000
+        with pytest.raises(RequestTooDeep):
+            parse_request_text(hostile)
+
+    def test_depth_default_is_sane(self):
+        depth_ok = "[" * DEFAULT_MAX_JSON_DEPTH + "]" * DEFAULT_MAX_JSON_DEPTH
+        with pytest.raises(BadRequest):
+            # within depth, but a list, not an object
+            parse_request_text(depth_ok)
+
+    def test_invalid_json(self):
+        with pytest.raises(BadRequest):
+            parse_request_text("{nope")
+
+    def test_non_object(self):
+        with pytest.raises(BadRequest):
+            parse_request_text('"just a string"')
+
+
+class TestFrames:
+    def test_make_frame_shape(self):
+        frame = make_frame("result", {"status": "ok"}, seq=0, final=True,
+                           request_id=7)
+        assert frame == {"schema": GWFRAME_SCHEMA, "seq": 0,
+                         "kind": "result", "final": True,
+                         "body": {"status": "ok"}, "id": 7}
+        validate_gwframe(frame)
+
+    def test_error_frame_carries_code(self):
+        frame = error_frame(RateLimited("slow down"), request_id="r1")
+        assert frame["body"]["error"]["code"] == 429
+        assert frame["body"]["error"]["type"] == "RateLimited"
+        validate_gwframe(frame)
+
+    def test_error_body_plain_exception_is_500(self):
+        body = error_body(RuntimeError("boom"))
+        assert body["error"]["code"] == 500
+        assert body["error"]["type"] == "RuntimeError"
+
+    def test_validate_rejects_bad_schema(self):
+        frame = make_frame("result", {}, seq=0, final=True)
+        frame["schema"] = "repro.nope/1"
+        with pytest.raises(ValueError):
+            validate_gwframe(frame)
+
+    def test_validate_rejects_unknown_kind(self):
+        frame = make_frame("result", {}, seq=0, final=True)
+        frame["kind"] = "surprise"
+        with pytest.raises(ValueError):
+            validate_gwframe(frame)
+
+    def test_stream_happy_path(self):
+        frames = [
+            make_frame("andersen", {"status": "preview"}, seq=0,
+                       final=False),
+            make_frame("result", {"status": "ok"}, seq=1, final=True),
+        ]
+        validate_gwframe_stream(frames)
+
+    def test_stream_rejects_sparse_seq(self):
+        frames = [make_frame("result", {"status": "ok"}, seq=1,
+                             final=True)]
+        with pytest.raises(ValueError):
+            validate_gwframe_stream(frames)
+
+    def test_stream_rejects_non_final_tail(self):
+        frames = [make_frame("andersen", {}, seq=0, final=False)]
+        with pytest.raises(ValueError):
+            validate_gwframe_stream(frames)
+
+    def test_stream_rejects_preview_after_result(self):
+        frames = [
+            make_frame("result", {"status": "ok"}, seq=0, final=False),
+            make_frame("andersen", {}, seq=1, final=True),
+        ]
+        with pytest.raises(ValueError):
+            validate_gwframe_stream(frames)
+
+
+class TestHttp:
+    def test_transport_detection(self):
+        assert looks_like_http(b"POST /analyze HTTP/1.1\r\n")
+        assert looks_like_http(b"GET /metrics HTTP/1.1\r\n")
+        assert not looks_like_http(b'{"workload": "w"}\n')
+        assert not looks_like_http(b"\xff\xfe binary")
+
+    def test_parse_head(self):
+        method, path, query, headers = parse_http_head(
+            b"POST /analyze?stream=1 HTTP/1.1\r\n",
+            [b"Content-Length: 12\r\n", b"X-Thing: a b\r\n"])
+        assert (method, path) == ("POST", "/analyze")
+        assert query == {"stream": "1"}
+        assert headers == {"content-length": "12", "x-thing": "a b"}
+
+    def test_parse_head_rejects_garbage(self):
+        with pytest.raises(BadRequest):
+            parse_http_head(b"NONSENSE\r\n", [])
+        with pytest.raises(BadRequest):
+            parse_http_head(b"GET / HTTP/2\r\n", [])
+        with pytest.raises(BadRequest):
+            parse_http_head(b"GET / HTTP/1.1\r\n", [b"no-colon-here\r\n"])
+
+    def test_response_roundtrip(self):
+        raw = http_response(200, b'{"ok": true}')
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Length: 12" in head
+        assert json.loads(body) == {"ok": True}
+
+    def test_chunked_stream_parts(self):
+        head = http_stream_head()
+        assert b"Transfer-Encoding: chunked" in head
+        chunk = http_chunk(b"abc")
+        assert chunk == b"3\r\nabc\r\n"
+        assert http_stream_tail() == b"0\r\n\r\n"

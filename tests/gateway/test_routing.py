@@ -1,0 +1,60 @@
+"""Consistent-hash ring units (repro.gateway.routing)."""
+
+from repro.gateway.routing import HashRing
+
+
+def _keys(n=500):
+    return [f"digest-{i:04d}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_routing_is_deterministic(self):
+        a = HashRing([0, 1, 2])
+        b = HashRing([2, 0, 1])  # insertion order must not matter
+        for key in _keys(100):
+            assert a.route(key) == b.route(key)
+
+    def test_empty_ring_routes_none(self):
+        assert HashRing().route("anything") is None
+
+    def test_membership_and_len(self):
+        ring = HashRing([0, 1])
+        assert 0 in ring and 1 in ring and 2 not in ring
+        assert len(ring) == 2
+        assert ring.shards == [0, 1]
+
+    def test_all_shards_get_some_keys(self):
+        ring = HashRing(range(4))
+        spread = ring.spread(_keys())
+        assert set(spread) == {0, 1, 2, 3}
+        assert all(count > 0 for count in spread.values())
+
+    def test_remove_moves_only_dead_shards_keys(self):
+        ring = HashRing(range(4))
+        before = {key: ring.route(key) for key in _keys()}
+        ring.remove(2)
+        after = {key: ring.route(key) for key in _keys()}
+        for key, owner in before.items():
+            if owner != 2:
+                # The surviving shards' keys must not move at all —
+                # that is the whole point of consistent hashing.
+                assert after[key] == owner
+            else:
+                assert after[key] != 2
+
+    def test_add_back_restores_exact_placement(self):
+        ring = HashRing(range(4))
+        before = {key: ring.route(key) for key in _keys()}
+        ring.remove(1)
+        ring.add(1)
+        assert {key: ring.route(key) for key in _keys()} == before
+
+    def test_double_add_is_idempotent(self):
+        ring = HashRing([0])
+        ring.add(0)
+        before = {key: ring.route(key) for key in _keys(50)}
+        assert len(ring) == 1
+        ring.remove(0)
+        assert len(ring) == 0
+        ring.add(0)
+        assert {key: ring.route(key) for key in _keys(50)} == before

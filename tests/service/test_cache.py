@@ -34,7 +34,7 @@ class TestCacheRoundTrip:
         assert back is not None
         assert back.payload_digest() == artifact.payload_digest()
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
-                                 "corrupt": 0, "stale": 0}
+                                 "corrupt": 0, "stale": 0, "evicted": 0}
 
     def test_fanout_layout(self, tmp_path):
         cache = ArtifactCache(tmp_path)

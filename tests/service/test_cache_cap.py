@@ -1,0 +1,107 @@
+"""Bounded artifact cache: LRU-by-mtime eviction under max_bytes."""
+
+import os
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.fsam import FSAM, FSAMConfig
+from repro.obs import Observer
+from repro.service.artifacts import artifact_from_result
+from repro.service.cache import ArtifactCache, FuncArtifactStore
+
+
+def _artifact():
+    source = "int g; int main() { int *p; p = &g; return 0; }"
+    result = FSAM(compile_source(source), FSAMConfig()).run()
+    return artifact_from_result("tiny", result)
+
+
+def _digest(i):
+    return f"{i:02d}" * 32
+
+
+def _touch_older(cache, digest, seconds):
+    """Backdate an entry's mtime so eviction order is deterministic."""
+    path = cache.path(digest)
+    st = os.stat(path)
+    os.utime(path, (st.st_atime - seconds, st.st_mtime - seconds))
+
+
+class TestCacheCap:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, max_bytes=-1)
+        ArtifactCache(tmp_path, max_bytes=0)  # degenerate but legal
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        artifact = _artifact()
+        for i in range(5):
+            cache.put(_digest(i), artifact)
+        assert cache.evicted == 0
+        assert all(cache.get(_digest(i)) is not None for i in range(5))
+
+    def test_oldest_entries_age_out_first(self, tmp_path):
+        artifact = _artifact()
+        probe = ArtifactCache(tmp_path)
+        path = probe.put(_digest(0), artifact)
+        size = path.stat().st_size
+        os.unlink(path)
+
+        cache = ArtifactCache(tmp_path, max_bytes=3 * size)
+        for i in range(3):
+            cache.put(_digest(i), artifact)
+            _touch_older(cache, _digest(i), seconds=100 - i)
+        assert cache.evicted == 0  # exactly at the cap
+        cache.put(_digest(3), artifact)  # one over: oldest goes
+        assert cache.evicted == 1
+        assert cache.get(_digest(0)) is None
+        assert cache.get(_digest(1)) is not None
+        assert cache.get(_digest(3)) is not None
+
+    def test_hit_touch_keeps_hot_entries_alive(self, tmp_path):
+        artifact = _artifact()
+        probe = ArtifactCache(tmp_path)
+        path = probe.put(_digest(0), artifact)
+        size = path.stat().st_size
+        os.unlink(path)
+
+        cache = ArtifactCache(tmp_path, max_bytes=2 * size)
+        cache.put(_digest(0), artifact)
+        cache.put(_digest(1), artifact)
+        _touch_older(cache, _digest(0), seconds=200)
+        _touch_older(cache, _digest(1), seconds=100)
+        # A hit refreshes digest 0's mtime, so the *other* entry is
+        # now the LRU victim.
+        assert cache.get(_digest(0)) is not None
+        cache.put(_digest(2), artifact)
+        assert cache.get(_digest(0)) is not None
+        assert cache.get(_digest(1)) is None
+        assert cache.get(_digest(2)) is not None
+
+    def test_func_store_is_exempt(self, tmp_path):
+        artifact = _artifact()
+        cache = ArtifactCache(tmp_path, max_bytes=1)  # evict everything
+        store = FuncArtifactStore(tmp_path)
+        store.put("fn" + "cd" * 31, {
+            "schema": "repro.funcartifact/1",
+            "code_version": __import__(
+                "repro.schemas", fromlist=["CODE_VERSION"]).CODE_VERSION,
+            "function": "main", "points_to": {}, "iterations": 1,
+        })
+        before = sorted(p.name for p in (tmp_path / "func").rglob("*"))
+        cache.put(_digest(0), artifact)
+        assert cache.get(_digest(0)) is None  # over the 1-byte cap
+        assert cache.evicted == 1
+        after = sorted(p.name for p in (tmp_path / "func").rglob("*"))
+        assert before == after  # the func/ sub-store was never touched
+
+    def test_evicted_counter_flushes_to_obs(self, tmp_path):
+        artifact = _artifact()
+        cache = ArtifactCache(tmp_path, max_bytes=1)
+        cache.put(_digest(0), artifact)
+        obs = Observer(name="test", track_memory=False)
+        cache.flush_obs(obs)
+        assert obs.counter("cache.evicted") == 1
+        assert cache.stats()["evicted"] == 1
